@@ -1,0 +1,99 @@
+"""C11 — Section 6: DRM rights forms and playback-path overhead."""
+
+import time
+
+from repro.core import render_table
+from repro.drm import (
+    Denial,
+    LicenseServer,
+    PlaybackDevice,
+    RightsGrant,
+    encrypt_title,
+)
+
+
+def make_stack():
+    server = LicenseServer(master_secret=b"bench-studio")
+    device_key = server.register_device("dev")
+    content_key = server.register_title("title")
+    device = PlaybackDevice(device_id="dev", license_key=device_key)
+    content = encrypt_title(b"\x5A" * 65536, "title", content_key)
+    return server, device, content
+
+
+def test_playback_path_overhead(benchmark, show):
+    server, device, content = make_stack()
+    lic = server.request_license("dev", RightsGrant("title"))
+    device.install_license(lic)
+
+    result = benchmark(lambda: device.play("title", content, now=0.0))
+    assert result.authorized
+
+    # Decompose the path: authorization alone vs decrypt+authorize.
+    t0 = time.perf_counter()
+    for _ in range(200):
+        device.authorize("title", now=0.0)
+    auth_s = (time.perf_counter() - t0) / 200
+    t0 = time.perf_counter()
+    for _ in range(3):
+        device.play("title", content, now=0.0)
+    play_s = (time.perf_counter() - t0) / 3
+    show(render_table(
+        ["operation", "seconds"],
+        [
+            ["authorization check", auth_s],
+            ["full play (64 KiB decrypt)", play_s],
+            ["authorization share", auth_s / play_s],
+        ],
+        title="C11: playback-path cost decomposition",
+    ))
+    # Shape: rights checking is noise next to bulk decryption.
+    assert auth_s < 0.05 * play_s
+
+
+def test_all_rights_forms_enforced(benchmark, show):
+    server, device, content = benchmark.pedantic(
+        make_stack, rounds=1, iterations=1
+    )
+    outcomes = []
+
+    lic = server.request_license(
+        "dev",
+        RightsGrant(
+            "title",
+            plays_remaining=1,
+            device_ids=("dev",),
+            not_before=100.0,
+            not_after=200.0,
+        ),
+    )
+    device.install_license(lic)
+    outcomes.append(
+        ["unlicensed title", str(device.play("ghost", content, 150.0).denial)]
+    )
+    outcomes.append(
+        ["before window", str(device.play("title", content, 50.0).denial)]
+    )
+    ok = device.play("title", content, 150.0)
+    outcomes.append(["inside window", "AUTHORIZED" if ok.authorized else "?"])
+    outcomes.append(
+        ["plays exhausted", str(device.play("title", content, 151.0).denial)]
+    )
+    other = PlaybackDevice(
+        device_id="other", license_key=server.register_device("other")
+    )
+    lic_other = server.request_license(
+        "other", RightsGrant("title", device_ids=("dev",))
+    )
+    other.install_license(lic_other)
+    outcomes.append(
+        ["wrong device", str(other.play("title", content, 150.0).denial)]
+    )
+    show(render_table(
+        ["scenario", "outcome"],
+        outcomes,
+        title="C11: the four rights forms of Section 6",
+    ))
+    assert outcomes[1][1] == str(Denial.EXPIRED)
+    assert outcomes[3][1] == str(Denial.PLAYS_EXHAUSTED)
+    assert outcomes[4][1] == str(Denial.WRONG_DEVICE)

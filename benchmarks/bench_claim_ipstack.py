@@ -1,0 +1,68 @@
+"""C13 — Section 7: small IP stacks for limited purposes vs full network
+devices."""
+
+from repro.core import render_table
+from repro.support import PointToPointNetwork, udp_transaction
+
+
+def test_drm_transaction_is_tiny(benchmark, show):
+    """The 'small stack' case: a licence fetch is a 2-datagram UDP
+    exchange; a streaming session is a full TCP conversation."""
+
+    def drm():
+        return udp_transaction(b"license-req" * 4, b"license-blob" * 8,
+                               loss_rate=0.0, seed=0)
+
+    _, udp_datagrams = benchmark.pedantic(drm, rounds=3, iterations=1)
+
+    net = PointToPointNetwork(loss_rate=0.0)
+    net.client.connect()
+    net.client.send(b"S" * 4096)
+    net.client.close()
+    stats = net.run()
+    tcp_packets = stats.packets_forward + stats.packets_backward
+
+    show(render_table(
+        ["workload", "packets", "stack features needed"],
+        [
+            ["DRM licence fetch (UDP)", udp_datagrams,
+             "IP + UDP + app retry"],
+            ["4 KiB streaming session (TCP)", tcp_packets,
+             "IP + handshake + windows + retransmit + teardown"],
+        ],
+        title="C13: limited-purpose vs network-device stacks",
+    ))
+    assert udp_datagrams == 2
+    assert tcp_packets > 20 * udp_datagrams
+
+
+def test_tcp_costs_grow_with_loss(benchmark, show):
+    def run(loss, seed):
+        net = PointToPointNetwork(loss_rate=loss, seed=seed)
+        net.client.connect()
+        net.client.send(b"V" * 2048)
+        net.client.close()
+        stats = net.run(max_ticks=50_000)
+        assert net.server.received == b"V" * 2048
+        return stats
+
+    benchmark.pedantic(lambda: run(0.1, 1), rounds=2, iterations=1)
+    rows = []
+    for loss in (0.0, 0.1, 0.25):
+        ticks, retx = [], []
+        for seed in range(3):
+            stats = run(loss, seed)
+            ticks.append(stats.ticks)
+            retx.append(stats.client_retransmissions)
+        rows.append([
+            f"{loss:.0%}",
+            sum(ticks) / len(ticks),
+            sum(retx) / len(retx),
+        ])
+    show(render_table(
+        ["loss rate", "mean ticks", "mean retransmissions"],
+        rows,
+        title="C13: reliable delivery under loss (2 KiB transfer)",
+    ))
+    assert rows[2][1] > rows[0][1]  # loss costs time
+    assert rows[2][2] > rows[0][2]  # and retransmissions

@@ -1,0 +1,59 @@
+"""C10 — Section 5: music categorisation and recommendation."""
+
+from repro.analysis import MusicCategorizer
+from repro.core import render_table
+from repro.workloads.audio_gen import music_like, speech_like, tone
+
+
+def build_sets():
+    train = {
+        "music": [music_like(0.4, seed=s) for s in range(4)],
+        "speech": [speech_like(0.4, 44100.0, seed=s) for s in range(4)],
+        "tones": [tone(150.0 * (s + 2), 0.4) for s in range(4)],
+    }
+    test = {
+        "music": [music_like(0.4, seed=s) for s in range(50, 54)],
+        "speech": [speech_like(0.4, 44100.0, seed=s) for s in range(50, 54)],
+        "tones": [tone(170.0 * (s + 2), 0.4) for s in range(4)],
+    }
+    return train, test
+
+
+def test_categorisation_accuracy(benchmark, show):
+    train, test = build_sets()
+    categorizer = MusicCategorizer()
+
+    benchmark.pedantic(
+        lambda: MusicCategorizer().train(train), rounds=2, iterations=1
+    )
+    categorizer.train(train)
+    rows = []
+    for label, clips in test.items():
+        correct = sum(categorizer.classify(c) == label for c in clips)
+        rows.append([label, f"{correct}/{len(clips)}"])
+    accuracy = categorizer.accuracy(test)
+    show(render_table(
+        ["category", "held-out correct"],
+        rows,
+        title=f"C10: music categorisation (accuracy {accuracy:.2f})",
+    ))
+    assert accuracy > 0.7
+
+
+def test_recommendation_stays_in_genre(benchmark, show):
+    train, _ = build_sets()
+    categorizer = MusicCategorizer()
+    benchmark.pedantic(lambda: categorizer.train(train), rounds=1, iterations=1)
+    library = {
+        f"song_{i}": music_like(0.4, seed=100 + i) for i in range(3)
+    } | {
+        f"talk_{i}": speech_like(0.4, 44100.0, seed=100 + i) for i in range(3)
+    }
+    recs = categorizer.recommend(library, music_like(0.4, seed=200), top_k=3)
+    in_genre = sum(1 for r in recs if r.startswith("song"))
+    show(render_table(
+        ["rank", "title"],
+        [[i + 1, r] for i, r in enumerate(recs)],
+        title="C10: recommendations for a music query",
+    ))
+    assert in_genre >= 2

@@ -1,0 +1,70 @@
+"""C1 — Section 2: symmetric vs asymmetric compression systems.
+
+Claims measured: the encoder costs far more than the decoder (so broadcast
+puts the effort at the head-end), and a videoconferencing terminal must
+budget encode + decode simultaneously.
+"""
+
+from repro.core import render_table
+from repro.video import EncoderConfig, VideoDecoder, VideoEncoder
+from repro.video.taskgraph import (
+    VideoWorkload,
+    decoder_taskgraph,
+    encoder_taskgraph,
+    total_ops,
+)
+from repro.workloads.video_gen import moving_blocks_sequence
+
+FRAMES = moving_blocks_sequence(num_frames=5, height=48, width=64, seed=2)
+
+
+def test_encode_beats_decode_in_measured_time(benchmark, show):
+    cfg = EncoderConfig(quality=70, search_algorithm="full", code_chroma=False)
+    encoded = VideoEncoder(cfg).encode(FRAMES)
+
+    import time
+
+    t0 = time.perf_counter()
+    VideoEncoder(cfg).encode(FRAMES)
+    encode_s = time.perf_counter() - t0
+
+    decode_s_holder = {}
+
+    def decode():
+        t = time.perf_counter()
+        out = VideoDecoder().decode(encoded.data)
+        decode_s_holder["t"] = time.perf_counter() - t
+        return out
+
+    benchmark.pedantic(decode, rounds=3, iterations=1)
+    decode_s = decode_s_holder["t"]
+
+    show(render_table(
+        ["side", "wall time (s)", "ratio"],
+        [
+            ["encoder (full-search ME)", encode_s, encode_s / decode_s],
+            ["decoder", decode_s, 1.0],
+        ],
+        title="C1: measured encode/decode asymmetry",
+    ))
+    assert encode_s > 2.0 * decode_s
+
+
+def test_terminal_budgets(benchmark, show):
+    w = VideoWorkload(width=176, height=144, search_algorithm="full")
+    benchmark.pedantic(lambda: encoder_taskgraph(w), rounds=1, iterations=1)
+    enc = sum(total_ops(encoder_taskgraph(w)).values())
+    dec = sum(total_ops(decoder_taskgraph(w)).values())
+    rows = [
+        ["broadcast head-end (encode)", enc],
+        ["broadcast receiver (decode)", dec],
+        ["videoconf terminal (enc+dec)", enc + dec],
+    ]
+    show(render_table(
+        ["system", "ops/frame"],
+        rows,
+        title="C1: modelled compute budgets",
+    ))
+    # Shapes: encoder >> decoder; symmetric terminal ~ encoder-dominated.
+    assert enc > 5.0 * dec
+    assert (enc + dec) / dec > 6.0

@@ -1,0 +1,46 @@
+"""C6 — Section 3: "each generation of transcoding reduces image quality"."""
+
+from repro.core import render_table
+from repro.support.transcode import (
+    image_transcode_generations,
+    quality_is_monotone_nonincreasing,
+    video_transcode_generations,
+)
+from repro.workloads.image_gen import natural_like
+from repro.workloads.video_gen import moving_blocks_sequence
+
+FRAMES = moving_blocks_sequence(num_frames=4, height=32, width=32, seed=6)
+IMAGE = natural_like(48, 48, seed=6)
+
+
+def test_video_generational_loss(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: video_transcode_generations(FRAMES, generations=4),
+        rounds=2,
+        iterations=1,
+    )
+    show(render_table(
+        ["generation", "PSNR vs original (dB)", "bits"],
+        [[r.generation, r.psnr_db, r.bits] for r in results],
+        title="C6: video transcoding generations",
+    ))
+    assert quality_is_monotone_nonincreasing(results)
+    assert results[-1].psnr_db < results[0].psnr_db
+
+
+def test_cross_standard_image_generations(benchmark, show):
+    results = benchmark.pedantic(
+        lambda: image_transcode_generations(IMAGE, generations=4),
+        rounds=2,
+        iterations=1,
+    )
+    show(render_table(
+        ["generation", "codec", "PSNR vs original (dB)"],
+        [
+            [r.generation, "DCT" if r.generation % 2 else "wavelet", r.psnr_db]
+            for r in results
+        ],
+        title="C6: DCT <-> wavelet transcoding (cross-standard case)",
+    ))
+    assert quality_is_monotone_nonincreasing(results)
+    assert results[-1].psnr_db < results[0].psnr_db

@@ -1,0 +1,60 @@
+"""DSE — the cost/performance/power *frontier* of Section 2, swept over
+platform sizes and mappers for one application."""
+
+from repro.core import ApplicationModel, render_table
+from repro.mapping import explore, pareto_front
+from repro.mpsoc import DSP, MCU, VLIW_MEDIA, symmetric_multicore
+from repro.video.taskgraph import VideoWorkload, encoder_taskgraph
+
+APP = ApplicationModel(
+    "encoder",
+    encoder_taskgraph(
+        VideoWorkload(width=176, height=144, search_algorithm="three_step")
+    ),
+    required_rate_hz=15.0,
+)
+
+
+def sweep():
+    platforms = [
+        symmetric_multicore(1, MCU),
+        symmetric_multicore(2, MCU),
+        symmetric_multicore(1, DSP),
+        symmetric_multicore(2, DSP),
+        symmetric_multicore(4, DSP),
+        symmetric_multicore(2, VLIW_MEDIA),
+    ]
+    return explore(
+        lambda p: APP.problem(p),
+        platforms,
+        algorithms=["greedy"],
+        sim_iterations=4,
+    )
+
+
+def test_pareto_frontier(benchmark, show):
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    front = pareto_front(points, axes=("cost", "period_s", "power_mw"))
+    front_names = {p.platform.name for p in front}
+    rows = [
+        [
+            p.platform.name,
+            p.cost,
+            p.period_s * 1e3,
+            p.power_mw,
+            "*" if p.platform.name in front_names else "",
+        ]
+        for p in points
+    ]
+    show(render_table(
+        ["platform", "cost", "period (ms)", "power (mW)", "pareto"],
+        rows,
+        title="DSE: QCIF encoder design space (cost/perf/power)",
+    ))
+    # Shapes: the frontier is non-trivial (neither one point nor all).
+    assert 1 <= len(front) < len(points)
+    by_name = {p.platform.name: p for p in points}
+    # More silicon buys throughput: 4x DSP beats 1x DSP on period.
+    assert by_name["smp4xdsp"].period_s < by_name["smp1xdsp"].period_s
+    # The MCU point is cheapest; the VLIW pair is the power ceiling.
+    assert by_name["smp1xmcu"].cost == min(p.cost for p in points)

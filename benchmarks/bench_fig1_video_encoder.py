@@ -1,0 +1,80 @@
+"""FIG1 — regenerate Figure 1: the video encoder, stage by stage.
+
+The paper's figure is a block diagram; the reproduction is the executable
+pipeline plus the per-stage compute profile, which is the quantity an MPSoC
+architect actually provisions against.
+"""
+
+from repro.core import render_table
+from repro.video import EncoderConfig, VideoDecoder, VideoEncoder
+from repro.video.taskgraph import VideoWorkload, encoder_taskgraph, total_ops
+from repro.workloads.video_gen import moving_blocks_sequence
+
+FRAMES = moving_blocks_sequence(num_frames=6, height=48, width=64, seed=0)
+CONFIG = EncoderConfig(quality=75, gop_size=6, code_chroma=False)
+
+
+def encode_once():
+    return VideoEncoder(CONFIG).encode(FRAMES)
+
+
+def test_fig1_pipeline_roundtrips(benchmark, show):
+    encoded = benchmark.pedantic(encode_once, rounds=3, iterations=1)
+    decoded = VideoDecoder().decode(encoded.data)
+    assert len(decoded.frames) == len(FRAMES)
+
+    # Figure 1's boxes, measured: aggregate per-stage operation counts of
+    # the P-frames (the steady state the figure draws).
+    stage_totals: dict[str, float] = {}
+    for stat in encoded.frame_stats:
+        if stat.frame_type != "P":
+            continue
+        for stage, ops in stat.stage_ops.items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + ops
+    total = sum(stage_totals.values())
+    rows = [
+        [stage, ops, 100.0 * ops / total]
+        for stage, ops in sorted(stage_totals.items(), key=lambda kv: -kv[1])
+    ]
+    show(render_table(
+        ["Figure-1 stage", "ops (P frames)", "% of compute"],
+        rows,
+        title="FIG1: video encoder stage profile (measured)",
+    ))
+    # Shape: motion estimation dominates the hybrid encoder.
+    assert stage_totals["motion_estimation"] == max(stage_totals.values())
+
+    # The task-graph model must agree with the measured pipeline on who
+    # dominates (the graphs drive every mapping result downstream).
+    graph_ops = {
+        name: sum(actor.tags["ops"].values())
+        for name, actor in encoder_taskgraph(
+            VideoWorkload(width=64, height=48)
+        ).actors.items()
+    }
+    assert graph_ops["motion_estimation"] == max(graph_ops.values())
+
+
+def test_fig1_feedback_loop_prevents_drift(benchmark, show):
+    """The inverse-DCT/predictor loop of Figure 1 keeps encoder and decoder
+    references identical: P-frame quality must not decay along the GOP."""
+    from repro.video.metrics import psnr
+
+    frames = moving_blocks_sequence(num_frames=8, height=48, width=64,
+                                    noise_sigma=0.5, seed=1)
+    cfg = EncoderConfig(quality=80, gop_size=8, code_chroma=False)
+
+    def run():
+        encoded = VideoEncoder(cfg).encode(frames)
+        return VideoDecoder().decode(encoded.data)
+
+    decoded = benchmark.pedantic(run, rounds=2, iterations=1)
+    qualities = [
+        psnr(orig, dec.y) for orig, dec in zip(frames, decoded.frames)
+    ]
+    show(render_table(
+        ["frame", "PSNR (dB)"],
+        [[i, q] for i, q in enumerate(qualities)],
+        title="FIG1: quality along one GOP (no drift)",
+    ))
+    assert min(qualities[1:]) > qualities[0] - 6.0

@@ -1,0 +1,68 @@
+"""FIG2 — regenerate Figure 2: the MPEG-1-style audio encoder."""
+
+import numpy as np
+
+from repro.audio import AudioDecoder, AudioEncoder, AudioEncoderConfig, snr_db
+from repro.audio.taskgraph import AudioWorkload, encoder_taskgraph
+from repro.core import render_table
+from repro.workloads.audio_gen import music_like
+
+PCM = music_like(duration=0.4, seed=0)
+CONFIG = AudioEncoderConfig(bitrate=128_000, ancillary_bytes_per_frame=2)
+
+
+def encode_once():
+    return AudioEncoder(CONFIG).encode(PCM, ancillary=b"\xAA\x55" * 64)
+
+
+def test_fig2_pipeline_roundtrips(benchmark, show):
+    encoded = benchmark.pedantic(encode_once, rounds=3, iterations=1)
+    decoded = AudioDecoder().decode(encoded.data)
+    assert snr_db(PCM, decoded.pcm) > 15.0
+    assert decoded.ancillary.startswith(b"\xAA\x55")  # ancillary data box
+
+    stage_totals: dict[str, float] = {}
+    for stat in encoded.frame_stats:
+        for stage, ops in stat.stage_ops.items():
+            stage_totals[stage] = stage_totals.get(stage, 0.0) + ops
+    total = sum(stage_totals.values())
+    rows = [
+        [stage, ops, 100.0 * ops / total]
+        for stage, ops in sorted(stage_totals.items(), key=lambda kv: -kv[1])
+    ]
+    show(render_table(
+        ["Figure-2 stage", "ops", "% of compute"],
+        rows,
+        title="FIG2: audio encoder stage profile (measured)",
+    ))
+    # Shape: the filterbank (mapper) and psychoacoustic model dominate.
+    top_two = sorted(stage_totals, key=stage_totals.get)[-2:]
+    assert set(top_two) == {"filterbank", "psychoacoustic"}
+
+    graph = encoder_taskgraph(AudioWorkload())
+    assert "psychoacoustic_model" in graph.actors  # the defining Fig-2 box
+
+
+def test_fig2_allocation_follows_signal(benchmark, show):
+    """The psychoacoustic model steers bits to where the signal is."""
+    from repro.workloads.audio_gen import tone
+
+    # 3100 Hz sits at the centre of subband 4 (band width fs/64 ~ 689 Hz),
+    # so spectral leakage cannot tip the peak into a neighbour.
+    pcm = tone(3100.0, duration=0.3)
+    encoded = benchmark.pedantic(
+        lambda: AudioEncoder(AudioEncoderConfig(bitrate=96_000)).encode(pcm),
+        rounds=2,
+        iterations=1,
+    )
+    allocation = np.mean(
+        [s.allocation for s in encoded.frame_stats[2:-2]], axis=0
+    )
+    expected_band = int(3100.0 / (44100.0 / 2) * 32)
+    rows = [[b, allocation[b]] for b in range(8)]
+    show(render_table(
+        ["subband", "mean bits"],
+        rows,
+        title=f"FIG2: allocation (tone lives in band {expected_band})",
+    ))
+    assert int(np.argmax(allocation)) == expected_band

@@ -1,0 +1,19 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Every benchmark prints the table/figure it regenerates (run with ``-s`` to
+see them) and *asserts the shape* of the paper's claim, so
+``pytest benchmarks/ --benchmark-only`` doubles as a claims regression
+suite.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print helper that survives pytest's capture when -s is absent."""
+
+    def _show(text: str) -> None:
+        print("\n" + text)
+
+    return _show

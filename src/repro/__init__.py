@@ -1,0 +1,29 @@
+"""repro: multimedia applications of multiprocessor systems-on-chips.
+
+Reproduction of Wolf, DATE 2005.  Subpackages:
+
+- :mod:`repro.video`, :mod:`repro.audio`, :mod:`repro.image` — the codecs
+  of the paper's Figures 1 and 2 plus the wavelet comparison;
+- :mod:`repro.dataflow` — the SDF model of computation;
+- :mod:`repro.mpsoc`, :mod:`repro.mapping` — platforms and mapping;
+- :mod:`repro.core` — applications, systems, and the five device scenarios;
+- :mod:`repro.analysis`, :mod:`repro.drm`, :mod:`repro.support` — the
+  surrounding duties of Sections 5-7;
+- :mod:`repro.workloads` — synthetic content generators.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "audio",
+    "core",
+    "dataflow",
+    "drm",
+    "image",
+    "mapping",
+    "mpsoc",
+    "support",
+    "video",
+    "workloads",
+]

@@ -1,0 +1,41 @@
+"""Content analysis substrate (paper Section 5)."""
+
+from .commercials import (
+    CommercialDetector,
+    DetectionScore,
+    SegmentClassification,
+    score_detection,
+)
+from .detectors import BlackFrameDetector, ColourBurstDetector, ShotBoundaryDetector
+from .features import (
+    AudioFeatures,
+    FrameFeatures,
+    extract_audio_features,
+    extract_features,
+    histogram_distance,
+    luma_of,
+    saturation_of,
+)
+from .music import MusicCategorizer
+from .segmentation import ProgramSegmenter, Scene, Shot
+
+__all__ = [
+    "AudioFeatures",
+    "BlackFrameDetector",
+    "ColourBurstDetector",
+    "CommercialDetector",
+    "DetectionScore",
+    "FrameFeatures",
+    "MusicCategorizer",
+    "ProgramSegmenter",
+    "Scene",
+    "SegmentClassification",
+    "Shot",
+    "ShotBoundaryDetector",
+    "extract_audio_features",
+    "extract_features",
+    "histogram_distance",
+    "luma_of",
+    "saturation_of",
+    "score_detection",
+]

@@ -1,0 +1,128 @@
+"""Commercial-segment detection and skipping (paper Section 5).
+
+The detector mirrors the consumer devices the paper cites:
+
+1. split the stream at black-frame runs (the Replay cue);
+2. classify each segment as commercial vs program using segment length,
+   colour saturation (the colour-burst cue), and cut rate;
+3. emit skip intervals a DVR's playback engine would jump over.
+
+Scored against the generator's ground truth with precision/recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads.tv_gen import COMMERCIAL, TvStream
+from .detectors import BlackFrameDetector, ColourBurstDetector, ShotBoundaryDetector
+from .features import saturation_of
+
+
+@dataclass
+class SegmentClassification:
+    start: int
+    end: int  # exclusive
+    is_commercial: bool
+    saturation: float
+    cut_rate_hz: float
+    duration_s: float
+
+
+@dataclass
+class CommercialDetector:
+    """Black-frame segmentation + multi-cue segment classification."""
+
+    black: BlackFrameDetector = field(default_factory=BlackFrameDetector)
+    colour: ColourBurstDetector = field(default_factory=ColourBurstDetector)
+    shots: ShotBoundaryDetector = field(default_factory=ShotBoundaryDetector)
+    max_commercial_s: float = 6.0  # generator's commercials are 1.5-3 s
+    min_cues: int = 2
+
+    def segment(self, stream: TvStream) -> list[tuple[int, int]]:
+        """Non-black segments delimited by detected black runs."""
+        runs = self.black.black_runs(stream.frames, min_len=2)
+        bounds = [0]
+        for start, end in runs:
+            bounds.extend([start, end])
+        bounds.append(stream.num_frames)
+        segments = []
+        for lo, hi in zip(bounds[0::2], bounds[1::2]):
+            if hi - lo >= 2:
+                segments.append((lo, hi))
+        return segments
+
+    def classify(self, stream: TvStream) -> list[SegmentClassification]:
+        out = []
+        for start, end in self.segment(stream):
+            frames = stream.frames[start:end]
+            duration = (end - start) / stream.frame_rate
+            saturation = float(
+                np.mean([saturation_of(f) for f in frames[:: max(1, len(frames) // 8)]])
+            )
+            cut_rate = self.shots.cut_rate(frames, stream.frame_rate)
+            cues = 0
+            if duration <= self.max_commercial_s:
+                cues += 1
+            if saturation > self.colour.saturation_threshold * 2:
+                cues += 1
+            if cut_rate >= 1.0:
+                cues += 1
+            out.append(
+                SegmentClassification(
+                    start=start,
+                    end=end,
+                    is_commercial=cues >= self.min_cues,
+                    saturation=saturation,
+                    cut_rate_hz=cut_rate,
+                    duration_s=duration,
+                )
+            )
+        return out
+
+    def skip_intervals(self, stream: TvStream) -> list[tuple[int, int]]:
+        """Frame ranges a DVR should skip (commercials + their black guards)."""
+        return [
+            (c.start, c.end)
+            for c in self.classify(stream)
+            if c.is_commercial
+        ]
+
+
+@dataclass
+class DetectionScore:
+    precision: float
+    recall: float
+    accuracy: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def score_detection(
+    stream: TvStream, predicted: list[tuple[int, int]]
+) -> DetectionScore:
+    """Frame-level precision/recall of commercial detection.
+
+    Black frames are excluded from scoring (they belong to neither class —
+    both the generator and the detectors treat them as separators).
+    """
+    predicted_mask = np.zeros(stream.num_frames, dtype=bool)
+    for start, end in predicted:
+        predicted_mask[start:end] = True
+    truth = np.array([label == COMMERCIAL for label in stream.labels])
+    in_scope = np.array([label != "black" for label in stream.labels])
+
+    tp = int(np.sum(predicted_mask & truth & in_scope))
+    fp = int(np.sum(predicted_mask & ~truth & in_scope))
+    fn = int(np.sum(~predicted_mask & truth & in_scope))
+    tn = int(np.sum(~predicted_mask & ~truth & in_scope))
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    accuracy = (tp + tn) / max(1, tp + tn + fp + fn)
+    return DetectionScore(precision=precision, recall=recall, accuracy=accuracy)

@@ -1,0 +1,91 @@
+"""Frame-level detectors: black frames, colour burst, shot boundaries.
+
+These are the building blocks of the Replay-style commercial skipper the
+paper describes: *"Replay uses black frames between programs and
+commercials to identify television.  Early VCR add-ons identified
+commercials using the color burst."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import extract_features, histogram_distance, luma_of, saturation_of
+
+
+@dataclass
+class BlackFrameDetector:
+    """A frame is black when it is uniformly very dark."""
+
+    luma_threshold: float = 20.0
+    std_threshold: float = 12.0
+
+    def is_black(self, frame: np.ndarray) -> bool:
+        y = luma_of(frame)
+        return (
+            float(np.mean(y)) <= self.luma_threshold
+            and float(np.std(y)) <= self.std_threshold
+        )
+
+    def detect(self, frames: list[np.ndarray]) -> list[bool]:
+        return [self.is_black(f) for f in frames]
+
+    def black_runs(self, frames: list[np.ndarray], min_len: int = 2) -> list[tuple[int, int]]:
+        """(start, end-exclusive) runs of consecutive black frames."""
+        flags = self.detect(frames)
+        runs = []
+        start = None
+        for i, black in enumerate(flags):
+            if black and start is None:
+                start = i
+            elif not black and start is not None:
+                if i - start >= min_len:
+                    runs.append((start, i))
+                start = None
+        if start is not None and len(flags) - start >= min_len:
+            runs.append((start, len(flags)))
+        return runs
+
+
+@dataclass
+class ColourBurstDetector:
+    """Classify frames as colour vs monochrome by chroma magnitude.
+
+    The paper's VCR anecdote: black-and-white movies vs colour commercials.
+    """
+
+    saturation_threshold: float = 12.0
+
+    def is_colour(self, frame: np.ndarray) -> bool:
+        return saturation_of(frame) > self.saturation_threshold
+
+    def detect(self, frames: list[np.ndarray]) -> list[bool]:
+        return [self.is_colour(f) for f in frames]
+
+
+@dataclass
+class ShotBoundaryDetector:
+    """Cuts = large histogram distance between adjacent frames."""
+
+    distance_threshold: float = 0.5
+
+    def boundaries(self, frames: list[np.ndarray]) -> list[int]:
+        """Indices i where a cut occurs between frame i-1 and i."""
+        cuts = []
+        previous = None
+        for i, frame in enumerate(frames):
+            features = extract_features(frame)
+            if previous is not None:
+                if histogram_distance(previous, features.histogram) > self.distance_threshold:
+                    cuts.append(i)
+            previous = features.histogram
+        return cuts
+
+    def cut_rate(self, frames: list[np.ndarray], frame_rate: float) -> float:
+        """Cuts per second over the clip."""
+        if len(frames) < 2:
+            return 0.0
+        duration = len(frames) / frame_rate
+        return len(self.boundaries(frames)) / duration

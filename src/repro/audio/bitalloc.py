@@ -1,0 +1,146 @@
+"""Bit allocation — the QUANTIZER/CODER decision logic of Figure 2.
+
+Given per-subband signal-to-mask ratios from the psychoacoustic model and a
+bit pool fixed by the target bitrate, the allocator greedily hands bits to
+the band whose *mask-to-noise ratio* (MNR = quantizer SNR - SMR) is worst,
+one bit at a time — the Layer 1/2 iterative allocation strategy.  Bands that
+are masked (SMR <= 0) receive bits only after every audible band is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: SNR gained per quantizer bit (6.02 dB rule).
+SNR_PER_BIT = 6.02
+
+#: Maximum bits per subband sample the frame format can signal.
+MAX_BITS = 15
+
+
+@dataclass
+class Allocation:
+    """Result of one frame's allocation."""
+
+    bits: np.ndarray  # per band, int
+    mnr_db: np.ndarray  # mask-to-noise ratio per band at this allocation
+    pool_bits: int
+    spent_bits: int
+
+    @property
+    def min_mnr_db(self) -> float:
+        active = self.mnr_db[np.isfinite(self.mnr_db)]
+        return float(np.min(active)) if active.size else np.inf
+
+
+def quantizer_snr_db(bits: int) -> float:
+    """SNR of a uniform quantizer with ``bits`` bits (0 bits -> 0 dB)."""
+    if bits <= 0:
+        return 0.0
+    return SNR_PER_BIT * bits
+
+
+def allocate_bits(
+    smr_db: np.ndarray,
+    pool_bits: int,
+    samples_per_band: int,
+    side_bits_per_band: int = 0,
+    max_bits: int = MAX_BITS,
+) -> Allocation:
+    """Greedy MNR-driven allocation.
+
+    Parameters
+    ----------
+    smr_db:
+        Signal-to-mask ratio per subband (dB).  Higher SMR = the band needs
+        more quantizer SNR before its noise drops under the masking curve.
+    pool_bits:
+        Total bits available for samples + per-band side information.
+    samples_per_band:
+        Subband samples carried per frame (12 in our Layer-1-style frames);
+        granting a band one more bit costs ``samples_per_band`` bits.
+    side_bits_per_band:
+        Extra cost charged the first time a band becomes active (its
+        scalefactor field).
+    """
+    smr = np.asarray(smr_db, dtype=np.float64)
+    if smr.ndim != 1:
+        raise ValueError("smr_db must be a 1-D per-band array")
+    if pool_bits < 0:
+        raise ValueError("bit pool cannot be negative")
+    if samples_per_band <= 0:
+        raise ValueError("samples_per_band must be positive")
+
+    num_bands = smr.size
+    bits = np.zeros(num_bands, dtype=np.int64)
+    remaining = pool_bits
+
+    def grant_cost(band: int) -> int:
+        cost = samples_per_band
+        if bits[band] == 0:
+            cost += side_bits_per_band
+        return cost
+
+    while True:
+        mnr = np.array(
+            [quantizer_snr_db(int(b)) for b in bits]
+        ) - smr
+        # Candidate bands that can still take a bit we can afford.
+        candidates = [
+            b
+            for b in range(num_bands)
+            if bits[b] < max_bits and grant_cost(b) <= remaining
+        ]
+        if not candidates:
+            break
+        worst = min(candidates, key=lambda b: (mnr[b], b))
+        # Stop once every affordable band is already transparent by a
+        # comfortable margin; extra bits would be inaudible.
+        if mnr[worst] >= 12.0:
+            break
+        remaining -= grant_cost(worst)
+        bits[worst] += 1
+
+    mnr = np.array([quantizer_snr_db(int(b)) for b in bits]) - smr
+    return Allocation(
+        bits=bits,
+        mnr_db=mnr,
+        pool_bits=pool_bits,
+        spent_bits=pool_bits - remaining,
+    )
+
+
+def flat_allocation(
+    num_bands: int,
+    pool_bits: int,
+    samples_per_band: int,
+    side_bits_per_band: int = 0,
+    max_bits: int = MAX_BITS,
+) -> Allocation:
+    """Masking-blind baseline: spread the pool uniformly over all bands.
+
+    This is the comparison arm of experiment C7 — what an encoder without a
+    psychoacoustic model would do with the same bit budget.
+    """
+    if num_bands <= 0:
+        raise ValueError("need at least one band")
+    bits = np.zeros(num_bands, dtype=np.int64)
+    remaining = pool_bits
+    progress = True
+    while progress:
+        progress = False
+        for b in range(num_bands):
+            cost = samples_per_band + (side_bits_per_band if bits[b] == 0 else 0)
+            if bits[b] < max_bits and cost <= remaining:
+                bits[b] += 1
+                remaining -= cost
+                progress = True
+    mnr = np.full(num_bands, np.nan)
+    return Allocation(
+        bits=bits,
+        mnr_db=mnr,
+        pool_bits=pool_bits,
+        spent_bits=pool_bits - remaining,
+    )

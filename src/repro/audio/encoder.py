@@ -1,0 +1,251 @@
+"""The MPEG-1-style audio encoder of the paper's Figure 2.
+
+Pipeline, exactly as drawn::
+
+    audio samples --> MAPPER (polyphase filterbank) --> QUANTIZER/CODER
+                          |                                   ^
+                          +--> PSYCHOACOUSTIC MODEL ----------+
+                                                              v
+    ancillary data ---------------------------------> FRAME PACKER --> bits
+
+The mapper splits PCM into 32 subbands; the psychoacoustic model computes
+per-band signal-to-mask ratios on the same window; the bit allocator turns
+SMRs plus the bitrate budget into per-band quantizer resolutions; and the
+frame packer serializes side info + codes (plus optional ancillary bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..video.bitstream import BitReader, BitWriter
+from .bitalloc import Allocation, allocate_bits, flat_allocation
+from .filterbank import PolyphaseFilterbank
+from .frame import SAMPLES_PER_BAND, frame_side_bits, pack_frame, unpack_frame
+from .psychoacoustic import PsychoacousticModel
+
+MAGIC = 0x4D41  # "MA"
+
+
+@dataclass
+class AudioEncoderConfig:
+    """Knobs of the Figure-2 encoder."""
+
+    sample_rate: float = 44100.0
+    num_bands: int = 32
+    bitrate: float = 192_000.0  # bits per second
+    use_psychoacoustics: bool = True
+    fft_size: int = 512
+    ancillary_bytes_per_frame: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        if self.bitrate <= 0:
+            raise ValueError("bitrate must be positive")
+        if self.num_bands < 2:
+            raise ValueError("need at least 2 subbands")
+        if self.ancillary_bytes_per_frame < 0:
+            raise ValueError("ancillary payload cannot be negative")
+
+    @property
+    def samples_per_frame(self) -> int:
+        return self.num_bands * SAMPLES_PER_BAND
+
+    @property
+    def bits_per_frame(self) -> int:
+        return int(self.bitrate * self.samples_per_frame / self.sample_rate)
+
+
+@dataclass
+class AudioFrameStats:
+    """Per-frame accounting for benchmarks and tests."""
+
+    index: int
+    allocation: np.ndarray
+    smr_db: np.ndarray
+    bits: int
+    masked_fraction: float
+    stage_ops: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class EncodedAudio:
+    data: bytes
+    config: AudioEncoderConfig
+    num_samples: int
+    frame_stats: list[AudioFrameStats]
+
+    @property
+    def total_bits(self) -> int:
+        return len(self.data) * 8
+
+    def achieved_bitrate(self) -> float:
+        duration = self.num_samples / self.config.sample_rate
+        return self.total_bits / duration if duration else 0.0
+
+
+class AudioEncoder:
+    """Subband audio encoder with psychoacoustic bit allocation."""
+
+    def __init__(self, config: AudioEncoderConfig | None = None) -> None:
+        self.config = config or AudioEncoderConfig()
+        self._bank = PolyphaseFilterbank(self.config.num_bands)
+        self._model = PsychoacousticModel(
+            sample_rate=self.config.sample_rate,
+            fft_size=self.config.fft_size,
+            num_bands=self.config.num_bands,
+        )
+
+    def encode(
+        self, pcm: np.ndarray, ancillary: bytes = b""
+    ) -> EncodedAudio:
+        """Encode mono PCM in [-1, 1].  ``ancillary`` rides along per frame."""
+        cfg = self.config
+        pcm = np.asarray(pcm, dtype=np.float64)
+        if pcm.ndim != 1:
+            raise ValueError("encoder expects mono PCM")
+        if pcm.size == 0:
+            raise ValueError("cannot encode an empty signal")
+
+        # Flush the filterbank with `delay` trailing zeros so the decoder can
+        # drop the group delay and still reconstruct every input sample.
+        flushed = np.concatenate([pcm, np.zeros(self._bank.delay)])
+        analysis = self._bank.analyze(flushed)
+        subbands = analysis.subbands
+        frames = subbands.shape[0] // SAMPLES_PER_BAND
+        if subbands.shape[0] % SAMPLES_PER_BAND:
+            pad = SAMPLES_PER_BAND - subbands.shape[0] % SAMPLES_PER_BAND
+            subbands = np.vstack(
+                [subbands, np.zeros((pad, cfg.num_bands))]
+            )
+            frames += 1
+
+        writer = BitWriter()
+        writer.write_bits(MAGIC, 16)
+        writer.write_bits(int(cfg.sample_rate), 32)
+        writer.write_bits(cfg.num_bands, 8)
+        writer.write_bits(frames, 16)
+        writer.write_bits(pcm.size & 0xFFFFFFFF, 32)
+        writer.write_bits(cfg.ancillary_bytes_per_frame, 8)
+
+        stats: list[AudioFrameStats] = []
+        anc_per_frame = cfg.ancillary_bytes_per_frame
+        for f in range(frames):
+            start_bits = len(writer)
+            block = subbands[
+                f * SAMPLES_PER_BAND:(f + 1) * SAMPLES_PER_BAND
+            ]
+            # Psychoacoustic window: the fft_size samples ENDING at the last
+            # input sample that feeds this frame's subband rows.  Anchoring
+            # at the end keeps the tail frames (whose content is still
+            # draining through the filterbank delay) from looking silent.
+            window_end = (f + 1) * cfg.samples_per_frame
+            window = flushed[
+                max(0, window_end - cfg.fft_size):window_end
+            ]
+            allocation, smr, masked = self._allocate(window, block)
+            pack_frame(writer, block, allocation.bits)
+            if anc_per_frame:
+                chunk = ancillary[f * anc_per_frame:(f + 1) * anc_per_frame]
+                chunk = chunk.ljust(anc_per_frame, b"\x00")
+                for byte in chunk:
+                    writer.write_bits(byte, 8)
+            stage_ops = {
+                "filterbank": float(
+                    SAMPLES_PER_BAND * cfg.num_bands * self._bank.filter_length
+                ),
+                "psychoacoustic": float(
+                    cfg.fft_size * np.log2(cfg.fft_size) * 5
+                ),
+                "quantize": float(SAMPLES_PER_BAND * cfg.num_bands),
+                "frame_pack": float(cfg.num_bands),
+            }
+            stats.append(
+                AudioFrameStats(
+                    index=f,
+                    allocation=allocation.bits.copy(),
+                    smr_db=smr,
+                    bits=len(writer) - start_bits,
+                    masked_fraction=masked,
+                    stage_ops=stage_ops,
+                )
+            )
+        writer.align()
+        return EncodedAudio(
+            data=writer.getvalue(),
+            config=cfg,
+            num_samples=pcm.size,
+            frame_stats=stats,
+        )
+
+    def _allocate(
+        self, window: np.ndarray, block: np.ndarray
+    ) -> tuple[Allocation, np.ndarray, float]:
+        cfg = self.config
+        pool = cfg.bits_per_frame - frame_side_bits(
+            cfg.num_bands, np.zeros(cfg.num_bands)
+        ) - 8 * cfg.ancillary_bytes_per_frame
+        pool = max(pool, 0)
+        if cfg.use_psychoacoustics:
+            result = self._model.analyze(window)
+            smr = result.band_smr_db
+            allocation = allocate_bits(
+                smr,
+                pool_bits=pool,
+                samples_per_band=SAMPLES_PER_BAND,
+                side_bits_per_band=6,
+            )
+            return allocation, smr, result.masked_fraction()
+        allocation = flat_allocation(
+            cfg.num_bands,
+            pool_bits=pool,
+            samples_per_band=SAMPLES_PER_BAND,
+            side_bits_per_band=6,
+        )
+        return allocation, np.full(cfg.num_bands, np.nan), 0.0
+
+
+@dataclass
+class DecodedAudio:
+    pcm: np.ndarray
+    sample_rate: float
+    ancillary: bytes
+    delay: int
+
+
+class AudioDecoder:
+    """Unpacks frames and runs the synthesis filterbank."""
+
+    def decode(self, data: bytes) -> DecodedAudio:
+        reader = BitReader(data)
+        magic = reader.read_bits(16)
+        if magic != MAGIC:
+            raise ValueError(f"bad audio stream magic 0x{magic:04x}")
+        sample_rate = float(reader.read_bits(32))
+        num_bands = reader.read_bits(8)
+        frames = reader.read_bits(16)
+        num_samples = reader.read_bits(32)
+        anc_per_frame = reader.read_bits(8)
+
+        bank = PolyphaseFilterbank(num_bands)
+        blocks = []
+        ancillary = bytearray()
+        for _ in range(frames):
+            blocks.append(unpack_frame(reader, num_bands))
+            for _ in range(anc_per_frame):
+                ancillary.append(reader.read_bits(8))
+        subbands = np.vstack(blocks) if blocks else np.zeros((0, num_bands))
+        pcm = bank.synthesize(subbands)
+        # Compensate the analysis+synthesis delay so output aligns to input.
+        pcm = pcm[bank.delay:]
+        if pcm.size > num_samples:
+            pcm = pcm[:num_samples]
+        return DecodedAudio(
+            pcm=pcm,
+            sample_rate=sample_rate,
+            ancillary=bytes(ancillary),
+            delay=bank.delay,
+        )

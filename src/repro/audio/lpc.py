@@ -1,0 +1,132 @@
+"""Linear predictive coding primitives for the RPE-LTP speech codec.
+
+Section 4 of the paper describes the GSM codec's source-filter view of
+speech: voiced (periodic) and unvoiced (noise-like) excitation shaped by a
+vocal-tract filter.  LPC analysis recovers that filter from the signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def autocorrelation(x: np.ndarray, order: int) -> np.ndarray:
+    """Biased autocorrelation r[0..order] of a frame."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("expected a 1-D frame")
+    if order >= x.size:
+        raise ValueError("order must be smaller than the frame length")
+    return np.array(
+        [float(np.dot(x[: x.size - k], x[k:])) for k in range(order + 1)]
+    )
+
+
+def levinson_durbin(r: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+    """Solve the Toeplitz normal equations.
+
+    Returns ``(a, k, err)``: prediction coefficients (so the predictor is
+    ``x_hat[n] = sum_i a[i] * x[n-1-i]``), reflection coefficients, and the
+    final prediction error power.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    order = r.size - 1
+    if order < 1:
+        raise ValueError("need at least order 1")
+    if r[0] <= 0.0:
+        # Silent frame: the zero predictor is optimal.
+        return np.zeros(order), np.zeros(order), 0.0
+    a = np.zeros(order)
+    k = np.zeros(order)
+    err = float(r[0])
+    for i in range(order):
+        acc = r[i + 1] - np.dot(a[:i], r[i:0:-1][:i])
+        ki = acc / err if err > 0 else 0.0
+        ki = float(np.clip(ki, -0.999, 0.999))
+        k[i] = ki
+        new_a = a.copy()
+        new_a[i] = ki
+        new_a[:i] = a[:i] - ki * a[i - 1::-1][:i]
+        a = new_a
+        err *= 1.0 - ki * ki
+        if err <= 0:
+            err = 1e-12
+    return a, k, err
+
+
+def reflection_to_lpc(k: np.ndarray) -> np.ndarray:
+    """Rebuild predictor coefficients from reflection coefficients."""
+    k = np.asarray(k, dtype=np.float64)
+    a = np.zeros(0)
+    for i, ki in enumerate(k):
+        new_a = np.zeros(i + 1)
+        new_a[i] = ki
+        if i:
+            new_a[:i] = a - ki * a[::-1]
+        a = new_a
+    out = np.zeros(k.size)
+    out[: a.size] = a
+    return out
+
+
+def analysis_filter(x: np.ndarray, a: np.ndarray, history: np.ndarray | None = None) -> np.ndarray:
+    """Short-term analysis (whitening) filter: residual = x - prediction."""
+    x = np.asarray(x, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    order = a.size
+    hist = (
+        np.zeros(order)
+        if history is None
+        else np.asarray(history, dtype=np.float64)[-order:]
+    )
+    buf = np.concatenate([hist, x])
+    residual = np.empty_like(x)
+    for n in range(x.size):
+        past = buf[n:n + order][::-1]
+        residual[n] = x[n] - float(np.dot(a, past))
+    return residual
+
+
+def synthesis_filter(
+    residual: np.ndarray, a: np.ndarray, history: np.ndarray | None = None
+) -> np.ndarray:
+    """Short-term synthesis filter: inverts :func:`analysis_filter`."""
+    residual = np.asarray(residual, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    order = a.size
+    hist = (
+        np.zeros(order)
+        if history is None
+        else np.asarray(history, dtype=np.float64)[-order:]
+    )
+    out = np.concatenate([hist, np.empty_like(residual)])
+    for n in range(residual.size):
+        past = out[n:n + order][::-1]
+        out[order + n] = residual[n] + float(np.dot(a, past))
+    return out[order:]
+
+
+def lar_from_reflection(k: np.ndarray) -> np.ndarray:
+    """Log-area ratios: the quantization domain GSM uses for reflections."""
+    k = np.clip(np.asarray(k, dtype=np.float64), -0.999999, 0.999999)
+    return np.log10((1.0 + k) / (1.0 - k))
+
+
+def reflection_from_lar(lar: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lar_from_reflection`."""
+    lar = np.asarray(lar, dtype=np.float64)
+    t = 10.0 ** lar
+    return (t - 1.0) / (t + 1.0)
+
+
+def quantize_lar(lar: np.ndarray, bits: int = 6, max_abs: float = 1.8) -> np.ndarray:
+    """Uniform LAR quantizer indices in [0, 2**bits)."""
+    levels = 1 << bits
+    clipped = np.clip(lar, -max_abs, max_abs)
+    idx = np.floor((clipped + max_abs) / (2 * max_abs) * (levels - 1) + 0.5)
+    return idx.astype(np.int64)
+
+
+def dequantize_lar(indices: np.ndarray, bits: int = 6, max_abs: float = 1.8) -> np.ndarray:
+    levels = 1 << bits
+    return indices.astype(np.float64) / (levels - 1) * (2 * max_abs) - max_abs

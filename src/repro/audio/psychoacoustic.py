@@ -1,0 +1,226 @@
+"""Psychoacoustic masking model — the PSYCHOACOUSTIC MODEL box of Figure 2.
+
+Section 4 of the paper: *"A key psychoacoustic mechanism exploited by
+compression is masking — when one tone is heard, followed by another tone at
+a nearby frequency, the second tone cannot be heard for some interval ...
+The encoder can eliminate masked tones to reduce the amount of information
+that is sent to the decoder."*
+
+This is a compact MPEG-1 "Model 1"-style analysis:
+
+1. FFT power spectrum, calibrated so a full-scale sine sits at 96 dB SPL;
+2. tonal maskers = sharp local maxima; the residual spectrum forms one
+   noise masker per critical band;
+3. each masker spreads across the Bark axis with the classic two-slope
+   spreading function and a tonality-dependent masking offset;
+4. the global threshold power-sums spread masking and the absolute
+   threshold in quiet;
+5. per-subband signal-to-mask ratios (SMR) feed the bit allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: dB SPL assigned to a full-scale (amplitude 1.0) sinusoid.
+FULL_SCALE_SPL = 96.0
+
+#: Masking offsets (dB below masker level) for tonal and noise maskers.
+TONAL_OFFSET = 14.5
+NOISE_OFFSET = 6.0
+
+
+def bark(frequency_hz: np.ndarray | float) -> np.ndarray | float:
+    """Zwicker's critical-band (Bark) scale."""
+    f = np.asarray(frequency_hz, dtype=np.float64)
+    z = 13.0 * np.arctan(0.00076 * f) + 3.5 * np.arctan((f / 7500.0) ** 2)
+    return float(z) if np.isscalar(frequency_hz) else z
+
+
+def threshold_in_quiet(frequency_hz: np.ndarray | float) -> np.ndarray | float:
+    """Absolute hearing threshold (dB SPL), Terhardt's approximation."""
+    f = np.maximum(np.asarray(frequency_hz, dtype=np.float64), 20.0) / 1000.0
+    tq = (
+        3.64 * f ** -0.8
+        - 6.5 * np.exp(-0.6 * (f - 3.3) ** 2)
+        + 1e-3 * f ** 4
+    )
+    return float(tq) if np.isscalar(frequency_hz) else tq
+
+
+def spreading_db(dz: np.ndarray) -> np.ndarray:
+    """Two-slope spreading function in dB as a function of Bark distance.
+
+    +27 dB/Bark rising edge below the masker, -12 dB/Bark falling edge
+    above it (a simplification of Schroeder's curve adequate for SMR
+    estimation).
+    """
+    dz = np.asarray(dz, dtype=np.float64)
+    return np.where(dz < 0.0, 27.0 * dz, -12.0 * dz)
+
+
+@dataclass
+class Masker:
+    """A single masking component on the Bark axis."""
+
+    frequency_hz: float
+    bark: float
+    level_db: float
+    tonal: bool
+
+
+@dataclass
+class MaskingAnalysis:
+    """Output of the model for one analysis window."""
+
+    frequencies: np.ndarray  # FFT bin centres (Hz)
+    spectrum_db: np.ndarray  # calibrated power spectrum (dB SPL)
+    maskers: list[Masker]
+    global_threshold_db: np.ndarray  # per FFT bin
+    band_smr_db: np.ndarray  # per subband signal-to-mask ratio
+    band_level_db: np.ndarray
+
+    def masked_fraction(self) -> float:
+        """Fraction of FFT bins whose signal lies below the threshold."""
+        audible = self.spectrum_db > self.global_threshold_db
+        return 1.0 - float(np.mean(audible))
+
+
+class PsychoacousticModel:
+    """FFT-based masking analysis producing per-subband SMRs."""
+
+    def __init__(
+        self,
+        sample_rate: float = 44100.0,
+        fft_size: int = 512,
+        num_bands: int = 32,
+    ) -> None:
+        if fft_size < 2 * num_bands:
+            raise ValueError("FFT must resolve at least 2 bins per subband")
+        self.sample_rate = float(sample_rate)
+        self.fft_size = int(fft_size)
+        self.num_bands = int(num_bands)
+        self._window = np.hanning(self.fft_size)
+        self._freqs = np.fft.rfftfreq(self.fft_size, d=1.0 / self.sample_rate)
+        self._bark = bark(self._freqs)
+        self._quiet = threshold_in_quiet(self._freqs)
+
+    def analyze(self, samples: np.ndarray) -> MaskingAnalysis:
+        """Run the model on one window of PCM (padded/truncated to the FFT)."""
+        x = np.asarray(samples, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError("model expects a mono window")
+        if x.size < self.fft_size:
+            x = np.concatenate([x, np.zeros(self.fft_size - x.size)])
+        x = x[: self.fft_size]
+
+        spectrum_db = self._calibrated_spectrum(x)
+        maskers = self._find_maskers(spectrum_db)
+        threshold = self._global_threshold(maskers)
+        band_level, band_smr = self._band_smr(spectrum_db, threshold)
+        return MaskingAnalysis(
+            frequencies=self._freqs,
+            spectrum_db=spectrum_db,
+            maskers=maskers,
+            global_threshold_db=threshold,
+            band_smr_db=band_smr,
+            band_level_db=band_level,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _calibrated_spectrum(self, x: np.ndarray) -> np.ndarray:
+        windowed = x * self._window
+        spec = np.fft.rfft(windowed)
+        # Normalize so a full-scale sine reaches FULL_SCALE_SPL dB: the
+        # windowed sine's peak bin magnitude is ~ N/2 * mean(window).
+        ref = (self.fft_size / 2.0) * np.mean(self._window)
+        power = (np.abs(spec) / ref) ** 2
+        return FULL_SCALE_SPL + 10.0 * np.log10(np.maximum(power, 1e-12))
+
+    def _find_maskers(self, spectrum_db: np.ndarray) -> list[Masker]:
+        maskers: list[Masker] = []
+        tonal_bins = set()
+        # Tonal: local maxima that dominate their neighbourhood by >= 7 dB.
+        for i in range(2, spectrum_db.size - 2):
+            level = spectrum_db[i]
+            if level < spectrum_db[i - 1] or level < spectrum_db[i + 1]:
+                continue
+            if (
+                level >= spectrum_db[i - 2] + 7.0
+                and level >= spectrum_db[i + 2] + 7.0
+            ):
+                # Merge the tone's energy from its two flanking bins.
+                merged = 10.0 * np.log10(
+                    10.0 ** (spectrum_db[i - 1] / 10.0)
+                    + 10.0 ** (level / 10.0)
+                    + 10.0 ** (spectrum_db[i + 1] / 10.0)
+                )
+                maskers.append(
+                    Masker(
+                        frequency_hz=float(self._freqs[i]),
+                        bark=float(self._bark[i]),
+                        level_db=float(merged),
+                        tonal=True,
+                    )
+                )
+                tonal_bins.update((i - 1, i, i + 1))
+        # Noise: residual energy pooled per integer Bark band.
+        residual = np.array(
+            [
+                0.0 if i in tonal_bins else 10.0 ** (spectrum_db[i] / 10.0)
+                for i in range(spectrum_db.size)
+            ]
+        )
+        max_bark = int(np.ceil(self._bark[-1]))
+        for band in range(max_bark + 1):
+            mask = (self._bark >= band) & (self._bark < band + 1)
+            if not np.any(mask):
+                continue
+            energy = float(np.sum(residual[mask]))
+            if energy <= 0.0:
+                continue
+            level = 10.0 * np.log10(energy)
+            centroid = float(
+                np.sum(self._freqs[mask] * residual[mask])
+                / np.sum(residual[mask])
+            )
+            if level > float(np.min(self._quiet[mask])) - 20.0:
+                maskers.append(
+                    Masker(
+                        frequency_hz=centroid,
+                        bark=float(bark(centroid)),
+                        level_db=level,
+                        tonal=False,
+                    )
+                )
+        return maskers
+
+    def _global_threshold(self, maskers: list[Masker]) -> np.ndarray:
+        threshold_power = 10.0 ** (self._quiet / 10.0)
+        for m in maskers:
+            offset = TONAL_OFFSET if m.tonal else NOISE_OFFSET
+            contribution = m.level_db - offset + spreading_db(
+                self._bark - m.bark
+            )
+            threshold_power = threshold_power + 10.0 ** (contribution / 10.0)
+        return 10.0 * np.log10(threshold_power)
+
+    def _band_smr(
+        self, spectrum_db: np.ndarray, threshold_db: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        bins_per_band = spectrum_db.size // self.num_bands
+        level = np.empty(self.num_bands)
+        smr = np.empty(self.num_bands)
+        for b in range(self.num_bands):
+            lo = b * bins_per_band
+            hi = (b + 1) * bins_per_band if b < self.num_bands - 1 else spectrum_db.size
+            band_level = 10.0 * np.log10(
+                np.sum(10.0 ** (spectrum_db[lo:hi] / 10.0))
+            )
+            min_threshold = float(np.min(threshold_db[lo:hi]))
+            level[b] = band_level
+            smr[b] = band_level - min_threshold
+        return level, smr

@@ -1,0 +1,287 @@
+"""RPE-LTP speech codec in the style of GSM 06.10 (paper Section 4).
+
+*"The GSM cellular telephony standard uses an audio compression method
+called Regular Pulse Excitation-Long Term Predictor (RPE-LTP).  This method
+uses a fairly simple model of the voice to encode speech."*
+
+Structure per 160-sample frame (20 ms at 8 kHz):
+
+1. **Short-term predictor** — order-8 LPC, transmitted as quantized
+   log-area ratios; the analysis filter whitens the frame.
+2. **Long-term predictor** — per 40-sample subframe, a pitch lag (40..120)
+   and quantized gain predict the residual from its own past (voiced
+   speech is periodic; this is where the periodicity goes).
+3. **Regular pulse excitation** — the LTP residual is decimated onto one of
+   3 regular grids (every 3rd sample); the best grid is sent with its
+   samples quantized to 3 bits against a 6-bit block maximum.
+
+The decoder reverses the chain.  At ~13 kbit/s the codec is transparent
+enough for intelligible speech — we verify rate and the voiced/unvoiced
+behaviour the paper describes rather than toll quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..video.bitstream import BitReader, BitWriter
+from . import lpc
+
+FRAME_SIZE = 160
+SUBFRAME_SIZE = 40
+LPC_ORDER = 8
+MIN_LAG = 40
+MAX_LAG = 120
+GRID_SPACING = 3
+GRID_PULSES = 13  # ceil(SUBFRAME_SIZE / GRID_SPACING) on the widest grid
+LAG_BITS = 7
+GAIN_BITS = 2
+GRID_BITS = 2
+XMAX_BITS = 6
+PULSE_BITS = 3
+LAR_BITS = 6
+
+#: LTP gain quantization levels (GSM uses {0.1, 0.35, 0.65, 1.0}).
+LTP_GAINS = np.array([0.1, 0.35, 0.65, 1.0])
+
+MAGIC = 0x5250  # "RP"
+
+
+@dataclass
+class RpeFrameInfo:
+    """Diagnostics per frame: pitch lags and gains chosen by the LTP."""
+
+    lags: list[int]
+    gains: list[float]
+    grids: list[int]
+
+
+@dataclass
+class EncodedSpeech:
+    data: bytes
+    num_frames: int
+    num_samples: int
+    frame_info: list[RpeFrameInfo]
+
+    @property
+    def total_bits(self) -> int:
+        return len(self.data) * 8
+
+    def bitrate(self, sample_rate: float = 8000.0) -> float:
+        duration = self.num_samples / sample_rate
+        return self.total_bits / duration if duration else 0.0
+
+
+def _quantize_gain(gain: float) -> int:
+    return int(np.argmin(np.abs(LTP_GAINS - gain)))
+
+
+def _grid_positions(grid: int) -> np.ndarray:
+    """Sample positions of RPE grid ``grid`` within a subframe."""
+    positions = np.arange(grid, SUBFRAME_SIZE, GRID_SPACING)
+    return positions[:GRID_PULSES]
+
+
+class RpeLtpEncoder:
+    """GSM-style RPE-LTP speech encoder for 8 kHz mono PCM in [-1, 1]."""
+
+    def encode(self, pcm: np.ndarray) -> EncodedSpeech:
+        pcm = np.asarray(pcm, dtype=np.float64)
+        if pcm.ndim != 1:
+            raise ValueError("speech codec expects mono PCM")
+        if pcm.size == 0:
+            raise ValueError("cannot encode an empty signal")
+        pad = (-pcm.size) % FRAME_SIZE
+        padded = np.concatenate([pcm, np.zeros(pad)])
+        num_frames = padded.size // FRAME_SIZE
+
+        writer = BitWriter()
+        writer.write_bits(MAGIC, 16)
+        writer.write_bits(num_frames, 16)
+        writer.write_bits(pcm.size & 0xFFFFFFFF, 32)
+
+        st_history = np.zeros(LPC_ORDER)
+        residual_history = np.zeros(MAX_LAG)
+        infos: list[RpeFrameInfo] = []
+        for f in range(num_frames):
+            frame = padded[f * FRAME_SIZE:(f + 1) * FRAME_SIZE]
+            info, st_history, residual_history = self._encode_frame(
+                writer, frame, st_history, residual_history
+            )
+            infos.append(info)
+        writer.align()
+        return EncodedSpeech(
+            data=writer.getvalue(),
+            num_frames=num_frames,
+            num_samples=pcm.size,
+            frame_info=infos,
+        )
+
+    def _encode_frame(
+        self,
+        writer: BitWriter,
+        frame: np.ndarray,
+        st_history: np.ndarray,
+        residual_history: np.ndarray,
+    ) -> tuple[RpeFrameInfo, np.ndarray, np.ndarray]:
+        # --- short-term analysis -----------------------------------------
+        r = lpc.autocorrelation(frame, LPC_ORDER)
+        r[0] *= 1.0001  # white-noise correction keeps the solve stable
+        _, k, _ = lpc.levinson_durbin(r)
+        lar_idx = lpc.quantize_lar(lpc.lar_from_reflection(k), LAR_BITS)
+        for idx in lar_idx:
+            writer.write_bits(int(idx), LAR_BITS)
+        # The encoder uses the *quantized* coefficients so encoder and
+        # decoder filters track exactly.
+        k_hat = lpc.reflection_from_lar(
+            lpc.dequantize_lar(lar_idx, LAR_BITS)
+        )
+        a_hat = lpc.reflection_to_lpc(k_hat)
+        residual = lpc.analysis_filter(frame, a_hat, st_history)
+
+        # --- long-term prediction + RPE per subframe ----------------------
+        lags: list[int] = []
+        gains: list[float] = []
+        grids: list[int] = []
+        for s in range(FRAME_SIZE // SUBFRAME_SIZE):
+            sub = residual[s * SUBFRAME_SIZE:(s + 1) * SUBFRAME_SIZE]
+            lag, gain_idx = self._search_ltp(sub, residual_history)
+            writer.write_bits(lag - MIN_LAG, LAG_BITS)
+            writer.write_bits(gain_idx, GAIN_BITS)
+            gain = float(LTP_GAINS[gain_idx])
+            prediction = self._ltp_predict(residual_history, lag)
+            ltp_residual = sub - gain * prediction
+
+            grid, xmax_idx, pulse_codes = self._encode_rpe(writer, ltp_residual)
+            # Local reconstruction so the LTP history matches the decoder.
+            excitation = self._decode_rpe(grid, xmax_idx, pulse_codes)
+            reconstructed = gain * prediction + excitation
+            residual_history = np.concatenate(
+                [residual_history, reconstructed]
+            )[-MAX_LAG:]
+            lags.append(lag)
+            gains.append(gain)
+            grids.append(grid)
+
+        st_history = frame[-LPC_ORDER:]
+        return RpeFrameInfo(lags=lags, gains=gains, grids=grids), st_history, residual_history
+
+    def _search_ltp(
+        self, sub: np.ndarray, history: np.ndarray
+    ) -> tuple[int, int]:
+        """Exhaustive pitch-lag search maximizing normalized correlation."""
+        best_lag = MIN_LAG
+        best_score = -np.inf
+        best_gain = 0.0
+        for lag in range(MIN_LAG, MAX_LAG + 1):
+            pred = self._ltp_predict(history, lag)
+            energy = float(np.dot(pred, pred))
+            if energy <= 1e-12:
+                continue
+            corr = float(np.dot(sub, pred))
+            score = corr * corr / energy
+            if score > best_score:
+                best_score = score
+                best_lag = lag
+                best_gain = corr / energy
+        return best_lag, _quantize_gain(max(0.0, best_gain))
+
+    @staticmethod
+    def _ltp_predict(history: np.ndarray, lag: int) -> np.ndarray:
+        """Past reconstructed residual delayed by ``lag`` samples."""
+        pred = np.zeros(SUBFRAME_SIZE)
+        for n in range(SUBFRAME_SIZE):
+            offset = history.size - lag + n
+            if 0 <= offset < history.size:
+                pred[n] = history[offset]
+        return pred
+
+    def _encode_rpe(
+        self, writer: BitWriter, ltp_residual: np.ndarray
+    ) -> tuple[int, int, np.ndarray]:
+        best_grid = 0
+        best_energy = -1.0
+        for grid in range(GRID_SPACING):
+            energy = float(
+                np.sum(ltp_residual[_grid_positions(grid)] ** 2)
+            )
+            if energy > best_energy:
+                best_energy = energy
+                best_grid = grid
+        pulses = ltp_residual[_grid_positions(best_grid)]
+        xmax = float(np.max(np.abs(pulses))) if pulses.size else 0.0
+        # Logarithmic block maximum (6 bits over ~72 dB).
+        xmax_idx = int(
+            np.clip(np.round(10.0 * np.log2(max(xmax, 1e-6)) + 40.0), 0, 63)
+        )
+        xmax_hat = 2.0 ** ((xmax_idx - 40.0) / 10.0)
+        levels = 1 << PULSE_BITS
+        normalized = np.clip(pulses / xmax_hat, -1.0, 1.0 - 1e-9)
+        codes = np.floor((normalized + 1.0) * 0.5 * levels).astype(np.int64)
+        writer.write_bits(best_grid, GRID_BITS)
+        writer.write_bits(xmax_idx, XMAX_BITS)
+        for c in codes:
+            writer.write_bits(int(c), PULSE_BITS)
+        return best_grid, xmax_idx, codes
+
+    @staticmethod
+    def _decode_rpe(grid: int, xmax_idx: int, codes: np.ndarray) -> np.ndarray:
+        xmax_hat = 2.0 ** ((xmax_idx - 40.0) / 10.0)
+        levels = 1 << PULSE_BITS
+        pulses = ((codes.astype(np.float64) + 0.5) / levels * 2.0 - 1.0) * xmax_hat
+        out = np.zeros(SUBFRAME_SIZE)
+        out[_grid_positions(grid)] = pulses
+        return out
+
+
+class RpeLtpDecoder:
+    """Inverts :class:`RpeLtpEncoder`."""
+
+    def decode(self, data: bytes) -> np.ndarray:
+        reader = BitReader(data)
+        magic = reader.read_bits(16)
+        if magic != MAGIC:
+            raise ValueError(f"bad speech stream magic 0x{magic:04x}")
+        num_frames = reader.read_bits(16)
+        num_samples = reader.read_bits(32)
+
+        st_history = np.zeros(LPC_ORDER)
+        residual_history = np.zeros(MAX_LAG)
+        out = np.empty(num_frames * FRAME_SIZE)
+        for f in range(num_frames):
+            lar_idx = np.array(
+                [reader.read_bits(LAR_BITS) for _ in range(LPC_ORDER)]
+            )
+            k_hat = lpc.reflection_from_lar(
+                lpc.dequantize_lar(lar_idx, LAR_BITS)
+            )
+            a_hat = lpc.reflection_to_lpc(k_hat)
+            residual = np.empty(FRAME_SIZE)
+            for s in range(FRAME_SIZE // SUBFRAME_SIZE):
+                lag = reader.read_bits(LAG_BITS) + MIN_LAG
+                gain = float(LTP_GAINS[reader.read_bits(GAIN_BITS)])
+                grid = reader.read_bits(GRID_BITS)
+                xmax_idx = reader.read_bits(XMAX_BITS)
+                codes = np.array(
+                    [reader.read_bits(PULSE_BITS) for _ in range(GRID_PULSES)],
+                    dtype=np.int64,
+                )
+                prediction = RpeLtpEncoder._ltp_predict(residual_history, lag)
+                excitation = RpeLtpEncoder._decode_rpe(grid, xmax_idx, codes)
+                sub = gain * prediction + excitation
+                residual[s * SUBFRAME_SIZE:(s + 1) * SUBFRAME_SIZE] = sub
+                residual_history = np.concatenate(
+                    [residual_history, sub]
+                )[-MAX_LAG:]
+            frame = lpc.synthesis_filter(residual, a_hat, st_history)
+            out[f * FRAME_SIZE:(f + 1) * FRAME_SIZE] = frame
+            st_history = frame[-LPC_ORDER:]
+        return out[:num_samples]
+
+
+def frame_bits() -> int:
+    """Bits per 20 ms frame (the paper-era GSM full-rate is 260)."""
+    per_subframe = LAG_BITS + GAIN_BITS + GRID_BITS + XMAX_BITS + GRID_PULSES * PULSE_BITS
+    return LPC_ORDER * LAR_BITS + 4 * per_subframe

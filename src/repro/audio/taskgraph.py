@@ -1,0 +1,148 @@
+"""The Figure-2 audio encoder/decoder as SDF task graphs.
+
+One iteration = one 384-sample frame (12 samples x 32 subbands), matching
+:mod:`repro.audio.encoder`.  Operation profiles follow the implemented
+algorithms: the polyphase filterbank costs ~(L + M*64) MACs per M output
+samples, the psychoacoustic model is FFT-dominated, the quantizer is linear
+in samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dataflow.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class AudioWorkload:
+    """Parameters that size one frame of audio work."""
+
+    sample_rate: float = 44100.0
+    num_bands: int = 32
+    samples_per_band: int = 12
+    taps_per_band: int = 16
+    fft_size: int = 512
+    bitrate: float = 192_000.0
+
+    @property
+    def frame_samples(self) -> int:
+        return self.num_bands * self.samples_per_band
+
+    @property
+    def frame_rate(self) -> float:
+        return self.sample_rate / self.frame_samples
+
+    def filterbank_macs(self) -> float:
+        length = self.num_bands * self.taps_per_band
+        per_block = length + self.num_bands * 64
+        return float(self.samples_per_band * per_block)
+
+    def psycho_ops(self) -> float:
+        n = self.fft_size
+        return float(5 * n * math.log2(n))
+
+
+def encoder_taskgraph(workload: AudioWorkload | None = None) -> SDFGraph:
+    """Figure 2: mapper + psychoacoustic model -> quantizer -> packer."""
+    w = workload or AudioWorkload()
+    g = SDFGraph("audio_encoder")
+    frame_bytes = float(w.frame_samples * 2)  # 16-bit PCM
+    subband_bytes = float(w.frame_samples * 4)
+    coded_bytes = max(1.0, w.bitrate / w.frame_rate / 8.0)
+
+    g.add_actor("pcm_input", kind="capture", ops={"mem": float(w.frame_samples)})
+    g.add_actor(
+        "mapper",  # the paper's name for the filterbank stage
+        kind="filterbank",
+        ops={"mac": w.filterbank_macs(), "mem": float(w.frame_samples)},
+    )
+    g.add_actor(
+        "psychoacoustic_model",
+        kind="psychoacoustic",
+        ops={"mac": w.psycho_ops(), "alu": 4.0 * w.num_bands},
+    )
+    g.add_actor(
+        "bit_allocator",
+        kind="bitalloc",
+        ops={"control": 20.0 * w.num_bands, "alu": 10.0 * w.num_bands},
+    )
+    g.add_actor(
+        "quantizer_coder",
+        kind="quantizer",
+        ops={"alu": 2.0 * w.frame_samples, "mem": float(w.frame_samples)},
+    )
+    g.add_actor(
+        "frame_packer",
+        kind="pack",
+        ops={"bit": 8.0 * coded_bytes, "control": float(w.num_bands)},
+    )
+    g.add_actor("ancillary_data", kind="ancillary", ops={"mem": 64.0})
+
+    g.add_channel("pcm_input", "mapper", token_size=frame_bytes)
+    g.add_channel("pcm_input", "psychoacoustic_model", token_size=frame_bytes)
+    g.add_channel(
+        "psychoacoustic_model", "bit_allocator", token_size=float(w.num_bands * 4)
+    )
+    g.add_channel(
+        "bit_allocator", "quantizer_coder", token_size=float(w.num_bands)
+    )
+    g.add_channel("mapper", "quantizer_coder", token_size=subband_bytes)
+    g.add_channel("quantizer_coder", "frame_packer", token_size=coded_bytes)
+    g.add_channel("ancillary_data", "frame_packer", token_size=64.0)
+    return g
+
+
+def decoder_taskgraph(workload: AudioWorkload | None = None) -> SDFGraph:
+    """The receiver: unpack -> dequantize -> synthesis filterbank."""
+    w = workload or AudioWorkload()
+    g = SDFGraph("audio_decoder")
+    coded_bytes = max(1.0, w.bitrate / w.frame_rate / 8.0)
+    subband_bytes = float(w.frame_samples * 4)
+    frame_bytes = float(w.frame_samples * 2)
+
+    g.add_actor(
+        "frame_unpacker", kind="pack", ops={"bit": 8.0 * coded_bytes}
+    )
+    g.add_actor(
+        "dequantizer", kind="quantizer", ops={"alu": 2.0 * w.frame_samples}
+    )
+    g.add_actor(
+        "synthesis_filterbank",
+        kind="filterbank",
+        ops={"mac": w.filterbank_macs(), "mem": float(w.frame_samples)},
+    )
+    g.add_actor("pcm_output", kind="display", ops={"mem": float(w.frame_samples)})
+
+    g.add_channel("frame_unpacker", "dequantizer", token_size=coded_bytes)
+    g.add_channel("dequantizer", "synthesis_filterbank", token_size=subband_bytes)
+    g.add_channel("synthesis_filterbank", "pcm_output", token_size=frame_bytes)
+    return g
+
+
+def speech_taskgraph() -> SDFGraph:
+    """RPE-LTP encoder as a task graph (one 160-sample frame/iteration)."""
+    g = SDFGraph("speech_encoder")
+    g.add_actor("pcm_input", kind="capture", ops={"mem": 160.0})
+    g.add_actor(
+        "lpc_analysis", kind="lpc", ops={"mac": 160.0 * 9 + 8 * 8 * 4}
+    )
+    g.add_actor(
+        "short_term_filter", kind="lpc", ops={"mac": 160.0 * 8}
+    )
+    g.add_actor(
+        "ltp_search", kind="ltp", ops={"mac": 4 * 81.0 * 40}
+    )
+    g.add_actor("rpe_grid", kind="rpe", ops={"alu": 4 * 3 * 13.0})
+    g.add_actor("pack", kind="pack", ops={"bit": 264.0})
+
+    g.add_channel("pcm_input", "lpc_analysis", token_size=320.0)
+    g.add_channel("pcm_input", "short_term_filter", token_size=320.0)
+    g.add_channel("lpc_analysis", "short_term_filter", token_size=16.0)
+    g.add_channel("lpc_analysis", "pack", token_size=6.0)
+    g.add_channel("short_term_filter", "ltp_search", token_size=320.0)
+    g.add_channel("ltp_search", "rpe_grid", token_size=320.0)
+    g.add_channel("ltp_search", "pack", token_size=9.0)
+    g.add_channel("rpe_grid", "pack", token_size=60.0)
+    return g

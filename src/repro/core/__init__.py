@@ -1,0 +1,49 @@
+"""Core framework: the paper's contribution made operational.
+
+Multimedia applications (Figure 1/2 codecs, content analysis, DRM, support
+functions) become annotated SDF graphs; consumer devices become scenarios
+(application mix + platform); the mapper binds graphs to silicon and
+reports the cost/performance/power point.
+"""
+
+from .application import ApplicationModel, merge_applications
+from .metrics import CostPerfPowerPoint, render_table
+from .scenarios import (
+    ALL_SCENARIOS,
+    DeviceScenario,
+    analysis_application,
+    audio_player_scenario,
+    camera_scenario,
+    cell_phone_scenario,
+    drm_application,
+    dvr_scenario,
+    filesystem_application,
+    network_application,
+    servo_application,
+    set_top_box_scenario,
+    ui_application,
+)
+from .system import ApplicationReport, MultimediaSystem, SystemReport
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "ApplicationModel",
+    "ApplicationReport",
+    "CostPerfPowerPoint",
+    "DeviceScenario",
+    "MultimediaSystem",
+    "SystemReport",
+    "analysis_application",
+    "audio_player_scenario",
+    "camera_scenario",
+    "cell_phone_scenario",
+    "drm_application",
+    "dvr_scenario",
+    "filesystem_application",
+    "merge_applications",
+    "network_application",
+    "render_table",
+    "servo_application",
+    "set_top_box_scenario",
+    "ui_application",
+]

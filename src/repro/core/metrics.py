@@ -1,0 +1,64 @@
+"""Cost/performance/power points and table rendering for reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostPerfPowerPoint:
+    """The three axes the paper says consumer devices are judged on."""
+
+    name: str
+    cost_units: float
+    throughput_hz: float
+    power_mw: float
+
+    def dominates(self, other: "CostPerfPowerPoint") -> bool:
+        """Pareto dominance: cheaper-or-equal, faster-or-equal,
+        lower-or-equal power, strictly better somewhere."""
+        no_worse = (
+            self.cost_units <= other.cost_units
+            and self.throughput_hz >= other.throughput_hz
+            and self.power_mw <= other.power_mw
+        )
+        better = (
+            self.cost_units < other.cost_units
+            or self.throughput_hz > other.throughput_hz
+            or self.power_mw < other.power_mw
+        )
+        return no_worse and better
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """Plain-text table (the benches print these; no plotting deps)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

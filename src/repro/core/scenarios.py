@@ -1,0 +1,242 @@
+"""The five consumer devices of the paper's Section 2, as mapping scenarios.
+
+*"consumer multimedia devices cover a broad range of cost/performance/power
+points: multimedia-enabled cell phones; digital audio players; digital
+set-top boxes; digital video recorders; digital video cameras."*
+
+Each scenario pairs the device's application mix (built from the codec
+task graphs plus the support functions of Section 7) with its platform
+preset.  Experiment C2 maps all five and tabulates the resulting points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..audio.taskgraph import AudioWorkload
+from ..audio.taskgraph import decoder_taskgraph as audio_decoder_graph
+from ..audio.taskgraph import encoder_taskgraph as audio_encoder_graph
+from ..audio.taskgraph import speech_taskgraph
+from ..dataflow.graph import SDFGraph
+from ..mpsoc.platform import Platform
+from ..mpsoc.presets import (
+    audio_player_soc,
+    camera_soc,
+    cell_phone_soc,
+    dvr_soc,
+    set_top_box_soc,
+)
+from ..video.taskgraph import VideoWorkload
+from ..video.taskgraph import decoder_taskgraph as video_decoder_graph
+from ..video.taskgraph import encoder_taskgraph as video_encoder_graph
+from .application import ApplicationModel, merge_applications
+
+
+def _support_graph(
+    name: str,
+    tasks: list[tuple[str, str, dict]],
+) -> SDFGraph:
+    """A chain of support-function actors (file system, DRM, UI, ...)."""
+    g = SDFGraph(name)
+    previous = None
+    for actor_name, kind, ops in tasks:
+        g.add_actor(actor_name, kind=kind, ops=ops)
+        if previous is not None:
+            g.add_channel(previous, actor_name, token_size=256.0)
+        previous = actor_name
+    return g
+
+
+def drm_application(rate_hz: float = 1.0) -> ApplicationModel:
+    """Licence verification + stream decryption (Section 6)."""
+    g = _support_graph(
+        "drm",
+        [
+            ("license_check", "control", {"control": 5_000.0, "alu": 2_000.0}),
+            ("decrypt", "cipher", {"bit": 64_000.0, "alu": 16_000.0}),
+            ("rights_update", "control", {"control": 1_000.0, "mem": 500.0}),
+        ],
+    )
+    return ApplicationModel("drm", g, required_rate_hz=rate_hz)
+
+
+def filesystem_application(rate_hz: float = 4.0) -> ApplicationModel:
+    """Block allocation + directory maintenance (Section 7)."""
+    g = _support_graph(
+        "filesystem",
+        [
+            ("fat_lookup", "control", {"control": 3_000.0, "mem": 4_000.0}),
+            ("block_io", "io", {"mem": 32_000.0}),
+            ("dir_update", "control", {"control": 1_500.0, "mem": 1_000.0}),
+        ],
+    )
+    return ApplicationModel("filesystem", g, required_rate_hz=rate_hz)
+
+
+def network_application(rate_hz: float = 10.0) -> ApplicationModel:
+    """Small IP stack servicing packets (Section 7)."""
+    g = _support_graph(
+        "network",
+        [
+            ("nic_rx", "io", {"mem": 3_000.0}),
+            ("ip_udp", "control", {"control": 4_000.0, "alu": 2_000.0, "bit": 1_500.0}),
+            ("app_layer", "control", {"control": 2_000.0}),
+        ],
+    )
+    return ApplicationModel("network", g, required_rate_hz=rate_hz)
+
+
+def ui_application(rate_hz: float = 5.0) -> ApplicationModel:
+    """Program guide / menus (the set-top-box duties of Section 7)."""
+    g = _support_graph(
+        "ui",
+        [
+            ("input_events", "control", {"control": 1_000.0}),
+            ("guide_logic", "control", {"control": 8_000.0, "mem": 6_000.0}),
+            ("render", "display", {"alu": 20_000.0, "mem": 20_000.0}),
+        ],
+    )
+    return ApplicationModel("ui", g, required_rate_hz=rate_hz)
+
+
+def servo_application(rate_hz: float = 100.0) -> ApplicationModel:
+    """DVD drive servo filters (Section 7: high-rate real-time control)."""
+    g = _support_graph(
+        "servo",
+        [
+            ("position_sense", "io", {"mem": 200.0}),
+            ("control_filter", "dsp_filter", {"mac": 2_000.0}),
+            ("actuator_out", "io", {"mem": 100.0}),
+        ],
+    )
+    return ApplicationModel("servo", g, required_rate_hz=rate_hz)
+
+
+def analysis_application(rate_hz: float = 30.0) -> ApplicationModel:
+    """Commercial detection on the live stream (Section 5)."""
+    g = _support_graph(
+        "analysis",
+        [
+            ("frame_features", "analysis", {"alu": 30_000.0, "mem": 20_000.0}),
+            ("black_frame", "analysis", {"alu": 2_000.0}),
+            ("segment_logic", "control", {"control": 3_000.0}),
+        ],
+    )
+    return ApplicationModel("analysis", g, required_rate_hz=rate_hz)
+
+
+@dataclass
+class DeviceScenario:
+    """One of the paper's five consumer devices, ready to map."""
+
+    name: str
+    application: ApplicationModel
+    platform: Platform
+    description: str
+
+    def problem(self):
+        return self.application.problem(self.platform)
+
+
+def cell_phone_scenario() -> DeviceScenario:
+    """Videoconferencing phone: symmetric encode+decode + speech + stack."""
+    video_cfg = VideoWorkload(
+        width=176, height=144, frame_rate=15.0, search_algorithm="three_step"
+    )
+    apps = [
+        ApplicationModel("venc", video_encoder_graph(video_cfg), 15.0),
+        ApplicationModel("vdec", video_decoder_graph(video_cfg), 15.0),
+        ApplicationModel("speech", speech_taskgraph(), 50.0),
+        network_application(rate_hz=15.0),
+    ]
+    return DeviceScenario(
+        name="cell_phone",
+        application=merge_applications(apps, "cell_phone_app"),
+        platform=cell_phone_soc(),
+        description="symmetric videoconferencing terminal (Section 2)",
+    )
+
+
+def audio_player_scenario() -> DeviceScenario:
+    """Portable player: audio decode + file system + DRM."""
+    audio_cfg = AudioWorkload(bitrate=128_000.0)
+    apps = [
+        ApplicationModel(
+            "adec", audio_decoder_graph(audio_cfg), audio_cfg.frame_rate
+        ),
+        filesystem_application(rate_hz=8.0),
+        drm_application(rate_hz=2.0),
+    ]
+    return DeviceScenario(
+        name="audio_player",
+        application=merge_applications(apps, "audio_player_app"),
+        platform=audio_player_soc(),
+        description="digital audio player with local library (Sections 6-7)",
+    )
+
+
+def set_top_box_scenario() -> DeviceScenario:
+    """Broadcast receiver: asymmetric decode-only + guide + DRM."""
+    video_cfg = VideoWorkload(width=704, height=480, frame_rate=30.0)
+    audio_cfg = AudioWorkload(bitrate=192_000.0)
+    apps = [
+        ApplicationModel("vdec", video_decoder_graph(video_cfg), 30.0),
+        ApplicationModel(
+            "adec", audio_decoder_graph(audio_cfg), audio_cfg.frame_rate
+        ),
+        ui_application(rate_hz=10.0),
+        drm_application(rate_hz=1.0),
+    ]
+    return DeviceScenario(
+        name="set_top_box",
+        application=merge_applications(apps, "set_top_box_app"),
+        platform=set_top_box_soc(),
+        description="asymmetric broadcast receiver (Section 2)",
+    )
+
+
+def dvr_scenario() -> DeviceScenario:
+    """Digital video recorder: encode + decode + content analysis + FS."""
+    enc_cfg = VideoWorkload(
+        width=352, height=240, frame_rate=30.0, search_algorithm="three_step"
+    )
+    apps = [
+        ApplicationModel("venc", video_encoder_graph(enc_cfg), 30.0),
+        ApplicationModel("vdec", video_decoder_graph(enc_cfg), 30.0),
+        analysis_application(rate_hz=30.0),
+        filesystem_application(rate_hz=15.0),
+    ]
+    return DeviceScenario(
+        name="dvr",
+        application=merge_applications(apps, "dvr_app"),
+        platform=dvr_soc(),
+        description="record + playback + commercial analysis (Section 5)",
+    )
+
+
+def camera_scenario() -> DeviceScenario:
+    """Camcorder: real-time full-search encode + servo + file system."""
+    enc_cfg = VideoWorkload(
+        width=352, height=288, frame_rate=30.0, search_algorithm="full",
+        search_range=7,
+    )
+    apps = [
+        ApplicationModel("venc", video_encoder_graph(enc_cfg), 30.0),
+        servo_application(rate_hz=100.0),
+        filesystem_application(rate_hz=30.0),
+    ]
+    return DeviceScenario(
+        name="camera",
+        application=merge_applications(apps, "camera_app"),
+        platform=camera_soc(),
+        description="digital video camera, encode-dominated (Section 2)",
+    )
+
+
+ALL_SCENARIOS = {
+    "cell_phone": cell_phone_scenario,
+    "audio_player": audio_player_scenario,
+    "set_top_box": set_top_box_scenario,
+    "dvr": dvr_scenario,
+    "camera": camera_scenario,
+}

@@ -1,0 +1,53 @@
+"""Synchronous dataflow substrate: graphs, analysis, scheduling, throughput.
+
+The model of computation under every mapping decision in this library:
+multimedia pipelines are SDF graphs, platforms execute them self-timed.
+"""
+
+from .analysis import (
+    DeadlockError,
+    InconsistentGraphError,
+    check_deadlock,
+    is_consistent,
+    is_live,
+    repetition_vector,
+)
+from .buffer import (
+    minimum_feasible_uniform_bound,
+    self_timed_bounds,
+    sequential_bounds,
+    total_buffer_memory,
+)
+from .graph import Actor, Channel, SDFGraph
+from .schedule import (
+    Firing,
+    SelfTimedTrace,
+    sequential_schedule_length,
+    simulate_self_timed,
+)
+from .throughput import is_single_rate, max_cycle_ratio, throughput_bound
+from .transforms import merge_actors, to_hsdf
+
+__all__ = [
+    "Actor",
+    "Channel",
+    "DeadlockError",
+    "Firing",
+    "InconsistentGraphError",
+    "SDFGraph",
+    "SelfTimedTrace",
+    "check_deadlock",
+    "is_consistent",
+    "is_live",
+    "is_single_rate",
+    "max_cycle_ratio",
+    "merge_actors",
+    "minimum_feasible_uniform_bound",
+    "repetition_vector",
+    "self_timed_bounds",
+    "sequential_bounds",
+    "sequential_schedule_length",
+    "simulate_self_timed",
+    "throughput_bound",
+    "to_hsdf",
+]

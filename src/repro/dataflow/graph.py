@@ -1,0 +1,181 @@
+"""Synchronous dataflow (SDF) graphs.
+
+Multimedia pipelines — the video encoder of Figure 1, the audio encoder of
+Figure 2 — are naturally dataflow graphs: actors (DCT, quantizer, VLC, ...)
+connected by channels carrying fixed numbers of tokens per firing.  SDF is
+the standard model MPSoC mapping tools (SDF3, MAPS, ...) use because rates
+are known at compile time, so schedules, buffer bounds, and throughput can
+all be computed statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Actor:
+    """One computation node.
+
+    ``execution_time`` is the nominal time per firing used by platform-
+    independent analysis; platform-aware mapping replaces it with per-PE
+    cycle counts (see :mod:`repro.core.application`).
+    """
+
+    name: str
+    execution_time: float = 1.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("actor needs a non-empty name")
+        if self.execution_time < 0:
+            raise ValueError(f"negative execution time for {self.name}")
+
+
+@dataclass
+class Channel:
+    """A FIFO from ``src`` to ``dst``.
+
+    ``production``/``consumption`` are tokens per firing; ``initial_tokens``
+    are delays (the z^-1 of signal processing) that break dependency cycles.
+    """
+
+    name: str
+    src: str
+    dst: str
+    production: int
+    consumption: int
+    initial_tokens: int = 0
+    token_size: float = 1.0  # abstract bytes per token (for comm. cost)
+
+    def __post_init__(self) -> None:
+        if self.production <= 0 or self.consumption <= 0:
+            raise ValueError(
+                f"channel {self.name}: rates must be positive integers"
+            )
+        if self.initial_tokens < 0:
+            raise ValueError(f"channel {self.name}: negative initial tokens")
+        if self.token_size < 0:
+            raise ValueError(f"channel {self.name}: negative token size")
+
+
+class SDFGraph:
+    """A synchronous dataflow graph."""
+
+    def __init__(self, name: str = "sdf") -> None:
+        self.name = name
+        self._actors: dict[str, Actor] = {}
+        self._channels: dict[str, Channel] = {}
+
+    # -------------------------------------------------------- construction
+
+    def add_actor(
+        self,
+        name: str,
+        execution_time: float = 1.0,
+        **tags,
+    ) -> Actor:
+        if name in self._actors:
+            raise ValueError(f"duplicate actor {name!r}")
+        actor = Actor(name=name, execution_time=execution_time, tags=dict(tags))
+        self._actors[name] = actor
+        return actor
+
+    def add_channel(
+        self,
+        src: str,
+        dst: str,
+        production: int = 1,
+        consumption: int = 1,
+        initial_tokens: int = 0,
+        token_size: float = 1.0,
+        name: str | None = None,
+    ) -> Channel:
+        if src not in self._actors:
+            raise KeyError(f"unknown source actor {src!r}")
+        if dst not in self._actors:
+            raise KeyError(f"unknown destination actor {dst!r}")
+        if name is None:
+            name = f"{src}->{dst}#{len(self._channels)}"
+        if name in self._channels:
+            raise ValueError(f"duplicate channel name {name!r}")
+        channel = Channel(
+            name=name,
+            src=src,
+            dst=dst,
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens,
+            token_size=token_size,
+        )
+        self._channels[name] = channel
+        return channel
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def actors(self) -> dict[str, Actor]:
+        return dict(self._actors)
+
+    @property
+    def channels(self) -> dict[str, Channel]:
+        return dict(self._channels)
+
+    @property
+    def num_actors(self) -> int:
+        return len(self._actors)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    def actor(self, name: str) -> Actor:
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise KeyError(f"no actor named {name!r}") from None
+
+    def in_channels(self, actor: str) -> list[Channel]:
+        return [c for c in self._channels.values() if c.dst == actor]
+
+    def out_channels(self, actor: str) -> list[Channel]:
+        return [c for c in self._channels.values() if c.src == actor]
+
+    def predecessors(self, actor: str) -> set[str]:
+        return {c.src for c in self.in_channels(actor)}
+
+    def successors(self, actor: str) -> set[str]:
+        return {c.dst for c in self.out_channels(actor)}
+
+    def sources(self) -> list[str]:
+        """Actors with no input channels (entry points of a pipeline)."""
+        return [a for a in self._actors if not self.in_channels(a)]
+
+    def sinks(self) -> list[str]:
+        return [a for a in self._actors if not self.out_channels(a)]
+
+    def total_execution_time(self) -> float:
+        return sum(a.execution_time for a in self._actors.values())
+
+    def copy(self) -> "SDFGraph":
+        g = SDFGraph(self.name)
+        for actor in self._actors.values():
+            g.add_actor(actor.name, actor.execution_time, **actor.tags)
+        for c in self._channels.values():
+            g.add_channel(
+                c.src,
+                c.dst,
+                c.production,
+                c.consumption,
+                c.initial_tokens,
+                c.token_size,
+                name=c.name,
+            )
+        return g
+
+    def __repr__(self) -> str:
+        return (
+            f"SDFGraph({self.name!r}, actors={self.num_actors}, "
+            f"channels={self.num_channels})"
+        )

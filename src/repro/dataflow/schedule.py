@@ -1,0 +1,212 @@
+"""Self-timed execution of SDF graphs.
+
+Self-timed (as-soon-as-possible) execution is the canonical performance
+model for dataflow on hardware: every actor fires the moment its input
+tokens are available (and, with auto-concurrency disabled, the previous
+firing finished).  The simulator is a discrete-event loop over firing
+completions; from the steady state it derives the iteration period — the
+number every throughput claim in the benchmarks rests on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .analysis import DeadlockError, repetition_vector
+from .graph import SDFGraph
+
+
+@dataclass
+class Firing:
+    """One completed actor firing."""
+
+    actor: str
+    start: float
+    finish: float
+    iteration: int
+
+
+@dataclass
+class SelfTimedTrace:
+    """Simulation result over ``iterations`` graph iterations."""
+
+    firings: list[Firing]
+    iteration_finish_times: list[float]
+    channel_peak_tokens: dict[str, int]
+
+    @property
+    def makespan(self) -> float:
+        return self.iteration_finish_times[-1] if self.iteration_finish_times else 0.0
+
+    def period(self, skip: int = 2) -> float:
+        """Steady-state iteration period (skip the transient prefix)."""
+        times = self.iteration_finish_times
+        if len(times) < 2:
+            return times[0] if times else 0.0
+        skip = min(skip, len(times) - 2)
+        span = times[-1] - times[skip]
+        return span / (len(times) - 1 - skip)
+
+    def throughput(self, skip: int = 2) -> float:
+        """Iterations per unit time in steady state."""
+        p = self.period(skip)
+        return 1.0 / p if p > 0 else float("inf")
+
+    def actor_utilisation(self, actor: str) -> float:
+        """Busy fraction of `actor` over the simulated span."""
+        if self.makespan <= 0:
+            return 0.0
+        busy = sum(
+            f.finish - f.start for f in self.firings if f.actor == actor
+        )
+        return busy / self.makespan
+
+
+@dataclass
+class _ActorState:
+    remaining_in_iteration: int = 0
+    iteration: int = 0
+    busy_until: float = 0.0
+    fired_total: int = 0
+
+
+def simulate_self_timed(
+    graph: SDFGraph,
+    iterations: int = 10,
+    execution_times: dict[str, float] | None = None,
+    auto_concurrency: bool = False,
+    max_events: int = 1_000_000,
+) -> SelfTimedTrace:
+    """Event-driven self-timed simulation for ``iterations`` iterations.
+
+    ``execution_times`` overrides the graph's nominal actor times (this is
+    how the mapper injects per-PE speeds).  With ``auto_concurrency`` a new
+    firing may start while the previous one is still running (models a
+    pipelined accelerator); by default firings of one actor serialize
+    (models code on a processor).
+    """
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    reps = repetition_vector(graph)
+    times = {
+        a: (
+            execution_times[a]
+            if execution_times is not None
+            else graph.actor(a).execution_time
+        )
+        for a in graph.actors
+    }
+    tokens = {c.name: c.initial_tokens for c in graph.channels.values()}
+    peak = dict(tokens)
+    states = {a: _ActorState() for a in graph.actors}
+    target = {a: reps[a] * iterations for a in graph.actors}
+    fired_started = {a: 0 for a in graph.actors}
+
+    firings: list[Firing] = []
+    iteration_finish: list[float] = [0.0] * iterations
+    completed_in_iter = [0] * iterations
+    per_iteration_total = sum(reps.values())
+
+    # Event queue of (finish_time, seq, actor).  `now` advances over
+    # completion events; after each advance we greedily start every firing
+    # whose tokens are available.
+    queue: list[tuple[float, int, str]] = []
+    seq = 0
+    now = 0.0
+
+    def can_start(actor: str) -> bool:
+        if fired_started[actor] >= target[actor]:
+            return False
+        if not auto_concurrency and states[actor].busy_until > now:
+            return False
+        return all(
+            tokens[c.name] >= c.consumption for c in graph.in_channels(actor)
+        )
+
+    def start(actor: str) -> None:
+        nonlocal seq
+        for c in graph.in_channels(actor):
+            tokens[c.name] -= c.consumption
+        finish = now + times[actor]
+        states[actor].busy_until = finish
+        fired_started[actor] += 1
+        heapq.heappush(queue, (finish, seq, actor))
+        seq += 1
+
+    def start_all_enabled() -> None:
+        progress = True
+        while progress:
+            progress = False
+            for actor in graph.actors:
+                while can_start(actor):
+                    start(actor)
+                    progress = True
+                    if not auto_concurrency:
+                        break
+
+    start_all_enabled()
+    if not queue:
+        raise DeadlockError(
+            f"graph {graph.name!r} cannot start any firing at t=0"
+        )
+    events = 0
+    while queue:
+        events += 1
+        if events > max_events:
+            raise RuntimeError("self-timed simulation exceeded event budget")
+        finish, _, actor = heapq.heappop(queue)
+        now = max(now, finish)
+        for c in graph.out_channels(actor):
+            tokens[c.name] += c.production
+            if tokens[c.name] > peak[c.name]:
+                peak[c.name] = tokens[c.name]
+        st = states[actor]
+        iteration = st.fired_total // reps[actor]
+        st.fired_total += 1
+        firings.append(
+            Firing(
+                actor=actor,
+                start=finish - times[actor],
+                finish=finish,
+                iteration=iteration,
+            )
+        )
+        if iteration < iterations:
+            completed_in_iter[iteration] += 1
+            iteration_finish[iteration] = max(
+                iteration_finish[iteration], finish
+            )
+        start_all_enabled()
+
+    for i, count in enumerate(completed_in_iter):
+        if count != per_iteration_total:
+            raise DeadlockError(
+                f"iteration {i} incomplete ({count}/{per_iteration_total} "
+                f"firings) — graph deadlocks under self-timed execution"
+            )
+    # Iteration finish times must be cumulative maxima (an iteration cannot
+    # finish before its predecessor in a consistent trace).
+    for i in range(1, iterations):
+        iteration_finish[i] = max(iteration_finish[i], iteration_finish[i - 1])
+    return SelfTimedTrace(
+        firings=firings,
+        iteration_finish_times=iteration_finish,
+        channel_peak_tokens=peak,
+    )
+
+
+def sequential_schedule_length(
+    graph: SDFGraph, execution_times: dict[str, float] | None = None
+) -> float:
+    """Time for one iteration on a single processor (sum of all firings)."""
+    reps = repetition_vector(graph)
+    total = 0.0
+    for a, r in reps.items():
+        t = (
+            execution_times[a]
+            if execution_times is not None
+            else graph.actor(a).execution_time
+        )
+        total += r * t
+    return total

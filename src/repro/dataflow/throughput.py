@@ -1,0 +1,136 @@
+"""Throughput analysis: maximum cycle ratio on HSDF graphs.
+
+For a homogeneous (single-rate) SDF graph executing self-timed, the
+steady-state iteration period equals the *maximum cycle ratio*
+
+    MCR = max over cycles C of  (sum of execution times on C)
+                              / (sum of initial tokens on C)
+
+— the classic result from marked-graph / max-plus theory.  We compute it
+with Lawler's parametric search: period ``T`` is feasible iff the graph
+with edge weights ``t(src) - T * tokens`` has no positive cycle.  Multirate
+graphs are converted first (:mod:`repro.dataflow.transforms`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .graph import SDFGraph
+
+
+def is_single_rate(graph: SDFGraph) -> bool:
+    return all(
+        c.production == 1 and c.consumption == 1
+        for c in graph.channels.values()
+    )
+
+
+def _has_directed_cycle(
+    nodes: list[str], edges: list[tuple[str, str, float]]
+) -> bool:
+    """Iterative three-colour DFS cycle detection."""
+    adjacency: dict[str, list[str]] = {n: [] for n in nodes}
+    for src, dst, _ in edges:
+        adjacency[src].append(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = dict.fromkeys(nodes, WHITE)
+    for root in nodes:
+        if colour[root] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(adjacency[node]):
+                stack[-1] = (node, idx + 1)
+                child = adjacency[node][idx]
+                if colour[child] == GREY:
+                    return True
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, 0))
+            else:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _positive_cycle_exists(
+    nodes: list[str],
+    edges: list[tuple[str, str, float]],
+) -> bool:
+    """Bellman-Ford-style check for a positive-weight cycle."""
+    dist = {n: 0.0 for n in nodes}  # start everywhere (super-source)
+    for _ in range(len(nodes)):
+        changed = False
+        for src, dst, w in edges:
+            if dist[src] + w > dist[dst] + 1e-12:
+                dist[dst] = dist[src] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def max_cycle_ratio(
+    graph: SDFGraph,
+    execution_times: dict[str, float] | None = None,
+    tolerance: float = 1e-9,
+) -> float:
+    """Maximum cycle ratio of a single-rate graph (0 when acyclic).
+
+    This equals the minimum achievable iteration period with unlimited
+    processors — the throughput bound intrinsic to the algorithm, before
+    any platform constraint.
+    """
+    if not is_single_rate(graph):
+        raise ValueError(
+            "max_cycle_ratio needs a single-rate graph; convert with "
+            "transforms.to_hsdf first"
+        )
+    times = {
+        a: (
+            execution_times[a]
+            if execution_times is not None
+            else graph.actor(a).execution_time
+        )
+        for a in graph.actors
+    }
+    nodes = list(graph.actors)
+    raw_edges = [
+        (c.src, c.dst, c.initial_tokens) for c in graph.channels.values()
+    ]
+    if not raw_edges or not _has_directed_cycle(nodes, raw_edges):
+        return 0.0  # no cycles: nothing bounds the period
+
+    def feasible(period: float) -> bool:
+        """True if no cycle violates the period (no positive cycle)."""
+        edges = [
+            (src, dst, times[src] - period * tok)
+            for src, dst, tok in raw_edges
+        ]
+        return not _positive_cycle_exists(nodes, edges)
+
+    # A cycle with zero tokens but positive time means no finite period.
+    hi = sum(times.values()) + 1.0
+    if not feasible(hi):
+        return math.inf
+    lo = 0.0
+    while hi - lo > tolerance * max(hi, 1.0):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def throughput_bound(
+    graph: SDFGraph, execution_times: dict[str, float] | None = None
+) -> float:
+    """Iterations per time unit achievable with unlimited processors."""
+    mcr = max_cycle_ratio(graph, execution_times)
+    if mcr == 0.0:
+        return math.inf
+    return 1.0 / mcr

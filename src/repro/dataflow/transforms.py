@@ -1,0 +1,151 @@
+"""Graph transformations: multirate SDF -> homogeneous SDF (HSDF).
+
+The expansion creates ``q[a]`` copies of every actor ``a`` (its repetition
+count) and wires token flows between copies explicitly, turning rate
+arithmetic into plain precedence edges that max-cycle-ratio analysis and
+classic list schedulers understand.
+"""
+
+from __future__ import annotations
+
+from .analysis import repetition_vector
+from .graph import SDFGraph
+
+#: Refuse expansions beyond this many HSDF actors (repetition vectors of
+#: pathological graphs explode combinatorially).
+MAX_EXPANSION = 10_000
+
+
+def hsdf_actor_name(actor: str, copy: int) -> str:
+    return f"{actor}__{copy}"
+
+
+def to_hsdf(graph: SDFGraph) -> SDFGraph:
+    """Expand a consistent SDF graph into an equivalent single-rate graph.
+
+    Token routing follows the standard construction: the k-th production of
+    a channel in one iteration is consumed by the firing whose cumulative
+    consumption window covers it, with initial tokens offsetting the
+    alignment (consumptions of the first ``initial_tokens`` tokens resolve
+    to the *previous* iteration, i.e. carry a token on the HSDF edge).
+    """
+    reps = repetition_vector(graph)
+    total = sum(reps.values())
+    if total > MAX_EXPANSION:
+        raise ValueError(
+            f"HSDF expansion of {graph.name!r} needs {total} actors "
+            f"(> {MAX_EXPANSION})"
+        )
+    out = SDFGraph(f"{graph.name}_hsdf")
+    for actor_name, actor in graph.actors.items():
+        for copy in range(reps[actor_name]):
+            out.add_actor(
+                hsdf_actor_name(actor_name, copy),
+                actor.execution_time,
+                **actor.tags,
+            )
+        # Serialize successive firings of one actor (no auto-concurrency):
+        # copy k must precede copy k+1, and the last copy of iteration i
+        # precedes the first of iteration i+1 (edge with one token).
+        if reps[actor_name] > 1:
+            for copy in range(reps[actor_name] - 1):
+                out.add_channel(
+                    hsdf_actor_name(actor_name, copy),
+                    hsdf_actor_name(actor_name, copy + 1),
+                    1,
+                    1,
+                    0,
+                )
+            out.add_channel(
+                hsdf_actor_name(actor_name, reps[actor_name] - 1),
+                hsdf_actor_name(actor_name, 0),
+                1,
+                1,
+                1,
+            )
+
+    for c in graph.channels.values():
+        p, q = c.production, c.consumption
+        for j in range(reps[c.dst]):  # j-th consumer firing
+            for t in range(q):  # its t-th consumed token
+                token_index = j * q + t - c.initial_tokens
+                # Which producer firing makes this token, and how many
+                # iterations back?
+                iterations_back = 0
+                while token_index < 0:
+                    token_index += reps[c.src] * p
+                    iterations_back += 1
+                producer_copy = (token_index // p) % reps[c.src]
+                out.add_channel(
+                    hsdf_actor_name(c.src, producer_copy),
+                    hsdf_actor_name(c.dst, j),
+                    1,
+                    1,
+                    iterations_back,
+                    token_size=c.token_size,
+                )
+    return _dedupe_parallel_edges(out)
+
+
+def _dedupe_parallel_edges(graph: SDFGraph) -> SDFGraph:
+    """Keep only the tightest (fewest initial tokens) edge per actor pair.
+
+    Parallel HSDF edges with more tokens are strictly weaker precedence
+    constraints, so dropping them preserves all timing behaviour while
+    shrinking the graph.
+    """
+    best: dict[tuple[str, str], int] = {}
+    sizes: dict[tuple[str, str], float] = {}
+    for c in graph.channels.values():
+        key = (c.src, c.dst)
+        if key not in best or c.initial_tokens < best[key]:
+            best[key] = c.initial_tokens
+        sizes[key] = max(sizes.get(key, 0.0), c.token_size)
+    out = SDFGraph(graph.name)
+    for actor in graph.actors.values():
+        out.add_actor(actor.name, actor.execution_time, **actor.tags)
+    for (src, dst), tokens in best.items():
+        out.add_channel(src, dst, 1, 1, tokens, token_size=sizes[(src, dst)])
+    return out
+
+
+def merge_actors(
+    graph: SDFGraph, group: list[str], merged_name: str
+) -> SDFGraph:
+    """Collapse ``group`` into one actor (clustering for coarse mapping).
+
+    Internal channels disappear; external channels re-attach to the merged
+    actor.  The merged execution time is the sum (sequential execution of
+    the cluster).  Only valid when the group's actors all have equal
+    repetition counts (the common pipeline-stage case).
+    """
+    reps = repetition_vector(graph)
+    group_set = set(group)
+    if not group_set <= set(graph.actors):
+        raise KeyError("group contains unknown actors")
+    counts = {reps[a] for a in group_set}
+    if len(counts) != 1:
+        raise ValueError(
+            "cannot merge actors with differing repetition counts"
+        )
+    out = SDFGraph(graph.name)
+    merged_time = sum(graph.actor(a).execution_time for a in group_set)
+    for actor in graph.actors.values():
+        if actor.name in group_set:
+            continue
+        out.add_actor(actor.name, actor.execution_time, **actor.tags)
+    out.add_actor(merged_name, merged_time)
+    for c in graph.channels.values():
+        src_in = c.src in group_set
+        dst_in = c.dst in group_set
+        if src_in and dst_in:
+            continue
+        out.add_channel(
+            merged_name if src_in else c.src,
+            merged_name if dst_in else c.dst,
+            c.production,
+            c.consumption,
+            c.initial_tokens,
+            c.token_size,
+        )
+    return out

@@ -1,0 +1,43 @@
+"""Digital rights management substrate (paper Section 6)."""
+
+from .cipher import (
+    cbc_mac,
+    constant_time_equal,
+    ctr_crypt,
+    ctr_keystream,
+    decrypt_block,
+    encrypt_block,
+)
+from .device import (
+    Output,
+    OutputKind,
+    PlaybackDevice,
+    PlayResult,
+    encrypt_title,
+)
+from .license import License, LicenseError, issue_license, verify_license
+from .rights import Denial, RightsGrant, RightsStore
+from .server import LicenseServer, derive_key
+
+__all__ = [
+    "Denial",
+    "License",
+    "LicenseError",
+    "LicenseServer",
+    "Output",
+    "OutputKind",
+    "PlayResult",
+    "PlaybackDevice",
+    "RightsGrant",
+    "RightsStore",
+    "cbc_mac",
+    "constant_time_equal",
+    "ctr_crypt",
+    "ctr_keystream",
+    "decrypt_block",
+    "derive_key",
+    "encrypt_block",
+    "encrypt_title",
+    "issue_license",
+    "verify_license",
+]

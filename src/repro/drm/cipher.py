@@ -1,0 +1,93 @@
+"""XTEA block cipher, CTR-mode streaming, and CBC-MAC, from scratch.
+
+Section 6: *"Digital rights management uses encryption as a tool."*  XTEA
+(Needham & Wheeler, 1997) is period-appropriate for 2005 consumer silicon:
+a 64-bit block, 128-bit key Feistel network with tiny code and no tables —
+the kind of cipher an MPSoC DRM block actually shipped.
+
+Security note: this is a faithful XTEA for a *reproduction*; nobody should
+deploy 64-bit-block crypto today.
+"""
+
+from __future__ import annotations
+
+DELTA = 0x9E3779B9
+MASK32 = 0xFFFFFFFF
+DEFAULT_ROUNDS = 32
+
+
+def _key_schedule(key: bytes) -> list[int]:
+    if len(key) != 16:
+        raise ValueError("XTEA needs a 16-byte key")
+    return [int.from_bytes(key[i:i + 4], "big") for i in range(0, 16, 4)]
+
+
+def encrypt_block(block: bytes, key: bytes, rounds: int = DEFAULT_ROUNDS) -> bytes:
+    """Encrypt one 8-byte block."""
+    if len(block) != 8:
+        raise ValueError("XTEA block must be 8 bytes")
+    k = _key_schedule(key)
+    v0 = int.from_bytes(block[:4], "big")
+    v1 = int.from_bytes(block[4:], "big")
+    total = 0
+    for _ in range(rounds):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & MASK32
+        total = (total + DELTA) & MASK32
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & MASK32
+    return v0.to_bytes(4, "big") + v1.to_bytes(4, "big")
+
+
+def decrypt_block(block: bytes, key: bytes, rounds: int = DEFAULT_ROUNDS) -> bytes:
+    """Decrypt one 8-byte block."""
+    if len(block) != 8:
+        raise ValueError("XTEA block must be 8 bytes")
+    k = _key_schedule(key)
+    v0 = int.from_bytes(block[:4], "big")
+    v1 = int.from_bytes(block[4:], "big")
+    total = (DELTA * rounds) & MASK32
+    for _ in range(rounds):
+        v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (total + k[(total >> 11) & 3]))) & MASK32
+        total = (total - DELTA) & MASK32
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (total + k[total & 3]))) & MASK32
+    return v0.to_bytes(4, "big") + v1.to_bytes(4, "big")
+
+
+def ctr_keystream(key: bytes, nonce: bytes, nblocks: int) -> bytes:
+    """CTR keystream: E(nonce || counter) for counter = 0.. ."""
+    if len(nonce) != 4:
+        raise ValueError("CTR nonce must be 4 bytes")
+    out = bytearray()
+    for counter in range(nblocks):
+        block = nonce + counter.to_bytes(4, "big")
+        out.extend(encrypt_block(block, key))
+    return bytes(out)
+
+
+def ctr_crypt(data: bytes, key: bytes, nonce: bytes) -> bytes:
+    """Encrypt/decrypt (same operation) arbitrary-length data in CTR mode."""
+    nblocks = (len(data) + 7) // 8
+    stream = ctr_keystream(key, nonce, nblocks)
+    return bytes(d ^ s for d, s in zip(data, stream))
+
+
+def cbc_mac(data: bytes, key: bytes) -> bytes:
+    """CBC-MAC over length-prefixed data (length prefix fixes the classic
+    variable-length CBC-MAC forgery)."""
+    message = len(data).to_bytes(8, "big") + data
+    if len(message) % 8:
+        message += b"\x00" * (8 - len(message) % 8)
+    state = b"\x00" * 8
+    for i in range(0, len(message), 8):
+        block = bytes(a ^ b for a, b in zip(state, message[i:i + 8]))
+        state = encrypt_block(block, key)
+    return state
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Timing-safe comparison for MAC verification."""
+    if len(a) != len(b):
+        return False
+    result = 0
+    for x, y in zip(a, b):
+        result |= x ^ y
+    return result == 0

@@ -1,0 +1,117 @@
+"""The playback device: authorization + protected playback path.
+
+Section 6: *"The playback device must be able not only to perform the
+authorization transaction but also to play back the content in such a way
+that the authorizations are not easily subverted.  For example, a playback
+device may be architected to provide only analog output at the pins to
+prevent direct copying of unencoded digital content."*
+
+``PlaybackDevice.play`` therefore returns an :class:`Output` that either
+carries *analog* samples (always allowed once authorized) or the decrypted
+digital stream (only when the device policy and the licence both allow a
+digital tap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .cipher import cbc_mac, ctr_crypt
+from .license import License, LicenseError, verify_license
+from .rights import Denial, RightsGrant
+
+
+class OutputKind(Enum):
+    ANALOG = "analog"
+    DIGITAL = "digital"
+
+
+@dataclass
+class Output:
+    kind: OutputKind
+    data: bytes
+
+
+@dataclass
+class PlayResult:
+    """Outcome of one playback request.
+
+    ``output`` is what appears at the device pins (policy-enforced);
+    ``internal_stream`` is the decrypted content handed to the on-chip
+    decoder — it exists only inside the SoC and never crosses the pins,
+    which is exactly how the analog-only architecture protects content.
+    """
+
+    authorized: bool
+    denial: Denial | None
+    output: Output | None
+    internal_stream: bytes = b""
+
+
+@dataclass
+class PlaybackDevice:
+    """A consumer device with a licence store and an output policy."""
+
+    device_id: str
+    license_key: bytes
+    analog_only: bool = True
+    _licenses: dict[str, License] = field(default_factory=dict)
+    _grants: dict[str, RightsGrant] = field(default_factory=dict)
+    _content_keys: dict[str, bytes] = field(default_factory=dict)
+
+    def install_license(self, licence: License) -> RightsGrant:
+        """Verify and store a licence; raises LicenseError on tampering."""
+        grant, content_key = verify_license(licence, self.license_key)
+        self._licenses[grant.title_id] = licence
+        self._grants[grant.title_id] = grant
+        self._content_keys[grant.title_id] = content_key
+        return grant
+
+    def licensed_titles(self) -> list[str]:
+        return sorted(self._grants)
+
+    def authorize(self, title_id: str, now: float) -> Denial | None:
+        grant = self._grants.get(title_id)
+        if grant is None:
+            return Denial.NOT_LICENSED
+        return grant.check(self.device_id, now)
+
+    def play(
+        self,
+        title_id: str,
+        encrypted_content: bytes,
+        now: float,
+        request_digital: bool = False,
+    ) -> PlayResult:
+        """The full playback path: authorize, decrypt, enforce output policy."""
+        denial = self.authorize(title_id, now)
+        if denial is not None:
+            return PlayResult(authorized=False, denial=denial, output=None)
+        grant = self._grants[title_id]
+        key = self._content_keys[title_id]
+        nonce = cbc_mac(title_id.encode(), key)[:4]
+        clear = ctr_crypt(encrypted_content, key, nonce)
+        grant.consume_play()
+        if request_digital and not self.analog_only:
+            return PlayResult(
+                authorized=True,
+                denial=None,
+                output=Output(kind=OutputKind.DIGITAL, data=clear),
+                internal_stream=clear,
+            )
+        # Analog output: only a DAC rendering leaves the chip (modelled as
+        # a lossy re-quantization), never the protected digital stream.
+        analog = bytes(b & 0xFE for b in clear)
+        return PlayResult(
+            authorized=True,
+            denial=None,
+            output=Output(kind=OutputKind.ANALOG, data=analog),
+            internal_stream=clear,
+        )
+
+
+def encrypt_title(content: bytes, title_id: str, content_key: bytes) -> bytes:
+    """Protect content for distribution (what the head-end does)."""
+    nonce = cbc_mac(title_id.encode(), content_key)[:4]
+    return ctr_crypt(content, content_key, nonce)

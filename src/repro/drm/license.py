@@ -1,0 +1,84 @@
+"""Licences: MAC-protected rights markers + content keys.
+
+The paper: *"DRM may hold rights markers that can be updated over the
+Internet but do not require a connection for verification."*  A licence is
+a rights grant plus the title's content key, authenticated with a CBC-MAC
+under the device's licence key — verifiable fully offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cipher import cbc_mac, constant_time_equal, ctr_crypt
+from .rights import Denial, RightsGrant
+
+
+class LicenseError(Exception):
+    """Raised on malformed or tampered licences."""
+
+
+@dataclass(frozen=True)
+class License:
+    """Serialized, authenticated rights marker."""
+
+    payload: bytes  # grant || encrypted content key
+    mac: bytes
+
+    def to_bytes(self) -> bytes:
+        return len(self.payload).to_bytes(4, "big") + self.payload + self.mac
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "License":
+        if len(raw) < 12:
+            raise LicenseError("licence too short")
+        plen = int.from_bytes(raw[:4], "big")
+        if len(raw) != 4 + plen + 8:
+            raise LicenseError("licence length mismatch")
+        return cls(payload=raw[4:4 + plen], mac=raw[4 + plen:])
+
+
+def issue_license(
+    grant: RightsGrant,
+    content_key: bytes,
+    license_key: bytes,
+) -> License:
+    """Create an authenticated licence binding ``grant`` to a content key.
+
+    The content key travels encrypted (CTR under the licence key with a
+    nonce derived from the title id) so a licence file on flash never
+    exposes it.
+    """
+    if len(content_key) != 16:
+        raise ValueError("content keys are 16 bytes")
+    grant_bytes = grant.to_bytes()
+    nonce = cbc_mac(grant.title_id.encode(), license_key)[:4]
+    wrapped = ctr_crypt(content_key, license_key, nonce)
+    payload = len(grant_bytes).to_bytes(2, "big") + grant_bytes + wrapped
+    return License(payload=payload, mac=cbc_mac(payload, license_key))
+
+
+def verify_license(
+    licence: License, license_key: bytes
+) -> tuple[RightsGrant, bytes]:
+    """Check integrity and unwrap (grant, content_key).
+
+    Raises :class:`LicenseError` on tampering — the caller maps that to
+    :attr:`repro.drm.rights.Denial.TAMPERED`.
+    """
+    expected = cbc_mac(licence.payload, license_key)
+    if not constant_time_equal(expected, licence.mac):
+        raise LicenseError(Denial.TAMPERED.value)
+    if len(licence.payload) < 2:
+        raise LicenseError("licence payload truncated")
+    glen = int.from_bytes(licence.payload[:2], "big")
+    grant_bytes = licence.payload[2:2 + glen]
+    wrapped = licence.payload[2 + glen:]
+    if len(wrapped) != 16:
+        raise LicenseError("content key missing")
+    try:
+        grant = RightsGrant.from_bytes(grant_bytes)
+    except Exception as exc:
+        raise LicenseError(f"malformed grant: {exc}") from exc
+    nonce = cbc_mac(grant.title_id.encode(), license_key)[:4]
+    return grant, ctr_crypt(wrapped, license_key, nonce)

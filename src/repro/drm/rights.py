@@ -1,0 +1,119 @@
+"""The rights model of the paper's Section 6.
+
+*"Rights may take a number of forms: the ability to play certain titles;
+the number of times that a title may be played; the right to play a title
+on more than one device; the time period during which the title may be
+played."*
+
+A :class:`RightsGrant` encodes all four; evaluation returns *why* a play is
+denied, because a playback device must render the reason to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Denial(Enum):
+    """Why playback was refused."""
+
+    NOT_LICENSED = "title not licensed"
+    PLAYS_EXHAUSTED = "play count exhausted"
+    WRONG_DEVICE = "device not authorized"
+    EXPIRED = "outside licensed time window"
+    TAMPERED = "license integrity check failed"
+
+
+@dataclass
+class RightsGrant:
+    """Rights for one title.
+
+    ``plays_remaining`` of ``None`` means unlimited; ``not_before`` /
+    ``not_after`` bound the licensed window in seconds-since-epoch
+    (``None`` = unbounded); ``device_ids`` lists authorized devices
+    (empty = any device).
+    """
+
+    title_id: str
+    plays_remaining: int | None = None
+    device_ids: tuple[str, ...] = ()
+    not_before: float | None = None
+    not_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.title_id:
+            raise ValueError("grant needs a title id")
+        if self.plays_remaining is not None and self.plays_remaining < 0:
+            raise ValueError("plays_remaining cannot be negative")
+        if (
+            self.not_before is not None
+            and self.not_after is not None
+            and self.not_after < self.not_before
+        ):
+            raise ValueError("empty validity window")
+
+    def check(self, device_id: str, now: float) -> Denial | None:
+        """None if playback is allowed, else the denial reason."""
+        if self.plays_remaining is not None and self.plays_remaining == 0:
+            return Denial.PLAYS_EXHAUSTED
+        if self.device_ids and device_id not in self.device_ids:
+            return Denial.WRONG_DEVICE
+        if self.not_before is not None and now < self.not_before:
+            return Denial.EXPIRED
+        if self.not_after is not None and now > self.not_after:
+            return Denial.EXPIRED
+        return None
+
+    def consume_play(self) -> None:
+        """Decrement the play counter (call only after check passes)."""
+        if self.plays_remaining is not None:
+            if self.plays_remaining == 0:
+                raise RuntimeError("no plays remaining")
+            self.plays_remaining -= 1
+
+    # ------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        plays = -1 if self.plays_remaining is None else self.plays_remaining
+        nb = -1.0 if self.not_before is None else self.not_before
+        na = -1.0 if self.not_after is None else self.not_after
+        parts = [
+            self.title_id,
+            str(plays),
+            ",".join(self.device_ids),
+            repr(nb),
+            repr(na),
+        ]
+        return "|".join(parts).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "RightsGrant":
+        title, plays, devices, nb, na = raw.decode().split("|")
+        return cls(
+            title_id=title,
+            plays_remaining=None if plays == "-1" else int(plays),
+            device_ids=tuple(d for d in devices.split(",") if d),
+            not_before=None if nb == "-1.0" else float(nb),
+            not_after=None if na == "-1.0" else float(na),
+        )
+
+
+@dataclass
+class RightsStore:
+    """A device's local collection of grants (the offline rights markers
+    the paper mentions: updatable online, verifiable offline)."""
+
+    grants: dict[str, RightsGrant] = field(default_factory=dict)
+
+    def add(self, grant: RightsGrant) -> None:
+        self.grants[grant.title_id] = grant
+
+    def check(self, title_id: str, device_id: str, now: float) -> Denial | None:
+        grant = self.grants.get(title_id)
+        if grant is None:
+            return Denial.NOT_LICENSED
+        return grant.check(device_id, now)
+
+    def consume(self, title_id: str) -> None:
+        self.grants[title_id].consume_play()

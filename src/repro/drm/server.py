@@ -1,0 +1,81 @@
+"""Licence server: online issuing and rights updates (paper Section 6).
+
+*"The DRM system may require access to the Internet to be effective.  In
+other cases, DRM may hold rights markers that can be updated over the
+Internet but do not require a connection for verification."*
+
+The server owns title content keys and per-device licence keys; devices
+request licences online, then verify and enforce them offline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .license import License, issue_license
+from .rights import RightsGrant
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Deterministic 16-byte subkey from a master secret and a label."""
+    return hashlib.sha256(master + b"/" + label.encode()).digest()[:16]
+
+
+@dataclass
+class LicenseServer:
+    """Head-end rights authority."""
+
+    master_secret: bytes
+    _registered_devices: dict[str, bytes] = field(default_factory=dict)
+    _titles: dict[str, bytes] = field(default_factory=dict)
+    _revoked: set[str] = field(default_factory=set)
+    issued_count: int = 0
+
+    def register_device(self, device_id: str) -> bytes:
+        """Provision a device; returns its licence key (burned in at the
+        factory in a real product)."""
+        if not device_id:
+            raise ValueError("device id required")
+        key = derive_key(self.master_secret, f"device:{device_id}")
+        self._registered_devices[device_id] = key
+        return key
+
+    def register_title(self, title_id: str) -> bytes:
+        """Create (or fetch) the content key for a title."""
+        if title_id not in self._titles:
+            self._titles[title_id] = derive_key(
+                self.master_secret, f"title:{title_id}"
+            )
+        return self._titles[title_id]
+
+    def revoke_device(self, device_id: str) -> None:
+        self._revoked.add(device_id)
+
+    def request_license(
+        self, device_id: str, grant: RightsGrant
+    ) -> License:
+        """The online authorization transaction."""
+        if device_id in self._revoked:
+            raise PermissionError(f"device {device_id} is revoked")
+        if device_id not in self._registered_devices:
+            raise PermissionError(f"device {device_id} is not registered")
+        if grant.title_id not in self._titles:
+            raise KeyError(f"unknown title {grant.title_id!r}")
+        self.issued_count += 1
+        return issue_license(
+            grant,
+            self._titles[grant.title_id],
+            self._registered_devices[device_id],
+        )
+
+    def renew_license(
+        self, device_id: str, title_id: str, extra_plays: int
+    ) -> License:
+        """Online rights update: a fresh marker with more plays."""
+        grant = RightsGrant(
+            title_id=title_id,
+            plays_remaining=extra_plays,
+            device_ids=(device_id,),
+        )
+        return self.request_license(device_id, grant)

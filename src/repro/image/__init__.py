@@ -1,0 +1,29 @@
+"""Still-image codecs: DCT (JPEG-style) and 5/3 wavelet (JPEG2000 stand-in)."""
+
+from .artifacts import CodecComparison, compare_codecs, encode_jpeg_at_rate, encode_wavelet_at_rate
+from .jpeg import EncodedImage, JpegLikeCodec
+from .wavelet import (
+    EncodedWaveletImage,
+    WaveletCodec,
+    WaveletPyramid,
+    decompose,
+    dwt2,
+    idwt2,
+    reconstruct,
+)
+
+__all__ = [
+    "CodecComparison",
+    "EncodedImage",
+    "EncodedWaveletImage",
+    "JpegLikeCodec",
+    "WaveletCodec",
+    "WaveletPyramid",
+    "compare_codecs",
+    "decompose",
+    "dwt2",
+    "encode_jpeg_at_rate",
+    "encode_wavelet_at_rate",
+    "idwt2",
+    "reconstruct",
+]

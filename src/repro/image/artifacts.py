@@ -1,0 +1,93 @@
+"""Artifact comparison harness: DCT blocking vs wavelet smoothness.
+
+Implements experiment C5: encode the same image with the JPEG-style codec
+and the wavelet codec at (approximately) the same bits/pixel and compare
+blocking-artifact scores and PSNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..video.metrics import blockiness, psnr
+from .jpeg import JpegLikeCodec
+from .wavelet import WaveletCodec
+
+
+@dataclass
+class CodecComparison:
+    """Matched-rate comparison of the two codecs on one image."""
+
+    target_bpp: float
+    jpeg_bpp: float
+    wavelet_bpp: float
+    jpeg_psnr: float
+    wavelet_psnr: float
+    jpeg_blockiness: float
+    wavelet_blockiness: float
+
+
+def encode_jpeg_at_rate(
+    image: np.ndarray, target_bpp: float, tolerance: float = 0.08
+):
+    """Binary-search the JPEG quality knob to hit ``target_bpp``."""
+    codec = JpegLikeCodec()
+    lo, hi = 1, 100
+    best = codec.encode(image, quality=50)
+    while lo <= hi:
+        quality = (lo + hi) // 2
+        encoded = codec.encode(image, quality=quality)
+        if abs(encoded.bits_per_pixel - target_bpp) < abs(
+            best.bits_per_pixel - target_bpp
+        ):
+            best = encoded
+        if encoded.bits_per_pixel < target_bpp:
+            lo = quality + 1
+        else:
+            hi = quality - 1
+        if abs(encoded.bits_per_pixel - target_bpp) <= tolerance * target_bpp:
+            return encoded
+    return best
+
+
+def encode_wavelet_at_rate(
+    image: np.ndarray, target_bpp: float, tolerance: float = 0.08
+):
+    """Binary-search the wavelet step to hit ``target_bpp``."""
+    codec = WaveletCodec()
+    lo, hi = 0.25, 256.0
+    best = codec.encode(image, step=8.0)
+    for _ in range(24):
+        step = (lo * hi) ** 0.5  # geometric: rate is ~log in step
+        encoded = codec.encode(image, step=step)
+        if abs(encoded.bits_per_pixel - target_bpp) < abs(
+            best.bits_per_pixel - target_bpp
+        ):
+            best = encoded
+        if encoded.bits_per_pixel > target_bpp:
+            lo = step
+        else:
+            hi = step
+        if abs(encoded.bits_per_pixel - target_bpp) <= tolerance * target_bpp:
+            return encoded
+    return best
+
+
+def compare_codecs(image: np.ndarray, target_bpp: float = 0.8) -> CodecComparison:
+    """Encode with both codecs at matched rate; score artifacts and PSNR."""
+    image = np.asarray(image, dtype=np.float64)
+    jpeg = encode_jpeg_at_rate(image, target_bpp)
+    wave = encode_wavelet_at_rate(image, target_bpp)
+    jpeg_dec = JpegLikeCodec().decode(jpeg)
+    wave_dec = WaveletCodec().decode(wave)
+    return CodecComparison(
+        target_bpp=target_bpp,
+        jpeg_bpp=jpeg.bits_per_pixel,
+        wavelet_bpp=wave.bits_per_pixel,
+        jpeg_psnr=psnr(image, jpeg_dec),
+        wavelet_psnr=psnr(image, wave_dec),
+        jpeg_blockiness=blockiness(jpeg_dec, 8),
+        wavelet_blockiness=blockiness(wave_dec, 8),
+    )

@@ -1,0 +1,50 @@
+"""Mapping & scheduling: bind SDF actors to MPSoC processing elements."""
+
+from .annealing import AnnealingConfig, anneal_mapping
+from .baselines import (
+    greedy_load_balance,
+    random_mapping,
+    round_robin_mapping,
+    single_pe_mapping,
+)
+from .binding import MappingProblem, MappingResult, uniform_wcet_problem
+from .dse import MAPPERS, DesignPoint, explore, pareto_front, run_mapper
+from .dvfs import DvfsResult, reclaim_slack, scaled_platform, scaled_problem
+from .gantt import render_gantt, utilisation_summary
+from .evaluate import MappingEvaluation, evaluate_mapping, evaluation_from_trace
+from .genetic import GeneticConfig, genetic_mapping
+from .list_scheduler import heft_mapping, upward_ranks
+from .simulate import MappedFiring, MappedTrace, simulate_mapping
+
+__all__ = [
+    "AnnealingConfig",
+    "DesignPoint",
+    "DvfsResult",
+    "GeneticConfig",
+    "MAPPERS",
+    "MappedFiring",
+    "MappedTrace",
+    "MappingEvaluation",
+    "MappingProblem",
+    "MappingResult",
+    "anneal_mapping",
+    "evaluate_mapping",
+    "evaluation_from_trace",
+    "explore",
+    "genetic_mapping",
+    "greedy_load_balance",
+    "heft_mapping",
+    "pareto_front",
+    "random_mapping",
+    "reclaim_slack",
+    "render_gantt",
+    "round_robin_mapping",
+    "run_mapper",
+    "scaled_platform",
+    "scaled_problem",
+    "utilisation_summary",
+    "simulate_mapping",
+    "single_pe_mapping",
+    "uniform_wcet_problem",
+    "upward_ranks",
+]

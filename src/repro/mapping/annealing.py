@@ -1,0 +1,100 @@
+"""Simulated-annealing mapper.
+
+The classic DSE workhorse: start from the greedy mapping, perturb one
+actor's binding at a time, accept uphill moves with Boltzmann probability
+under a geometric cooling schedule.  Every evaluation is a full mapped
+simulation, so budgets stay modest by default.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .baselines import greedy_load_balance
+from .binding import MappingProblem, MappingResult
+from .evaluate import evaluate_mapping
+
+
+@dataclass
+class AnnealingConfig:
+    iterations: int = 120
+    initial_temperature: float = 0.4  # relative to the initial objective
+    cooling: float = 0.96
+    sim_iterations: int = 4
+    objective: str = "period"
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError("cooling factor must be in (0, 1)")
+        if self.initial_temperature <= 0:
+            raise ValueError("temperature must be positive")
+
+
+def anneal_mapping(
+    problem: MappingProblem,
+    config: AnnealingConfig | None = None,
+    seed=0,
+) -> MappingResult:
+    """Run simulated annealing; returns the best mapping found."""
+    cfg = config or AnnealingConfig()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    actors = list(problem.graph.actors)
+    movable = [a for a in actors if len(problem.compatible_pes(a)) > 1]
+
+    current = greedy_load_balance(problem).mapping
+    current_cost = evaluate_mapping(
+        problem, current, iterations=cfg.sim_iterations
+    ).objective(cfg.objective)
+    best = dict(current)
+    best_cost = current_cost
+    history = [best_cost]
+    evaluations = 1
+
+    if not movable:
+        return MappingResult(
+            mapping=best,
+            algorithm="annealing",
+            search_evaluations=evaluations,
+            history=history,
+        )
+
+    temperature = cfg.initial_temperature * max(current_cost, 1e-12)
+    for _ in range(cfg.iterations):
+        actor = movable[int(rng.integers(len(movable)))]
+        options = [
+            pe for pe in problem.compatible_pes(actor) if pe != current[actor]
+        ]
+        if not options:
+            continue
+        candidate = dict(current)
+        candidate[actor] = int(rng.choice(options))
+        cost = evaluate_mapping(
+            problem, candidate, iterations=cfg.sim_iterations
+        ).objective(cfg.objective)
+        evaluations += 1
+        accept = cost <= current_cost or rng.random() < math.exp(
+            -(cost - current_cost) / max(temperature, 1e-18)
+        )
+        if accept:
+            current = candidate
+            current_cost = cost
+            if cost < best_cost:
+                best = dict(candidate)
+                best_cost = cost
+        history.append(best_cost)
+        temperature *= cfg.cooling
+    return MappingResult(
+        mapping=best,
+        algorithm="annealing",
+        search_evaluations=evaluations,
+        history=history,
+    )

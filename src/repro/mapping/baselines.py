@@ -1,0 +1,84 @@
+"""Baseline mappers: round-robin, greedy load balancing, random.
+
+These are the comparison arms for the search-based mappers — cheap,
+affinity-respecting, and deterministic (given a seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataflow.analysis import repetition_vector
+from .binding import MappingProblem, MappingResult
+
+
+def round_robin_mapping(problem: MappingProblem) -> MappingResult:
+    """Deal actors over compatible PEs in declaration order."""
+    mapping: dict[str, int] = {}
+    cursor = 0
+    pe_ids = problem.platform.pe_ids()
+    for actor in problem.graph.actors:
+        compatible = problem.compatible_pes(actor)
+        # Advance the global cursor until it lands on a compatible PE.
+        for offset in range(len(pe_ids)):
+            pe = pe_ids[(cursor + offset) % len(pe_ids)]
+            if pe in compatible:
+                mapping[actor] = pe
+                cursor = (cursor + offset + 1) % len(pe_ids)
+                break
+    return MappingResult(mapping=mapping, algorithm="round_robin")
+
+
+def greedy_load_balance(problem: MappingProblem) -> MappingResult:
+    """Longest-work-first onto the least-loaded compatible PE.
+
+    Work uses the actual per-PE WCETs, so a fast accelerator attracts the
+    actors it is built for.
+    """
+    reps = repetition_vector(problem.graph)
+    load = {pe: 0.0 for pe in problem.platform.pe_ids()}
+    actors = sorted(
+        problem.graph.actors,
+        key=lambda a: -reps[a] * problem.mean_wcet(a),
+    )
+    mapping: dict[str, int] = {}
+    for actor in actors:
+        best_pe = None
+        best_finish = None
+        for pe in problem.compatible_pes(actor):
+            work = reps[actor] * problem.wcet(actor, pe)
+            finish = load[pe] + work
+            if best_finish is None or finish < best_finish:
+                best_finish = finish
+                best_pe = pe
+        assert best_pe is not None
+        mapping[actor] = best_pe
+        load[best_pe] += reps[actor] * problem.wcet(actor, best_pe)
+    return MappingResult(mapping=mapping, algorithm="greedy")
+
+
+def random_mapping(problem: MappingProblem, seed=0) -> MappingResult:
+    """Uniform random compatible assignment (search seeding / baseline)."""
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    mapping = {
+        actor: int(rng.choice(problem.compatible_pes(actor)))
+        for actor in problem.graph.actors
+    }
+    return MappingResult(mapping=mapping, algorithm="random")
+
+
+def single_pe_mapping(problem: MappingProblem) -> MappingResult:
+    """Everything on one PE (the uniprocessor baseline), if possible."""
+    for pe in problem.platform.pe_ids():
+        if all(
+            pe in problem.compatible_pes(a) for a in problem.graph.actors
+        ):
+            return MappingResult(
+                mapping=dict.fromkeys(problem.graph.actors, pe),
+                algorithm="single_pe",
+            )
+    raise ValueError("no single PE can run every actor")

@@ -1,0 +1,86 @@
+"""Mapping problems and bindings.
+
+A *mapping problem* bundles what every mapper needs: the application's SDF
+graph, the candidate platform, per-(actor, PE) execution times, and actor
+kinds (for accelerator affinity).  A *mapping* is simply actor -> PE id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..dataflow.graph import SDFGraph
+from ..mpsoc.platform import Platform
+
+
+@dataclass
+class MappingProblem:
+    """Inputs to mapping: application, platform, and timing oracle.
+
+    ``wcet`` returns seconds for one firing of ``actor`` on PE ``pe_id``;
+    ``kind`` returns the actor kind used for affinity checks (defaults to
+    the actor's ``kind`` tag, falling back to its name).
+    """
+
+    graph: SDFGraph
+    platform: Platform
+    wcet: Callable[[str, int], float]
+    kind: Callable[[str], str] | None = None
+    name: str = "problem"
+
+    def actor_kind(self, actor: str) -> str:
+        if self.kind is not None:
+            return self.kind(actor)
+        tags = self.graph.actor(actor).tags
+        return tags.get("kind", actor)
+
+    def compatible_pes(self, actor: str) -> list[int]:
+        pes = self.platform.compatible_pes(self.actor_kind(actor))
+        if not pes:
+            raise ValueError(
+                f"no PE on {self.platform.name!r} can run actor {actor!r}"
+            )
+        return pes
+
+    def validate_mapping(self, mapping: dict[str, int]) -> None:
+        """Raise if the mapping is incomplete or violates affinity."""
+        missing = set(self.graph.actors) - set(mapping)
+        if missing:
+            raise ValueError(f"mapping misses actors: {sorted(missing)}")
+        pe_ids = set(self.platform.pe_ids())
+        for actor, pe in mapping.items():
+            if pe not in pe_ids:
+                raise ValueError(f"actor {actor!r} mapped to unknown PE {pe}")
+            if pe not in self.compatible_pes(actor):
+                raise ValueError(
+                    f"actor {actor!r} (kind {self.actor_kind(actor)!r}) "
+                    f"cannot run on PE {pe}"
+                )
+
+    def mean_wcet(self, actor: str) -> float:
+        pes = self.compatible_pes(actor)
+        return sum(self.wcet(actor, pe) for pe in pes) / len(pes)
+
+
+def uniform_wcet_problem(
+    graph: SDFGraph, platform: Platform, name: str = "uniform"
+) -> MappingProblem:
+    """Problem whose timing just uses the graph's nominal execution times
+    (every PE identical) — handy for mapper unit tests."""
+    return MappingProblem(
+        graph=graph,
+        platform=platform,
+        wcet=lambda actor, pe: graph.actor(actor).execution_time,
+        name=name,
+    )
+
+
+@dataclass
+class MappingResult:
+    """A mapping plus where it came from (algorithm, seed, search stats)."""
+
+    mapping: dict[str, int]
+    algorithm: str
+    search_evaluations: int = 0
+    history: list[float] = field(default_factory=list)

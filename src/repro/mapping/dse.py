@@ -1,0 +1,118 @@
+"""Design-space exploration: platforms x mappers -> Pareto fronts.
+
+The paper's Section 2 point in executable form: consumer devices occupy
+different cost/performance/power corners, so the interesting output is not
+one best design but the non-dominated frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..mpsoc.platform import Platform
+from .annealing import AnnealingConfig, anneal_mapping
+from .baselines import greedy_load_balance, round_robin_mapping, single_pe_mapping
+from .binding import MappingProblem, MappingResult
+from .evaluate import MappingEvaluation, evaluate_mapping
+from .genetic import GeneticConfig, genetic_mapping
+from .list_scheduler import heft_mapping
+
+#: Registered mapping algorithms (name -> callable(problem, seed)).
+MAPPERS: dict[str, Callable] = {
+    "round_robin": lambda problem, seed=0: round_robin_mapping(problem),
+    "greedy": lambda problem, seed=0: greedy_load_balance(problem),
+    "heft": lambda problem, seed=0: heft_mapping(problem),
+    "annealing": lambda problem, seed=0: anneal_mapping(problem, seed=seed),
+    "genetic": lambda problem, seed=0: genetic_mapping(problem, seed=seed),
+    "single_pe": lambda problem, seed=0: single_pe_mapping(problem),
+}
+
+
+def run_mapper(
+    problem: MappingProblem, algorithm: str = "heft", seed=0
+) -> MappingResult:
+    try:
+        mapper = MAPPERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown mapper {algorithm!r}; choose from {sorted(MAPPERS)}"
+        ) from None
+    return mapper(problem, seed=seed)
+
+
+@dataclass
+class DesignPoint:
+    """One explored (platform, mapping) combination."""
+
+    platform: Platform
+    algorithm: str
+    result: MappingResult
+    evaluation: MappingEvaluation
+
+    @property
+    def cost(self) -> float:
+        return self.evaluation.platform_cost
+
+    @property
+    def period_s(self) -> float:
+        return self.evaluation.period_s
+
+    @property
+    def power_mw(self) -> float:
+        return self.evaluation.average_power_mw
+
+
+def explore(
+    problem_factory: Callable[[Platform], MappingProblem],
+    platforms: list[Platform],
+    algorithms: list[str] | None = None,
+    seed: int = 0,
+    sim_iterations: int = 5,
+) -> list[DesignPoint]:
+    """Evaluate every platform with every algorithm."""
+    algorithms = algorithms or ["greedy", "heft"]
+    points: list[DesignPoint] = []
+    for platform in platforms:
+        problem = problem_factory(platform)
+        for algorithm in algorithms:
+            result = run_mapper(problem, algorithm, seed=seed)
+            evaluation = evaluate_mapping(
+                problem, result.mapping, iterations=sim_iterations
+            )
+            points.append(
+                DesignPoint(
+                    platform=platform,
+                    algorithm=algorithm,
+                    result=result,
+                    evaluation=evaluation,
+                )
+            )
+    return points
+
+
+def pareto_front(
+    points: list[DesignPoint],
+    axes: tuple[str, ...] = ("cost", "period_s", "power_mw"),
+) -> list[DesignPoint]:
+    """Non-dominated subset under 'lower is better' on every axis."""
+
+    def coords(p: DesignPoint) -> tuple[float, ...]:
+        return tuple(getattr(p, axis) for axis in axes)
+
+    front: list[DesignPoint] = []
+    for candidate in points:
+        c = coords(candidate)
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            o = coords(other)
+            if all(oi <= ci for oi, ci in zip(o, c)) and any(
+                oi < ci for oi, ci in zip(o, c)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return front

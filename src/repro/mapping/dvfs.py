@@ -1,0 +1,123 @@
+"""DVFS: trade slack for energy after mapping.
+
+Consumer devices run at fixed frame rates, so any mapping faster than the
+deadline has *slack* — and dynamic power scales ~f^3 (f x V^2 with V
+tracking f), so running slower-but-just-in-time wins energy.  This module
+implements the classic post-mapping knob: scale every PE's clock by a
+common factor until the period just meets the deadline.
+
+(Per-PE scaling is a strictly richer knob; the uniform scale is the
+standard first-order answer and keeps the search monotone: period scales
+as 1/factor on compute-bound mappings, slightly slower when communication
+— unscaled here — matters.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpsoc.platform import Platform
+from ..mpsoc.processor import Processor
+from .binding import MappingProblem
+from .evaluate import MappingEvaluation, evaluate_mapping
+
+
+def scaled_platform(platform: Platform, factor: float) -> Platform:
+    """A copy of ``platform`` with every PE's clock scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError("DVFS factor must be positive")
+    return Platform(
+        name=f"{platform.name}@x{factor:.3f}",
+        processors=[
+            Processor(p.pe_id, p.ptype.scaled(factor), p.position)
+            for p in platform.processors
+        ],
+        interconnect=platform.interconnect,
+        memory_kb=platform.memory_kb,
+    )
+
+
+def scaled_problem(problem: MappingProblem, factor: float) -> MappingProblem:
+    """The same mapping problem on the frequency-scaled platform."""
+    platform = scaled_platform(problem.platform, factor)
+
+    def wcet(actor: str, pe_id: int) -> float:
+        # Compute time scales inversely with clock; the base problem's
+        # oracle already encodes the unscaled platform's speeds.
+        return problem.wcet(actor, pe_id) / factor
+
+    return MappingProblem(
+        graph=problem.graph,
+        platform=platform,
+        wcet=wcet,
+        kind=problem.kind,
+        name=f"{problem.name}@x{factor:.3f}",
+    )
+
+
+@dataclass
+class DvfsResult:
+    """Outcome of slack reclamation."""
+
+    factor: float
+    nominal: MappingEvaluation
+    scaled: MappingEvaluation
+    deadline_s: float
+
+    @property
+    def energy_saving_fraction(self) -> float:
+        nominal = self.nominal.energy.total_j
+        if nominal <= 0:
+            return 0.0
+        return 1.0 - self.scaled.energy.total_j / nominal
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.scaled.period_s <= self.deadline_s * (1 + 1e-9)
+
+
+def reclaim_slack(
+    problem: MappingProblem,
+    mapping: dict[str, int],
+    deadline_s: float,
+    iterations: int = 5,
+    min_factor: float = 0.1,
+    tolerance: float = 0.01,
+) -> DvfsResult:
+    """Find the smallest uniform clock factor that still meets ``deadline_s``.
+
+    Binary search over the factor; each probe re-simulates the mapped
+    graph on the scaled platform (communication times are unscaled, so
+    the search is *not* assumed analytic).
+    """
+    if deadline_s <= 0:
+        raise ValueError("deadline must be positive")
+    nominal = evaluate_mapping(problem, mapping, iterations=iterations)
+    if nominal.period_s > deadline_s:
+        # No slack to reclaim: run at nominal (caller sees infeasible).
+        return DvfsResult(
+            factor=1.0,
+            nominal=nominal,
+            scaled=nominal,
+            deadline_s=deadline_s,
+        )
+
+    lo, hi = min_factor, 1.0
+    best_factor = 1.0
+    best_eval = nominal
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        ev = evaluate_mapping(
+            scaled_problem(problem, mid), mapping, iterations=iterations
+        )
+        if ev.period_s <= deadline_s:
+            best_factor, best_eval = mid, ev
+            hi = mid
+        else:
+            lo = mid
+    return DvfsResult(
+        factor=best_factor,
+        nominal=nominal,
+        scaled=best_eval,
+        deadline_s=deadline_s,
+    )

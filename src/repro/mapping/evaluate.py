@@ -1,0 +1,95 @@
+"""Mapping evaluation: turn a simulated trace into comparable numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpsoc.power import EnergyBreakdown, integrate_energy
+from .binding import MappingProblem
+from .simulate import MappedTrace, simulate_mapping
+
+
+@dataclass
+class MappingEvaluation:
+    """One design point's scorecard."""
+
+    mapping: dict[str, int]
+    period_s: float
+    latency_s: float
+    makespan_s: float
+    energy: EnergyBreakdown
+    comm_bytes: float
+    pe_utilisation: dict[int, float]
+    platform_cost: float
+    buffer_bytes: float = 0.0
+    memory_feasible: bool = True
+
+    @property
+    def throughput_hz(self) -> float:
+        return 1.0 / self.period_s if self.period_s > 0 else float("inf")
+
+    @property
+    def average_power_mw(self) -> float:
+        return self.energy.average_power_mw
+
+    @property
+    def energy_per_iteration_j(self) -> float:
+        iters = (
+            self.makespan_s / self.period_s if self.period_s > 0 else 1.0
+        )
+        return self.energy.total_j / max(iters, 1.0)
+
+    def objective(self, kind: str = "period") -> float:
+        """Scalar objective for search algorithms (lower is better)."""
+        if kind == "period":
+            return self.period_s
+        if kind == "energy":
+            return self.energy.total_j
+        if kind == "edp":
+            return self.energy.total_j * self.period_s
+        if kind == "latency":
+            return self.latency_s
+        raise ValueError(f"unknown objective {kind!r}")
+
+
+def evaluate_mapping(
+    problem: MappingProblem,
+    mapping: dict[str, int],
+    iterations: int = 5,
+) -> MappingEvaluation:
+    """Simulate and score one mapping."""
+    trace = simulate_mapping(problem, mapping, iterations=iterations)
+    return evaluation_from_trace(problem, mapping, trace)
+
+
+def evaluation_from_trace(
+    problem: MappingProblem,
+    mapping: dict[str, int],
+    trace: MappedTrace,
+) -> MappingEvaluation:
+    energy = integrate_energy(
+        problem.platform,
+        trace.busy_time,
+        span_s=trace.makespan,
+        comm_energy_j=trace.comm_energy_j,
+    )
+    channels = problem.graph.channels
+    buffer_bytes = sum(
+        peak * channels[name].token_size
+        for name, peak in trace.channel_peak_tokens.items()
+        if name in channels
+    )
+    return MappingEvaluation(
+        mapping=dict(mapping),
+        period_s=trace.period(),
+        latency_s=trace.latency,
+        makespan_s=trace.makespan,
+        energy=energy,
+        comm_bytes=trace.comm_bytes,
+        pe_utilisation={
+            pe: trace.utilisation(pe) for pe in problem.platform.pe_ids()
+        },
+        platform_cost=problem.platform.cost(),
+        buffer_bytes=buffer_bytes,
+        memory_feasible=buffer_bytes <= problem.platform.memory_kb * 1024.0,
+    )

@@ -1,0 +1,75 @@
+"""Text Gantt charts for mapped-execution traces.
+
+A mapping is only trustworthy if you can *see* the schedule; this renders
+a :class:`~repro.mapping.simulate.MappedTrace` as per-PE timeline rows in
+plain text (no plotting dependencies), the way scheduling papers print
+small examples.
+"""
+
+from __future__ import annotations
+
+from .simulate import MappedTrace
+
+
+def render_gantt(
+    trace: MappedTrace,
+    width: int = 72,
+    max_time: float | None = None,
+    label_width: int = 10,
+) -> str:
+    """Render the trace as one text row per PE.
+
+    Each firing paints its actor's initial over its busy interval; idle
+    time is ``.``; overlapping labels resolve to the later firing (non-
+    preemptive PEs cannot actually overlap, so this only affects ties).
+    """
+    if not trace.firings:
+        return "(empty trace)"
+    horizon = max_time if max_time is not None else trace.makespan
+    if horizon <= 0:
+        return "(zero-length trace)"
+    pes = sorted({f.pe for f in trace.firings})
+    # Stable one-letter codes per actor, disambiguated by case/digits.
+    actors = sorted({f.actor for f in trace.firings})
+    codes = {}
+    used: set[str] = set()
+    for actor in actors:
+        for candidate in (
+            actor[0].lower(),
+            actor[0].upper(),
+            *[str(d) for d in range(10)],
+            "*",
+        ):
+            if candidate not in used or candidate == "*":
+                codes[actor] = candidate
+                used.add(candidate)
+                break
+
+    scale = width / horizon
+    lines = []
+    for pe in pes:
+        row = ["."] * width
+        for f in trace.firings:
+            if f.pe != pe or f.start >= horizon:
+                continue
+            lo = int(f.start * scale)
+            hi = max(lo + 1, int(min(f.finish, horizon) * scale))
+            for x in range(lo, min(hi, width)):
+                row[x] = codes[f.actor]
+        lines.append(f"pe{pe:<{label_width - 2}d}|{''.join(row)}|")
+    legend = ", ".join(f"{codes[a]}={a}" for a in actors)
+    lines.append(f"{'':{label_width}} 0 .. {horizon:.4g} s")
+    lines.append(f"{'':{label_width}} {legend}")
+    return "\n".join(lines)
+
+
+def utilisation_summary(trace: MappedTrace) -> str:
+    """One line per PE: busy fraction over the makespan."""
+    if trace.makespan <= 0:
+        return "(zero-length trace)"
+    lines = []
+    for pe in sorted(trace.busy_time):
+        util = trace.utilisation(pe)
+        bar = "#" * int(round(util * 20))
+        lines.append(f"pe{pe}: [{bar:<20}] {util * 100:5.1f}%")
+    return "\n".join(lines)

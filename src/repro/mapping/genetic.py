@@ -1,0 +1,103 @@
+"""Genetic-algorithm mapper.
+
+Chromosome = the actor->PE assignment vector.  Tournament selection,
+uniform crossover, per-gene mutation constrained to compatible PEs, and
+elitism.  Like the annealer, fitness calls the mapped-graph simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .baselines import greedy_load_balance, random_mapping
+from .binding import MappingProblem, MappingResult
+from .evaluate import evaluate_mapping
+from .list_scheduler import heft_mapping
+
+
+@dataclass
+class GeneticConfig:
+    population: int = 16
+    generations: int = 12
+    tournament: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.15
+    elites: int = 2
+    sim_iterations: int = 4
+    objective: str = "period"
+
+    def __post_init__(self) -> None:
+        if self.population < 4:
+            raise ValueError("population too small")
+        if self.elites >= self.population:
+            raise ValueError("elites must be fewer than the population")
+        if not 0 <= self.mutation_rate <= 1:
+            raise ValueError("mutation rate must be in [0,1]")
+
+
+def genetic_mapping(
+    problem: MappingProblem,
+    config: GeneticConfig | None = None,
+    seed=0,
+) -> MappingResult:
+    cfg = config or GeneticConfig()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    actors = list(problem.graph.actors)
+
+    def cost_of(mapping: dict[str, int]) -> float:
+        return evaluate_mapping(
+            problem, mapping, iterations=cfg.sim_iterations
+        ).objective(cfg.objective)
+
+    # Seed the population with the constructive heuristics plus randoms.
+    population: list[dict[str, int]] = [
+        greedy_load_balance(problem).mapping,
+        heft_mapping(problem).mapping,
+    ]
+    while len(population) < cfg.population:
+        population.append(random_mapping(problem, seed=rng).mapping)
+
+    costs = [cost_of(m) for m in population]
+    evaluations = len(costs)
+    history = [min(costs)]
+
+    def tournament_pick() -> dict[str, int]:
+        idx = rng.integers(len(population), size=cfg.tournament)
+        best = min(idx, key=lambda i: costs[int(i)])
+        return population[int(best)]
+
+    for _ in range(cfg.generations):
+        ranked = sorted(range(len(population)), key=lambda i: costs[i])
+        next_pop = [dict(population[i]) for i in ranked[: cfg.elites]]
+        while len(next_pop) < cfg.population:
+            parent_a = tournament_pick()
+            parent_b = tournament_pick()
+            if rng.random() < cfg.crossover_rate:
+                child = {
+                    a: (parent_a[a] if rng.random() < 0.5 else parent_b[a])
+                    for a in actors
+                }
+            else:
+                child = dict(parent_a)
+            for a in actors:
+                if rng.random() < cfg.mutation_rate:
+                    child[a] = int(rng.choice(problem.compatible_pes(a)))
+            next_pop.append(child)
+        population = next_pop
+        costs = [cost_of(m) for m in population]
+        evaluations += len(costs)
+        history.append(min(costs))
+
+    best_idx = min(range(len(population)), key=lambda i: costs[i])
+    return MappingResult(
+        mapping=population[best_idx],
+        algorithm="genetic",
+        search_evaluations=evaluations,
+        history=history,
+    )

@@ -1,0 +1,117 @@
+"""HEFT-style list scheduling for SDF graphs.
+
+Heterogeneous Earliest Finish Time adapted to SDF: ranks are computed on
+the *intra-iteration precedence DAG* (channels without initial tokens —
+channels carrying delay tokens are inter-iteration edges and do not
+constrain one iteration), with per-actor work weighted by repetition
+counts.  Each actor then goes to the PE minimizing its estimated finish
+time, accounting for cross-PE communication of its inputs.
+"""
+
+from __future__ import annotations
+
+from ..dataflow.analysis import repetition_vector
+from .binding import MappingProblem, MappingResult
+
+
+def _intra_iteration_dag(problem: MappingProblem) -> dict[str, list[tuple[str, float]]]:
+    """successors[a] = [(b, comm_bytes_per_iteration), ...] over zero-token
+    channels.  Live SDF graphs have an acyclic zero-token subgraph."""
+    graph = problem.graph
+    reps = repetition_vector(graph)
+    successors: dict[str, list[tuple[str, float]]] = {
+        a: [] for a in graph.actors
+    }
+    for c in graph.channels.values():
+        if c.initial_tokens > 0:
+            continue
+        tokens_per_iter = reps[c.src] * c.production
+        successors[c.src].append((c.dst, tokens_per_iter * c.token_size))
+    return successors
+
+
+def _mean_transfer_time(problem: MappingProblem, nbytes: float) -> float:
+    """Average cross-PE transfer time over distinct PE pairs."""
+    ic = problem.platform.interconnect
+    pes = problem.platform.pe_ids()
+    if len(pes) < 2 or nbytes <= 0:
+        return 0.0
+    total = 0.0
+    count = 0
+    for i in pes:
+        for j in pes:
+            if i != j:
+                total += ic.transfer_time(i, j, nbytes)
+                count += 1
+    return total / count if count else 0.0
+
+
+def upward_ranks(problem: MappingProblem) -> dict[str, float]:
+    """HEFT upward rank: critical-path-to-exit length per actor."""
+    graph = problem.graph
+    reps = repetition_vector(graph)
+    successors = _intra_iteration_dag(problem)
+    ranks: dict[str, float] = {}
+
+    def rank(actor: str, visiting: set[str]) -> float:
+        if actor in ranks:
+            return ranks[actor]
+        if actor in visiting:
+            raise ValueError(
+                "zero-token channel cycle found; the graph deadlocks"
+            )
+        visiting.add(actor)
+        work = reps[actor] * problem.mean_wcet(actor)
+        best_tail = 0.0
+        for succ, nbytes in successors[actor]:
+            tail = _mean_transfer_time(problem, nbytes) + rank(succ, visiting)
+            best_tail = max(best_tail, tail)
+        visiting.discard(actor)
+        ranks[actor] = work + best_tail
+        return ranks[actor]
+
+    for a in graph.actors:
+        rank(a, set())
+    return ranks
+
+
+def heft_mapping(problem: MappingProblem) -> MappingResult:
+    """Rank actors, then greedily minimize estimated finish times."""
+    graph = problem.graph
+    reps = repetition_vector(graph)
+    successors = _intra_iteration_dag(problem)
+    predecessors: dict[str, list[tuple[str, float]]] = {
+        a: [] for a in graph.actors
+    }
+    for src, lst in successors.items():
+        for dst, nbytes in lst:
+            predecessors[dst].append((src, nbytes))
+
+    ranks = upward_ranks(problem)
+    order = sorted(graph.actors, key=lambda a: -ranks[a])
+    ic = problem.platform.interconnect
+
+    pe_ready = {pe: 0.0 for pe in problem.platform.pe_ids()}
+    actor_finish: dict[str, float] = {}
+    mapping: dict[str, int] = {}
+    for actor in order:
+        best = None
+        for pe in problem.compatible_pes(actor):
+            data_ready = 0.0
+            for pred, nbytes in predecessors[actor]:
+                if pred not in mapping:
+                    continue  # lower-rank predecessor; approximation
+                arrival = actor_finish[pred]
+                if mapping[pred] != pe:
+                    arrival += ic.transfer_time(mapping[pred], pe, nbytes)
+                data_ready = max(data_ready, arrival)
+            start = max(pe_ready[pe], data_ready)
+            finish = start + reps[actor] * problem.wcet(actor, pe)
+            if best is None or finish < best[0]:
+                best = (finish, pe)
+        assert best is not None
+        finish, pe = best
+        mapping[actor] = pe
+        pe_ready[pe] = finish
+        actor_finish[actor] = finish
+    return MappingResult(mapping=mapping, algorithm="heft")

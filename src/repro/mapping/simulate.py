@@ -1,0 +1,298 @@
+"""Discrete-event simulation of an SDF graph mapped onto an MPSoC.
+
+This is the evaluator every mapper optimizes against.  Semantics:
+
+* actors bound to the same PE serialize (non-preemptive, data-driven,
+  earliest-data-ready-first);
+* a token crossing PEs occupies its interconnect arbitration resource for
+  the transfer duration (bus transfers serialize globally, crossbar
+  per-pair, NoC per-path) and arrives after the wire time;
+* same-PE tokens move for free at firing completion.
+
+The trace records per-iteration finish times (period, latency), per-PE busy
+time (energy), and communication volume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..dataflow.analysis import DeadlockError, repetition_vector
+from .binding import MappingProblem
+
+
+@dataclass
+class MappedFiring:
+    actor: str
+    pe: int
+    start: float
+    finish: float
+    iteration: int
+
+
+@dataclass
+class MappedTrace:
+    """Result of simulating a mapping."""
+
+    firings: list[MappedFiring]
+    iteration_finish_times: list[float]
+    busy_time: dict[int, float]
+    comm_bytes: float
+    comm_energy_j: float
+    comm_busy_time: float
+    resource_busy: dict[tuple, float] = None  # type: ignore[assignment]
+    channel_peak_tokens: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.resource_busy is None:
+            self.resource_busy = {}
+        if self.channel_peak_tokens is None:
+            self.channel_peak_tokens = {}
+
+    @property
+    def makespan(self) -> float:
+        return self.iteration_finish_times[-1] if self.iteration_finish_times else 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.iteration_finish_times[0] if self.iteration_finish_times else 0.0
+
+    def period(self, skip: int = 1) -> float:
+        """Sustained iteration period.
+
+        Two lower bounds are combined: (a) the spacing of iteration finish
+        times (captures dependency/latency limits), and (b) the busiest
+        resource's work per iteration (captures saturation limits).  With
+        unbounded FIFOs a saturated resource lets completions *cluster* at
+        the tail, so (a) alone can report a rate the platform could never
+        sustain — (b) restores the bound a real (finite-buffer) system
+        obeys.
+        """
+        times = self.iteration_finish_times
+        if not times:
+            return 0.0
+        iterations = len(times)
+        if iterations < 2:
+            spacing = times[0]
+        else:
+            skip = min(skip, iterations - 2)
+            spacing = (times[-1] - times[skip]) / (iterations - 1 - skip)
+        bottleneck = 0.0
+        for busy in self.busy_time.values():
+            bottleneck = max(bottleneck, busy / iterations)
+        for busy in self.resource_busy.values():
+            bottleneck = max(bottleneck, busy / iterations)
+        return max(spacing, bottleneck)
+
+    def utilisation(self, pe: int) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_time.get(pe, 0.0) / self.makespan)
+
+
+@dataclass
+class _Channel:
+    cons: int
+    prod: int
+    token_size: float
+    src: str
+    dst: str
+    arrivals: list[float] = field(default_factory=list)  # sorted timestamps
+
+
+def simulate_mapping(
+    problem: MappingProblem,
+    mapping: dict[str, int],
+    iterations: int = 5,
+    max_events: int = 2_000_000,
+) -> MappedTrace:
+    """Simulate ``iterations`` graph iterations under ``mapping``."""
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    problem.validate_mapping(mapping)
+    graph = problem.graph
+    platform = problem.platform
+    ic = platform.interconnect
+
+    reps = repetition_vector(graph)
+    target = {a: reps[a] * iterations for a in graph.actors}
+    started = dict.fromkeys(graph.actors, 0)
+    completed = dict.fromkeys(graph.actors, 0)
+
+    channels: dict[str, _Channel] = {}
+    channel_peak: dict[str, int] = {}
+    in_ch: dict[str, list[str]] = {a: [] for a in graph.actors}
+    out_ch: dict[str, list[str]] = {a: [] for a in graph.actors}
+    for c in graph.channels.values():
+        channels[c.name] = _Channel(
+            cons=c.consumption,
+            prod=c.production,
+            token_size=c.token_size,
+            src=c.src,
+            dst=c.dst,
+            arrivals=[0.0] * c.initial_tokens,
+        )
+        in_ch[c.dst].append(c.name)
+        out_ch[c.src].append(c.name)
+        channel_peak[c.name] = c.initial_tokens
+
+    pe_free = {pe: 0.0 for pe in platform.pe_ids()}
+    busy = {pe: 0.0 for pe in platform.pe_ids()}
+    res_free: dict[tuple, float] = {}
+    res_busy: dict[tuple, float] = {}
+    comm_bytes = 0.0
+    comm_energy = 0.0
+    comm_busy = 0.0
+
+    firings: list[MappedFiring] = []
+    iter_finish = [0.0] * iterations
+
+    # Wake-up event queue: (time, seq, kind) where kind is "completion" or
+    # "arrival" — we only need the times to re-run the greedy starter.
+    events: list[tuple[float, int]] = []
+    seq = 0
+
+    def push_event(t: float) -> None:
+        nonlocal seq
+        heapq.heappush(events, (t, seq))
+        seq += 1
+
+    def data_ready_time(actor: str, now: float) -> float | None:
+        """Earliest time >= now when all input tokens are available, or
+        None if tokens are not yet produced."""
+        ready = now
+        for name in in_ch[actor]:
+            ch = channels[name]
+            if len(ch.arrivals) < ch.cons:
+                return None
+            ready = max(ready, ch.arrivals[ch.cons - 1])
+        return ready
+
+    def try_start(now: float) -> None:
+        nonlocal comm_bytes, comm_energy, comm_busy
+        progress = True
+        while progress:
+            progress = False
+            # Consider PEs idle at `now`.  Dispatch policy: least iteration
+            # progress first (oldest pipeline stage wins), then earliest
+            # data-ready, then name.  Progress-first prevents source actors
+            # from front-loading the whole run — the behaviour finite FIFOs
+            # would enforce on real silicon — and makes the measured period
+            # reflect steady-state pipelining.
+            for pe in platform.pe_ids():
+                if pe_free[pe] > now + 1e-18:
+                    continue
+                best: tuple[float, float, str] | None = None
+                for actor, mapped_pe in mapping.items():
+                    if mapped_pe != pe or started[actor] >= target[actor]:
+                        continue
+                    ready = data_ready_time(actor, now)
+                    if ready is None or ready > now + 1e-18:
+                        continue
+                    progress = started[actor] / reps[actor]
+                    key = (progress, ready, actor)
+                    if best is None or key < best:
+                        best = key
+                if best is None:
+                    continue
+                _, _, actor = best
+                # Consume tokens.
+                for name in in_ch[actor]:
+                    ch = channels[name]
+                    del ch.arrivals[: ch.cons]
+                duration = problem.wcet(actor, pe)
+                finish = now + duration
+                pe_free[pe] = finish
+                busy[pe] += duration
+                started[actor] += 1
+                heapq.heappush(
+                    completions, (finish, seq_box[0], actor, pe, now)
+                )
+                seq_box[0] += 1
+                push_event(finish)
+                progress = True
+
+    completions: list[tuple[float, int, str, int, float]] = []
+    seq_box = [0]
+
+    push_event(0.0)
+    events_processed = 0
+    while events:
+        events_processed += 1
+        if events_processed > max_events:
+            raise RuntimeError("mapped simulation exceeded event budget")
+        now, _ = heapq.heappop(events)
+        # Apply all completions up to `now`.
+        while completions and completions[0][0] <= now + 1e-18:
+            finish, _, actor, pe, start_t = heapq.heappop(completions)
+            iteration = completed[actor] // reps[actor]
+            completed[actor] += 1
+            firings.append(
+                MappedFiring(
+                    actor=actor,
+                    pe=pe,
+                    start=start_t,
+                    finish=finish,
+                    iteration=iteration,
+                )
+            )
+            if iteration < iterations:
+                iter_finish[iteration] = max(iter_finish[iteration], finish)
+            # Token production & transfers.
+            for name in out_ch[actor]:
+                ch = channels[name]
+                dst_pe = mapping[ch.dst]
+                if dst_pe == pe:
+                    for _ in range(ch.prod):
+                        _insert(ch.arrivals, finish)
+                    channel_peak[name] = max(
+                        channel_peak[name], len(ch.arrivals)
+                    )
+                    push_event(finish)
+                else:
+                    nbytes = ch.prod * ch.token_size
+                    res = ic.resource(pe, dst_pe)
+                    t_start = max(finish, res_free.get(res, 0.0))
+                    dur = ic.transfer_time(pe, dst_pe, nbytes)
+                    arrival = t_start + dur
+                    res_free[res] = arrival
+                    res_busy[res] = res_busy.get(res, 0.0) + dur
+                    comm_bytes += nbytes
+                    comm_energy += ic.energy_j(nbytes, pe, dst_pe)
+                    comm_busy += dur
+                    for _ in range(ch.prod):
+                        _insert(ch.arrivals, arrival)
+                    channel_peak[name] = max(
+                        channel_peak[name], len(ch.arrivals)
+                    )
+                    push_event(arrival)
+        try_start(now)
+        if all(completed[a] >= target[a] for a in graph.actors):
+            break
+
+    if not all(completed[a] >= target[a] for a in graph.actors):
+        stuck = {a: f"{completed[a]}/{target[a]}" for a in graph.actors}
+        raise DeadlockError(
+            f"mapped execution of {graph.name!r} stalled: {stuck}"
+        )
+
+    for i in range(1, iterations):
+        iter_finish[i] = max(iter_finish[i], iter_finish[i - 1])
+    return MappedTrace(
+        firings=firings,
+        iteration_finish_times=iter_finish,
+        busy_time=busy,
+        comm_bytes=comm_bytes,
+        comm_energy_j=comm_energy,
+        comm_busy_time=comm_busy,
+        resource_busy=res_busy,
+        channel_peak_tokens=channel_peak,
+    )
+
+
+def _insert(sorted_list: list[float], value: float) -> None:
+    """Insert keeping the arrival list sorted (lists stay short)."""
+    import bisect
+
+    bisect.insort(sorted_list, value)

@@ -1,0 +1,137 @@
+"""On-chip interconnect models: shared bus, crossbar, 2-D mesh NoC.
+
+Every model answers two questions the mapped-graph simulator asks:
+
+* ``transfer_time(src, dst, nbytes)`` — wire time for one transfer;
+* ``resource(src, dst)`` — the arbitration token transfers serialize on
+  (one global token for a bus, a per-pair token for a crossbar, a per-path
+  token for the mesh — a deliberately coarse contention model that still
+  reproduces the bus-saturation / NoC-scaling contrast of experiment A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Cost/energy envelope shared by all interconnect kinds."""
+
+    bandwidth_bytes_per_s: float = 400e6
+    base_latency_s: float = 1e-7
+    energy_pj_per_byte: float = 5.0
+    cost_units: float = 1.0
+
+
+class Interconnect:
+    """Base class; same-PE transfers are free everywhere."""
+
+    kind = "abstract"
+
+    def __init__(self, spec: InterconnectSpec | None = None) -> None:
+        self.spec = spec or InterconnectSpec()
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        if src == dst:
+            return 0.0
+        return self.spec.base_latency_s + nbytes / self.spec.bandwidth_bytes_per_s
+
+    def resource(self, src: int, dst: int) -> tuple:
+        """Serialization domain for a transfer (hashable key)."""
+        raise NotImplementedError
+
+    def energy_j(self, nbytes: float, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return nbytes * self.spec.energy_pj_per_byte * 1e-12
+
+    def cost(self, num_pes: int) -> float:
+        return self.spec.cost_units
+
+
+class SharedBus(Interconnect):
+    """Single arbitrated bus: every transfer serializes on one resource."""
+
+    kind = "bus"
+
+    def resource(self, src: int, dst: int) -> tuple:
+        return ("bus",)
+
+    def cost(self, num_pes: int) -> float:
+        return self.spec.cost_units  # wires are cheap; that is the appeal
+
+
+class Crossbar(Interconnect):
+    """Full crossbar: transfers contend only when they share an endpoint
+    pair; cost grows quadratically with port count."""
+
+    kind = "crossbar"
+
+    def resource(self, src: int, dst: int) -> tuple:
+        return ("xbar", min(src, dst), max(src, dst))
+
+    def cost(self, num_pes: int) -> float:
+        return self.spec.cost_units * num_pes * num_pes / 4.0
+
+
+class MeshNoC(Interconnect):
+    """2-D mesh with XY routing.
+
+    Latency adds a per-hop router delay; contention is modelled per
+    source-destination path (coarser than per-link but preserves the
+    spatial-reuse advantage over a bus).  Cost grows linearly in routers.
+    """
+
+    kind = "noc"
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        spec: InterconnectSpec | None = None,
+        hop_latency_s: float = 5e-8,
+    ) -> None:
+        super().__init__(spec)
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.hop_latency_s = hop_latency_s
+        self._positions: dict[int, tuple[int, int]] = {}
+
+    def place(self, pe_id: int, x: int, y: int) -> None:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height} mesh")
+        self._positions[pe_id] = (x, y)
+
+    def position(self, pe_id: int) -> tuple[int, int]:
+        if pe_id not in self._positions:
+            # Default placement: row-major by id.
+            x = pe_id % self.width
+            y = (pe_id // self.width) % self.height
+            return (x, y)
+        return self._positions[pe_id]
+
+    def hops(self, src: int, dst: int) -> int:
+        (x1, y1), (x2, y2) = self.position(src), self.position(dst)
+        return abs(x1 - x2) + abs(y1 - y2)
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        if src == dst:
+            return 0.0
+        wire = nbytes / self.spec.bandwidth_bytes_per_s
+        return self.spec.base_latency_s + self.hops(src, dst) * self.hop_latency_s + wire
+
+    def resource(self, src: int, dst: int) -> tuple:
+        (x1, y1), (x2, y2) = self.position(src), self.position(dst)
+        return ("noc", x1, y1, x2, y2)
+
+    def energy_j(self, nbytes: float, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        per_hop = self.spec.energy_pj_per_byte * 1e-12
+        return nbytes * per_hop * max(1, self.hops(src, dst))
+
+    def cost(self, num_pes: int) -> float:
+        return self.spec.cost_units * self.width * self.height

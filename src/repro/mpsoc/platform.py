@@ -1,0 +1,87 @@
+"""Platform = processing elements + interconnect + memory budget."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .interconnect import Interconnect, SharedBus
+from .processor import Processor, ProcessorType
+
+
+@dataclass
+class Platform:
+    """A candidate MPSoC configuration."""
+
+    name: str
+    processors: list[Processor] = field(default_factory=list)
+    interconnect: Interconnect = field(default_factory=SharedBus)
+    memory_kb: float = 512.0
+
+    def __post_init__(self) -> None:
+        ids = [p.pe_id for p in self.processors]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate PE ids on platform")
+        if self.memory_kb <= 0:
+            raise ValueError("memory budget must be positive")
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def num_pes(self) -> int:
+        return len(self.processors)
+
+    def processor(self, pe_id: int) -> Processor:
+        for p in self.processors:
+            if p.pe_id == pe_id:
+                return p
+        raise KeyError(f"no PE with id {pe_id}")
+
+    def pe_ids(self) -> list[int]:
+        return [p.pe_id for p in self.processors]
+
+    def compatible_pes(self, actor_kind: str) -> list[int]:
+        """PEs able to execute an actor of the given kind."""
+        return [p.pe_id for p in self.processors if p.can_run(actor_kind)]
+
+    def cost(self) -> float:
+        """Silicon cost: PEs + interconnect + memory macro."""
+        pes = sum(p.ptype.cost_units for p in self.processors)
+        return pes + self.interconnect.cost(self.num_pes) + self.memory_kb / 256.0
+
+    def area_mm2(self) -> float:
+        return sum(p.ptype.area_mm2 for p in self.processors)
+
+    def peak_power_mw(self) -> float:
+        """All PEs active simultaneously (thermal envelope)."""
+        return sum(p.ptype.active_power_mw for p in self.processors)
+
+    def idle_power_mw(self) -> float:
+        return sum(p.ptype.idle_power_mw for p in self.processors)
+
+    def describe(self) -> str:
+        lines = [f"platform {self.name}: {self.num_pes} PEs, "
+                 f"{self.interconnect.kind} interconnect, {self.memory_kb:.0f} KB"]
+        for p in self.processors:
+            lines.append(
+                f"  {p.name}  {p.ptype.clock_mhz:.0f} MHz  "
+                f"{p.ptype.active_power_mw:.0f} mW active"
+            )
+        return "\n".join(lines)
+
+
+def homogeneous(
+    name: str,
+    ptype: ProcessorType,
+    count: int,
+    interconnect: Interconnect | None = None,
+    memory_kb: float = 512.0,
+) -> Platform:
+    """Symmetric multiprocessor of ``count`` identical cores."""
+    if count < 1:
+        raise ValueError("need at least one PE")
+    return Platform(
+        name=name,
+        processors=[Processor(pe_id=i, ptype=ptype) for i in range(count)],
+        interconnect=interconnect or SharedBus(),
+        memory_kb=memory_kb,
+    )

@@ -1,0 +1,188 @@
+"""Catalogue of PE types and platform presets for the paper's five devices.
+
+Numbers are stylized 2005-era figures (hundreds of MHz embedded cores,
+milliwatt budgets) — the benches compare *shapes*, not absolute silicon.
+"""
+
+from __future__ import annotations
+
+from .interconnect import Crossbar, InterconnectSpec, MeshNoC, SharedBus
+from .platform import Platform, Processor, homogeneous
+from .processor import ProcessorType
+
+# ------------------------------------------------------------- PE catalogue
+
+RISC_CPU = ProcessorType(
+    name="risc",
+    clock_mhz=200.0,
+    ops_per_cycle={"alu": 1.0, "mac": 0.5, "mem": 0.7, "control": 1.0, "bit": 0.7},
+    area_mm2=4.0,
+    cost_units=4.0,
+    active_power_mw=180.0,
+    idle_power_mw=20.0,
+)
+
+DSP = ProcessorType(
+    name="dsp",
+    clock_mhz=250.0,
+    ops_per_cycle={"mac": 2.0, "alu": 1.0, "mem": 1.0, "control": 0.5, "bit": 0.5},
+    area_mm2=5.0,
+    cost_units=5.0,
+    active_power_mw=220.0,
+    idle_power_mw=22.0,
+)
+
+VLIW_MEDIA = ProcessorType(
+    name="vliw",
+    clock_mhz=300.0,
+    ops_per_cycle={"mac": 4.0, "alu": 2.0, "mem": 1.5, "control": 0.5, "bit": 1.0},
+    area_mm2=12.0,
+    cost_units=12.0,
+    active_power_mw=650.0,
+    idle_power_mw=60.0,
+)
+
+MCU = ProcessorType(
+    name="mcu",
+    clock_mhz=80.0,
+    ops_per_cycle={"alu": 1.0, "control": 1.0, "mem": 0.5, "mac": 0.25, "bit": 0.5},
+    area_mm2=1.0,
+    cost_units=1.0,
+    active_power_mw=30.0,
+    idle_power_mw=2.0,
+)
+
+ME_ACCEL = ProcessorType(
+    name="me_accel",
+    clock_mhz=200.0,
+    ops_per_cycle={"mac": 16.0, "alu": 4.0, "mem": 4.0},
+    affinity=("motion_estimation",),
+    speedup=2.0,
+    area_mm2=3.0,
+    cost_units=3.0,
+    active_power_mw=120.0,
+    idle_power_mw=5.0,
+)
+
+DCT_ACCEL = ProcessorType(
+    name="dct_accel",
+    clock_mhz=200.0,
+    ops_per_cycle={"mac": 8.0, "alu": 4.0, "mem": 4.0},
+    affinity=("dct", "idct"),
+    speedup=2.0,
+    area_mm2=2.0,
+    cost_units=2.0,
+    active_power_mw=80.0,
+    idle_power_mw=4.0,
+)
+
+ENTROPY_ACCEL = ProcessorType(
+    name="vlc_accel",
+    clock_mhz=200.0,
+    ops_per_cycle={"bit": 8.0, "alu": 2.0, "mem": 2.0},
+    affinity=("vlc", "vld"),
+    speedup=1.5,
+    area_mm2=1.5,
+    cost_units=1.5,
+    active_power_mw=60.0,
+    idle_power_mw=3.0,
+)
+
+PE_CATALOGUE = {
+    t.name: t
+    for t in (RISC_CPU, DSP, VLIW_MEDIA, MCU, ME_ACCEL, DCT_ACCEL, ENTROPY_ACCEL)
+}
+
+# --------------------------------------------------------- platform presets
+
+
+def cell_phone_soc() -> Platform:
+    """Multimedia cell phone: RISC for protocol/UI + DSP for codecs, bus."""
+    return Platform(
+        name="cell_phone",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, DSP),
+        ],
+        interconnect=SharedBus(InterconnectSpec(bandwidth_bytes_per_s=200e6)),
+        # Covers the QCIF frame stores (reference + working) plus stream
+        # buffers; 2005 phones backed these with external DRAM.
+        memory_kb=1024.0,
+    )
+
+
+def audio_player_soc() -> Platform:
+    """Portable audio player: MCU for files/UI + small DSP, minimal power."""
+    return Platform(
+        name="audio_player",
+        processors=[
+            Processor(0, MCU),
+            Processor(1, DSP),
+        ],
+        interconnect=SharedBus(InterconnectSpec(bandwidth_bytes_per_s=100e6)),
+        memory_kb=128.0,
+    )
+
+
+def set_top_box_soc() -> Platform:
+    """Digital set-top box: decode-heavy, mains powered, crossbar."""
+    return Platform(
+        name="set_top_box",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, VLIW_MEDIA),
+            Processor(2, VLIW_MEDIA),
+        ],
+        interconnect=Crossbar(InterconnectSpec(bandwidth_bytes_per_s=800e6)),
+        memory_kb=2048.0,
+    )
+
+
+def dvr_soc() -> Platform:
+    """Digital video recorder: encode + decode + analysis on a 2x2 NoC."""
+    noc = MeshNoC(2, 2, InterconnectSpec(bandwidth_bytes_per_s=800e6))
+    platform = Platform(
+        name="dvr",
+        processors=[
+            Processor(0, RISC_CPU, position=(0, 0)),
+            Processor(1, VLIW_MEDIA, position=(1, 0)),
+            Processor(2, ME_ACCEL, position=(0, 1)),
+            Processor(3, DCT_ACCEL, position=(1, 1)),
+        ],
+        interconnect=noc,
+        memory_kb=4096.0,
+    )
+    for p in platform.processors:
+        noc.place(p.pe_id, *p.position)
+    return platform
+
+
+def camera_soc() -> Platform:
+    """Digital video camera: real-time encode with hardwired ME/DCT."""
+    return Platform(
+        name="camera",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, DSP),
+            Processor(2, ME_ACCEL),
+            Processor(3, DCT_ACCEL),
+        ],
+        interconnect=SharedBus(InterconnectSpec(bandwidth_bytes_per_s=400e6)),
+        # CIF encode keeps several full frame stores (capture, reference,
+        # reconstruction) in flight at once.
+        memory_kb=2560.0,
+    )
+
+
+def symmetric_multicore(count: int = 4, ptype: ProcessorType = DSP) -> Platform:
+    """Homogeneous baseline for mapper comparisons."""
+    return homogeneous(f"smp{count}x{ptype.name}", ptype, count)
+
+
+DEVICE_PRESETS = {
+    "cell_phone": cell_phone_soc,
+    "audio_player": audio_player_soc,
+    "set_top_box": set_top_box_soc,
+    "dvr": dvr_soc,
+    "camera": camera_soc,
+}

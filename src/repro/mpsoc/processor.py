@@ -1,0 +1,99 @@
+"""Processing element models.
+
+The paper's MPSoCs are heterogeneous: RISC control processors, DSPs for
+signal arithmetic, and function-specific accelerators.  A
+:class:`ProcessorType` turns an actor's *operation profile* (counts per
+operation class) into cycles via per-class throughputs; instances add a
+clock and power state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Operation classes used in actor profiles.
+OP_CLASSES = ("mac", "alu", "mem", "control", "bit")
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """A PE microarchitecture.
+
+    ``ops_per_cycle`` maps operation class -> sustained ops/cycle.  Classes
+    missing from the map execute at the ``fallback`` rate.  ``affinity``
+    optionally restricts which actor kinds may run here (ASIC accelerators
+    list the only actors they implement); an empty tuple means "runs
+    anything".  ``speedup`` on an accelerator applies after the op model
+    (hardwired datapaths beat programmable issue width).
+    """
+
+    name: str
+    clock_mhz: float
+    ops_per_cycle: dict = field(default_factory=dict)
+    fallback: float = 1.0
+    affinity: tuple = ()
+    speedup: float = 1.0
+    area_mm2: float = 1.0
+    cost_units: float = 1.0
+    active_power_mw: float = 100.0
+    idle_power_mw: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise ValueError(f"{self.name}: clock must be positive")
+        if self.fallback <= 0 or self.speedup <= 0:
+            raise ValueError(f"{self.name}: rates must be positive")
+        for cls, rate in self.ops_per_cycle.items():
+            if rate <= 0:
+                raise ValueError(f"{self.name}: rate for {cls!r} must be > 0")
+
+    def can_run(self, actor_kind: str) -> bool:
+        """Whether this PE implements ``actor_kind`` (always true for
+        programmable cores)."""
+        return not self.affinity or actor_kind in self.affinity
+
+    def cycles_for(self, ops: dict) -> float:
+        """Cycles to execute an operation profile."""
+        cycles = 0.0
+        for cls, count in ops.items():
+            rate = self.ops_per_cycle.get(cls, self.fallback)
+            cycles += count / rate
+        return cycles / self.speedup
+
+    def time_for(self, ops: dict) -> float:
+        """Seconds to execute an operation profile at this PE's clock."""
+        return self.cycles_for(ops) / (self.clock_mhz * 1e6)
+
+    def scaled(self, factor: float) -> "ProcessorType":
+        """DVFS variant: clock scaled by ``factor``, dynamic power by
+        ~factor^3 (f * V^2 with V tracking f), idle power by factor."""
+        if factor <= 0:
+            raise ValueError("DVFS factor must be positive")
+        return ProcessorType(
+            name=f"{self.name}@x{factor:.2f}",
+            clock_mhz=self.clock_mhz * factor,
+            ops_per_cycle=dict(self.ops_per_cycle),
+            fallback=self.fallback,
+            affinity=self.affinity,
+            speedup=self.speedup,
+            area_mm2=self.area_mm2,
+            cost_units=self.cost_units,
+            active_power_mw=self.active_power_mw * factor ** 3,
+            idle_power_mw=self.idle_power_mw * factor,
+        )
+
+
+@dataclass
+class Processor:
+    """A PE instance placed on a platform."""
+
+    pe_id: int
+    ptype: ProcessorType
+    position: tuple[int, int] = (0, 0)  # NoC grid coordinates
+
+    @property
+    def name(self) -> str:
+        return f"pe{self.pe_id}:{self.ptype.name}"
+
+    def can_run(self, actor_kind: str) -> bool:
+        return self.ptype.can_run(actor_kind)

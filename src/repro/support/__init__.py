@@ -1,0 +1,63 @@
+"""Support-function substrate (paper Section 7): storage, network,
+transcoding, drive control."""
+
+from .blockdev import BlockDevice, BlockDeviceStats
+from .filesystem import DirEntry, FatFileSystem, FsError
+from .ipstack import (
+    IPv4Packet,
+    LossyLink,
+    NetworkStats,
+    PointToPointNetwork,
+    Segment,
+    TcpLite,
+    UdpDatagram,
+    ones_complement_checksum,
+    udp_transaction,
+)
+from .servo import (
+    Mechanism,
+    NotchFilter,
+    PidController,
+    ServoResult,
+    SledPlant,
+    adaptation_matrix,
+    rate_sweep,
+    run_servo,
+    tuned_pid,
+)
+from .transcode import (
+    GenerationResult,
+    image_transcode_generations,
+    quality_is_monotone_nonincreasing,
+    video_transcode_generations,
+)
+
+__all__ = [
+    "BlockDevice",
+    "BlockDeviceStats",
+    "DirEntry",
+    "FatFileSystem",
+    "FsError",
+    "GenerationResult",
+    "IPv4Packet",
+    "LossyLink",
+    "Mechanism",
+    "NetworkStats",
+    "NotchFilter",
+    "PidController",
+    "PointToPointNetwork",
+    "Segment",
+    "ServoResult",
+    "SledPlant",
+    "TcpLite",
+    "UdpDatagram",
+    "adaptation_matrix",
+    "image_transcode_generations",
+    "ones_complement_checksum",
+    "quality_is_monotone_nonincreasing",
+    "rate_sweep",
+    "run_servo",
+    "tuned_pid",
+    "udp_transaction",
+    "video_transcode_generations",
+]

@@ -1,0 +1,68 @@
+"""A simulated block device with access statistics.
+
+Backs the FAT-like file system; counts reads/writes and *seek distance*
+(the locality cost non-sequential allocation incurs on spinning media —
+relevant to the paper's DVD/DVR discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockDeviceStats:
+    reads: int = 0
+    writes: int = 0
+    total_seek_distance: int = 0
+    last_block: int | None = None
+
+    def record(self, block: int, write: bool) -> None:
+        if write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if self.last_block is not None:
+            self.total_seek_distance += abs(block - self.last_block)
+        self.last_block = block
+
+    @property
+    def operations(self) -> int:
+        return self.reads + self.writes
+
+    def mean_seek(self) -> float:
+        if self.operations <= 1:
+            return 0.0
+        return self.total_seek_distance / (self.operations - 1)
+
+
+class BlockDevice:
+    """Fixed-geometry array of blocks."""
+
+    def __init__(self, num_blocks: int = 1024, block_size: int = 512) -> None:
+        if num_blocks < 1 or block_size < 16:
+            raise ValueError("unreasonable device geometry")
+        self.num_blocks = num_blocks
+        self.block_size = block_size
+        self._blocks: dict[int, bytes] = {}
+        self.stats = BlockDeviceStats()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(f"block {index} out of range")
+
+    def read_block(self, index: int) -> bytes:
+        self._check(index)
+        self.stats.record(index, write=False)
+        return self._blocks.get(index, b"\x00" * self.block_size)
+
+    def write_block(self, index: int, data: bytes) -> None:
+        self._check(index)
+        if len(data) > self.block_size:
+            raise ValueError("data exceeds block size")
+        self.stats.record(index, write=True)
+        self._blocks[index] = data.ljust(self.block_size, b"\x00")

@@ -1,0 +1,246 @@
+"""A FAT-like embedded file system (paper Section 7).
+
+*"Devices with local storage ... must provide file systems. ... these file
+systems must still incorporate the major characteristics of modern file
+systems: large file sizes, non-sequential allocation of blocks, etc."*
+
+Implementation: a file allocation table (block -> next block chain) over a
+:class:`~repro.support.blockdev.BlockDevice`, hierarchical directories,
+long file names, first-fit allocation (which fragments naturally after
+deletes — measurable via :meth:`FatFileSystem.fragmentation`), and a
+foreign-tree importer modelling the CD/MP3 player case ("files are created
+outside the player ... a wide variety of directory structures, file names,
+etc.").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .blockdev import BlockDevice
+
+#: FAT sentinel values.
+FREE = -1
+END_OF_CHAIN = -2
+
+
+class FsError(Exception):
+    """File-system level failures (full disk, missing paths, ...)."""
+
+
+@dataclass
+class DirEntry:
+    """One directory slot: a file (with a FAT chain) or a subdirectory."""
+
+    name: str
+    is_dir: bool
+    first_block: int = END_OF_CHAIN
+    size: int = 0
+    children: dict[str, "DirEntry"] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # "/" is reserved for the root directory entry itself.
+        if not self.name or ("/" in self.name and self.name != "/"):
+            raise FsError(f"invalid name {self.name!r}")
+
+
+class FatFileSystem:
+    """Hierarchical FAT-style file system on a block device."""
+
+    def __init__(self, device: BlockDevice | None = None) -> None:
+        self.device = device or BlockDevice()
+        self._fat = [FREE] * self.device.num_blocks
+        self._root = DirEntry(name="/", is_dir=True)
+        # First-fit scan pointer is deliberately NOT rotated: freed holes
+        # near the front get reused, producing non-sequential chains.
+
+    # ------------------------------------------------------------- lookup
+
+    def _walk(self, path: str) -> DirEntry:
+        if not path.startswith("/"):
+            raise FsError(f"paths are absolute, got {path!r}")
+        node = self._root
+        for part in [p for p in path.split("/") if p]:
+            if not node.is_dir or part not in node.children:
+                raise FsError(f"no such path {path!r}")
+            node = node.children[part]
+        return node
+
+    def _parent_of(self, path: str) -> tuple[DirEntry, str]:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise FsError("cannot operate on the root")
+        parent = self._walk("/" + "/".join(parts[:-1]))
+        if not parent.is_dir:
+            raise FsError(f"{path!r}: parent is not a directory")
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._walk(path)
+            return True
+        except FsError:
+            return False
+
+    def listdir(self, path: str = "/") -> list[str]:
+        node = self._walk(path)
+        if not node.is_dir:
+            raise FsError(f"{path!r} is not a directory")
+        return sorted(node.children)
+
+    def tree(self, path: str = "/") -> list[str]:
+        """All file paths under ``path`` (recursive)."""
+        node = self._walk(path)
+        prefix = path.rstrip("/")
+        out = []
+        for name, child in sorted(node.children.items()):
+            full = f"{prefix}/{name}"
+            if child.is_dir:
+                out.extend(self.tree(full))
+            else:
+                out.append(full)
+        return out
+
+    # -------------------------------------------------------- allocation
+
+    def _allocate(self, count: int) -> list[int]:
+        blocks = [i for i, v in enumerate(self._fat) if v == FREE][:count]
+        if len(blocks) < count:
+            raise FsError("device full")
+        return blocks
+
+    def free_blocks(self) -> int:
+        return sum(1 for v in self._fat if v == FREE)
+
+    def chain_of(self, path: str) -> list[int]:
+        """The block chain of a file, in order."""
+        entry = self._walk(path)
+        if entry.is_dir:
+            raise FsError(f"{path!r} is a directory")
+        chain = []
+        block = entry.first_block
+        while block != END_OF_CHAIN:
+            chain.append(block)
+            block = self._fat[block]
+        return chain
+
+    def fragmentation(self, path: str) -> float:
+        """Fraction of non-adjacent links in the file's chain (0 = fully
+        sequential layout, 1 = every next block is a jump)."""
+        chain = self.chain_of(path)
+        if len(chain) < 2:
+            return 0.0
+        jumps = sum(
+            1 for a, b in zip(chain, chain[1:]) if b != a + 1
+        )
+        return jumps / (len(chain) - 1)
+
+    # ------------------------------------------------------------ file IO
+
+    def mkdir(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FsError(f"{path!r} already exists")
+        parent.children[name] = DirEntry(name=name, is_dir=True)
+
+    def makedirs(self, path: str) -> None:
+        parts = [p for p in path.split("/") if p]
+        so_far = ""
+        for part in parts:
+            so_far += "/" + part
+            if not self.exists(so_far):
+                self.mkdir(so_far)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Create or replace a file."""
+        parent, name = self._parent_of(path)
+        if name in parent.children and parent.children[name].is_dir:
+            raise FsError(f"{path!r} is a directory")
+        if name in parent.children:
+            self._free_chain(parent.children[name])
+        bs = self.device.block_size
+        count = max(1, -(-len(data) // bs))
+        blocks = self._allocate(count)
+        for i, block in enumerate(blocks):
+            self._fat[block] = blocks[i + 1] if i + 1 < count else END_OF_CHAIN
+            self.device.write_block(block, data[i * bs:(i + 1) * bs])
+        parent.children[name] = DirEntry(
+            name=name, is_dir=False, first_block=blocks[0], size=len(data)
+        )
+
+    def append_file(self, path: str, data: bytes) -> None:
+        """Extend a file (DVR-style growing recordings)."""
+        if not self.exists(path):
+            self.write_file(path, data)
+            return
+        existing = self.read_file(path)
+        self.write_file(path, existing + data)
+
+    def read_file(self, path: str) -> bytes:
+        entry = self._walk(path)
+        if entry.is_dir:
+            raise FsError(f"{path!r} is a directory")
+        out = bytearray()
+        for block in self.chain_of(path):
+            out.extend(self.device.read_block(block))
+        return bytes(out[: entry.size])
+
+    def delete(self, path: str) -> None:
+        parent, name = self._parent_of(path)
+        if name not in parent.children:
+            raise FsError(f"no such path {path!r}")
+        entry = parent.children[name]
+        if entry.is_dir:
+            if entry.children:
+                raise FsError(f"directory {path!r} not empty")
+        else:
+            self._free_chain(entry)
+        del parent.children[name]
+
+    def _free_chain(self, entry: DirEntry) -> None:
+        block = entry.first_block
+        while block != END_OF_CHAIN:
+            next_block = self._fat[block]
+            self._fat[block] = FREE
+            block = next_block
+
+    # ------------------------------------------- the CD/MP3 import case
+
+    def import_foreign_tree(self, tree: dict) -> list[str]:
+        """Mount a directory tree created *outside* this device.
+
+        ``tree`` maps names to either bytes (files) or nested dicts
+        (directories) — the CD/MP3 player situation where the player must
+        cope with arbitrary structures and names.  Returns the imported
+        file paths.  Names are sanitised the way consumer firmware does:
+        path separators replaced, over-long names truncated (collisions
+        get numeric suffixes).
+        """
+        imported: list[str] = []
+
+        def sanitise(name: str) -> str:
+            clean = name.replace("/", "_").replace("\x00", "_").strip() or "_"
+            return clean[:64]
+
+        def place(node: dict, base: str) -> None:
+            for raw_name, value in node.items():
+                name = sanitise(str(raw_name))
+                target = f"{base}/{name}".replace("//", "/")
+                suffix = 1
+                while self.exists(target) and isinstance(value, bytes):
+                    target = f"{base}/{name}.{suffix}"
+                    suffix += 1
+                if isinstance(value, dict):
+                    if not self.exists(target):
+                        self.makedirs(target)
+                    place(value, target)
+                elif isinstance(value, bytes):
+                    self.write_file(target, value)
+                    imported.append(target)
+                else:
+                    raise FsError(
+                        f"foreign entry {raw_name!r} is neither file nor dir"
+                    )
+
+        place(tree, "")
+        return imported

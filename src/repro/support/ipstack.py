@@ -1,0 +1,437 @@
+"""A small IP stack over lossy links (paper Section 7).
+
+*"Some use the Internet for limited purposes, such as content access or
+DRM.  These devices can make use of the small IP stacks that have been
+developed over the past several years.  Other devices are intended to
+operate as network devices..."*
+
+Layers implemented from scratch:
+
+* RFC 1071 ones-complement checksum;
+* IPv4 header pack/unpack with checksum validation and TTL;
+* UDP datagrams (the "small stack" path: enough for a DRM transaction);
+* TCP-lite (the "network device" path): 3-way handshake, go-back-N
+  retransmission with cumulative ACKs, FIN teardown;
+* a tick-driven lossy link + network harness for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+PROTO_UDP = 17
+PROTO_TCP = 6
+
+
+def ones_complement_checksum(data: bytes) -> int:
+    """RFC 1071 checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """Minimal IPv4: addresses as integers, ttl, protocol, payload."""
+
+    src: int
+    dst: int
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+
+    #: version(1) + length(2) + ttl(1) + proto(1) + src(4) + dst(4)
+    HEADER_LEN = 13
+
+    def to_bytes(self) -> bytes:
+        header = bytearray(self.HEADER_LEN)
+        header[0] = 0x45
+        length = self.HEADER_LEN + 2 + len(self.payload)
+        header[1:3] = length.to_bytes(2, "big")
+        header[3] = self.ttl
+        header[4] = self.protocol
+        header[5:9] = self.src.to_bytes(4, "big")
+        header[9:13] = self.dst.to_bytes(4, "big")
+        checksum = ones_complement_checksum(bytes(header))
+        return bytes(header) + checksum.to_bytes(2, "big") + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IPv4Packet":
+        if len(raw) < cls.HEADER_LEN + 2:
+            raise ValueError("IPv4 packet truncated")
+        header = raw[: cls.HEADER_LEN]
+        checksum_bytes = raw[cls.HEADER_LEN:cls.HEADER_LEN + 2]
+        if ones_complement_checksum(header) != int.from_bytes(checksum_bytes, "big"):
+            raise ValueError("IPv4 header checksum mismatch")
+        length = int.from_bytes(raw[1:3], "big")
+        if length != len(raw):
+            raise ValueError("IPv4 length mismatch")
+        return cls(
+            src=int.from_bytes(raw[5:9], "big"),
+            dst=int.from_bytes(raw[9:13], "big"),
+            protocol=raw[4],
+            ttl=raw[3],
+            payload=raw[cls.HEADER_LEN + 2:],
+        )
+
+    def hop(self) -> "IPv4Packet":
+        """Decrement TTL (routers call this); raises when expired."""
+        if self.ttl <= 1:
+            raise ValueError("TTL expired")
+        return IPv4Packet(
+            src=self.src,
+            dst=self.dst,
+            protocol=self.protocol,
+            payload=self.payload,
+            ttl=self.ttl - 1,
+        )
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def to_bytes(self) -> bytes:
+        head = (
+            self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+            + (8 + len(self.payload)).to_bytes(2, "big")
+        )
+        checksum = ones_complement_checksum(head + self.payload)
+        return head + checksum.to_bytes(2, "big") + self.payload
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "UdpDatagram":
+        if len(raw) < 8:
+            raise ValueError("UDP datagram truncated")
+        checksum = int.from_bytes(raw[6:8], "big")
+        if ones_complement_checksum(raw[:6] + raw[8:]) != checksum:
+            raise ValueError("UDP checksum mismatch")
+        return cls(
+            src_port=int.from_bytes(raw[0:2], "big"),
+            dst_port=int.from_bytes(raw[2:4], "big"),
+            payload=raw[8:],
+        )
+
+
+# ------------------------------------------------------------- link model
+
+
+@dataclass
+class LossyLink:
+    """Unidirectional link dropping packets i.i.d. with ``loss_rate``."""
+
+    loss_rate: float = 0.0
+    latency_ticks: int = 1
+    seed: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    _in_flight: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def send(self, raw: bytes, now: int) -> None:
+        if self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return
+        self._in_flight.append((now + self.latency_ticks, raw))
+
+    def deliver(self, now: int) -> list[bytes]:
+        arrived = [raw for t, raw in self._in_flight if t <= now]
+        self._in_flight = [(t, raw) for t, raw in self._in_flight if t > now]
+        self.delivered += len(arrived)
+        return arrived
+
+
+# -------------------------------------------------------------- TCP-lite
+
+SYN, ACK, FIN, DATA = 0x1, 0x2, 0x4, 0x8
+
+
+@dataclass(frozen=True)
+class Segment:
+    flags: int
+    seq: int
+    ack: int
+    payload: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        return (
+            bytes([self.flags])
+            + self.seq.to_bytes(4, "big")
+            + self.ack.to_bytes(4, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Segment":
+        if len(raw) < 9:
+            raise ValueError("segment truncated")
+        return cls(
+            flags=raw[0],
+            seq=int.from_bytes(raw[1:5], "big"),
+            ack=int.from_bytes(raw[5:9], "big"),
+            payload=raw[9:],
+        )
+
+
+class TcpLite:
+    """Go-back-N reliable byte stream with handshake and teardown.
+
+    One instance per endpoint; ``tick`` drives timers, ``on_segment``
+    handles arrivals, ``outbox`` collects segments to put on the wire.
+    """
+
+    def __init__(
+        self,
+        is_client: bool,
+        mss: int = 64,
+        window: int = 4,
+        rto_ticks: int = 8,
+    ) -> None:
+        self.state = "CLOSED"
+        self.is_client = is_client
+        self.mss = mss
+        self.window = window
+        self.rto = rto_ticks
+        self.snd_una = 0  # oldest unacked byte
+        self.snd_nxt = 0
+        self.rcv_nxt = 0
+        self.send_buffer = b""
+        self.received = b""
+        self.outbox: list[Segment] = []
+        self.retransmissions = 0
+        self.segments_sent = 0
+        self._timer: int | None = None
+        self.fin_sent = False
+        self.peer_closed = False
+
+    # ----------------------------------------------------------- actions
+
+    def connect(self) -> None:
+        if not self.is_client:
+            raise RuntimeError("only clients connect")
+        self.state = "SYN_SENT"
+        self._emit(Segment(SYN, 0, 0))
+
+    def listen(self) -> None:
+        self.state = "LISTEN"
+
+    def send(self, data: bytes) -> None:
+        if self.state not in ("ESTABLISHED", "SYN_SENT", "LISTEN", "SYN_RCVD"):
+            raise RuntimeError(f"cannot send in state {self.state}")
+        self.send_buffer += data
+
+    def close(self) -> None:
+        self.fin_sent = True  # FIN goes out once the buffer drains
+
+    @property
+    def closed(self) -> bool:
+        return self.state == "CLOSED" and self.fin_sent
+
+    # ------------------------------------------------------------ engine
+
+    def _emit(self, segment: Segment) -> None:
+        self.outbox.append(segment)
+        self.segments_sent += 1
+
+    def on_segment(self, segment: Segment, now: int) -> None:
+        if segment.flags & SYN and not segment.flags & ACK:
+            # Duplicate SYNs (our SYN|ACK was lost) get a fresh SYN|ACK.
+            if self.state in ("LISTEN", "CLOSED", "SYN_RCVD"):
+                self.state = "SYN_RCVD"
+                self._emit(Segment(SYN | ACK, 0, 1))
+            return
+        if segment.flags & SYN and segment.flags & ACK:
+            if self.state == "SYN_SENT":
+                self.state = "ESTABLISHED"
+                self._timer = None
+                self._emit(Segment(ACK, 0, 1))
+            return
+        if self.state == "SYN_RCVD" and segment.flags & (ACK | DATA):
+            self.state = "ESTABLISHED"
+            # fall through: the segment may carry data
+        if segment.flags & FIN and segment.flags & ACK:
+            # FIN-ACK: our FIN reached the peer; the connection is done.
+            if self.state == "FIN_WAIT":
+                self.state = "CLOSED"
+            return
+        if segment.flags & DATA:
+            if segment.seq == self.rcv_nxt:
+                self.received += segment.payload
+                self.rcv_nxt += len(segment.payload)
+            # Cumulative ACK (duplicate for out-of-order arrivals).
+            self._emit(Segment(ACK, 0, self.rcv_nxt))
+        if segment.flags & ACK and not segment.flags & SYN:
+            if segment.ack > self.snd_una:
+                self.snd_una = segment.ack
+                self._timer = now if self.snd_una < self.snd_nxt else None
+        if segment.flags & FIN:
+            # Plain FIN from the peer: acknowledge with FIN|ACK (and do so
+            # again for retransmitted FINs whose ack we lost).
+            self.peer_closed = True
+            self._emit(Segment(FIN | ACK, 0, self.rcv_nxt))
+
+    def tick(self, now: int) -> None:
+        if self.state == "FIN_WAIT":
+            # Retransmit the FIN until its FIN-ACK arrives.
+            if self._timer is not None and now - self._timer >= self.rto:
+                self._emit(Segment(FIN, self.snd_nxt, self.rcv_nxt))
+                self.retransmissions += 1
+                self._timer = now
+            return
+        if self.state not in ("ESTABLISHED", "SYN_RCVD"):
+            if self.state == "SYN_SENT" and self._timer is None:
+                self._timer = now
+            if (
+                self.state == "SYN_SENT"
+                and self._timer is not None
+                and now - self._timer >= self.rto
+            ):
+                self._emit(Segment(SYN, 0, 0))
+                self.retransmissions += 1
+                self._timer = now
+            return
+        # Send new data inside the window.
+        while (
+            self.snd_nxt - self.snd_una < self.window * self.mss
+            and self.snd_nxt < len(self.send_buffer)
+        ):
+            chunk = self.send_buffer[self.snd_nxt:self.snd_nxt + self.mss]
+            self._emit(Segment(DATA, self.snd_nxt, self.rcv_nxt, chunk))
+            self.snd_nxt += len(chunk)
+            if self._timer is None:
+                self._timer = now
+        # Retransmit the whole window on timeout (go-back-N).
+        if (
+            self._timer is not None
+            and now - self._timer >= self.rto
+            and self.snd_una < self.snd_nxt
+        ):
+            seq = self.snd_una
+            while seq < self.snd_nxt:
+                chunk = self.send_buffer[seq:seq + self.mss]
+                self._emit(Segment(DATA, seq, self.rcv_nxt, chunk))
+                self.retransmissions += 1
+                seq += len(chunk)
+            self._timer = now
+        # Everything sent & acked: start the close (FIN needs its own ack).
+        if (
+            self.fin_sent
+            and self.snd_nxt >= len(self.send_buffer)
+            and self.snd_una >= self.snd_nxt
+            and self.state == "ESTABLISHED"
+        ):
+            self._emit(Segment(FIN, self.snd_nxt, self.rcv_nxt))
+            self.state = "FIN_WAIT"
+            self._timer = now
+
+
+@dataclass
+class NetworkStats:
+    ticks: int
+    packets_forward: int
+    packets_backward: int
+    client_retransmissions: int
+    server_retransmissions: int
+
+
+class PointToPointNetwork:
+    """Two TcpLite endpoints joined by two lossy links."""
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        latency_ticks: int = 1,
+        seed: int = 0,
+        mss: int = 64,
+        window: int = 4,
+    ) -> None:
+        self.client = TcpLite(is_client=True, mss=mss, window=window)
+        self.server = TcpLite(is_client=False, mss=mss, window=window)
+        self.c2s = LossyLink(loss_rate, latency_ticks, seed=seed)
+        self.s2c = LossyLink(loss_rate, latency_ticks, seed=seed + 1)
+        self.server.listen()
+
+    def run(self, max_ticks: int = 5000) -> NetworkStats:
+        """Tick until both sides close (or the budget runs out)."""
+        for now in range(max_ticks):
+            self.client.tick(now)
+            self.server.tick(now)
+            for seg in self.client.outbox:
+                self.c2s.send(seg.to_bytes(), now)
+            self.client.outbox.clear()
+            for seg in self.server.outbox:
+                self.s2c.send(seg.to_bytes(), now)
+            self.server.outbox.clear()
+            for raw in self.c2s.deliver(now):
+                self.server.on_segment(Segment.from_bytes(raw), now)
+            for raw in self.s2c.deliver(now):
+                self.client.on_segment(Segment.from_bytes(raw), now)
+            client_done = self.client.state == "CLOSED" and self.client.fin_sent
+            if client_done and self.server.peer_closed:
+                return NetworkStats(
+                    ticks=now + 1,
+                    packets_forward=self.c2s.delivered + self.c2s.dropped,
+                    packets_backward=self.s2c.delivered + self.s2c.dropped,
+                    client_retransmissions=self.client.retransmissions,
+                    server_retransmissions=self.server.retransmissions,
+                )
+        raise TimeoutError("network did not quiesce in the tick budget")
+
+
+def udp_transaction(
+    request: bytes,
+    response: bytes,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    max_attempts: int = 10,
+) -> tuple[bytes, int]:
+    """The DRM-style small-stack exchange: UDP request/response with
+    application-level retry.  Returns (response, datagrams_sent)."""
+    link_out = LossyLink(loss_rate, 1, seed=seed)
+    link_back = LossyLink(loss_rate, 1, seed=seed + 1)
+    sent = 0
+    now = 0
+    for _ in range(max_attempts):
+        packet = IPv4Packet(
+            src=0x0A000001,
+            dst=0x0A000002,
+            protocol=PROTO_UDP,
+            payload=UdpDatagram(1024, 443, request).to_bytes(),
+        )
+        link_out.send(packet.to_bytes(), now)
+        sent += 1
+        now += 2
+        arrived = link_out.deliver(now)
+        if arrived:
+            parsed = IPv4Packet.from_bytes(arrived[0])
+            UdpDatagram.from_bytes(parsed.payload)  # validates request
+            reply = IPv4Packet(
+                src=0x0A000002,
+                dst=0x0A000001,
+                protocol=PROTO_UDP,
+                payload=UdpDatagram(443, 1024, response).to_bytes(),
+            )
+            link_back.send(reply.to_bytes(), now)
+            sent += 1
+            now += 2
+            back = link_back.deliver(now)
+            if back:
+                datagram = UdpDatagram.from_bytes(
+                    IPv4Packet.from_bytes(back[0]).payload
+                )
+                return datagram.payload, sent
+        now += 2
+    raise TimeoutError("UDP transaction failed after retries")

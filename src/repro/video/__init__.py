@@ -1,0 +1,64 @@
+"""Video compression substrate (paper Section 3, Figure 1).
+
+Public surface: the Figure-1 hybrid encoder/decoder, the transform and
+entropy-coding stages it is built from, and rate/quality metrics.
+"""
+
+from .bitstream import BitReader, BitWriter
+from .dct import dct_1d, dct_2d, dct_2d_direct, idct_1d, idct_2d
+from .decoder import DecodedVideo, VideoDecoder
+from .encoder import EncodedVideo, EncoderConfig, FrameStats, VideoEncoder
+from .frames import Frame, rgb_to_ycbcr, ycbcr_to_rgb
+from .huffman import HuffmanCodec
+from .metrics import bitrate_bps, bits_per_pixel, blockiness, mse, psnr, sequence_psnr
+from .motion import (
+    SEARCH_ALGORITHMS,
+    MotionField,
+    diamond_search,
+    full_search,
+    motion_compensate,
+    three_step_search,
+)
+from .quant import INTRA_BASE, INTER_BASE, dequantize, quantize, scaled_matrix
+from .ratecontrol import RateController
+from .zigzag import inverse_zigzag, zigzag
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "DecodedVideo",
+    "EncodedVideo",
+    "EncoderConfig",
+    "Frame",
+    "FrameStats",
+    "HuffmanCodec",
+    "INTER_BASE",
+    "INTRA_BASE",
+    "MotionField",
+    "RateController",
+    "SEARCH_ALGORITHMS",
+    "VideoDecoder",
+    "VideoEncoder",
+    "bitrate_bps",
+    "bits_per_pixel",
+    "blockiness",
+    "dct_1d",
+    "dct_2d",
+    "dct_2d_direct",
+    "dequantize",
+    "diamond_search",
+    "full_search",
+    "idct_1d",
+    "idct_2d",
+    "inverse_zigzag",
+    "motion_compensate",
+    "mse",
+    "psnr",
+    "quantize",
+    "rgb_to_ycbcr",
+    "scaled_matrix",
+    "sequence_psnr",
+    "three_step_search",
+    "ycbcr_to_rgb",
+    "zigzag",
+]

@@ -1,0 +1,152 @@
+"""Bit-level I/O used by every entropy coder in the library.
+
+The paper's Figure 1 ends in a *variable length encode* stage followed by a
+*buffer*; both need a bit-exact serialization substrate.  ``BitWriter`` packs
+bits MSB-first into a ``bytearray``; ``BitReader`` reads them back in the same
+order.  Both support fixed-width unsigned fields, signed fields
+(two's-complement in a fixed width), and Exp-Golomb codes (used for motion
+vectors, where small magnitudes dominate).
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and exposes the packed bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accum = 0
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._accum = (self._accum << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._accum)
+            self._accum = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of the unsigned integer ``value``, MSB first."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_signed(self, value: int, width: int) -> None:
+        """Append a signed integer as ``width``-bit two's complement."""
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if not lo <= value <= hi:
+            raise ValueError(f"value {value} does not fit in signed {width} bits")
+        self.write_bits(value & ((1 << width) - 1), width)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` ones followed by a terminating zero."""
+        if value < 0:
+            raise ValueError("unary codes encode non-negative integers only")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_ue(self, value: int) -> None:
+        """Append an unsigned Exp-Golomb code (0 -> '1', 1 -> '010', ...)."""
+        if value < 0:
+            raise ValueError("ue(v) encodes non-negative integers only")
+        code = value + 1
+        nbits = code.bit_length()
+        self.write_bits(0, nbits - 1)
+        self.write_bits(code, nbits)
+
+    def write_se(self, value: int) -> None:
+        """Append a signed Exp-Golomb code (0, 1, -1, 2, -2, ...)."""
+        if value > 0:
+            self.write_ue(2 * value - 1)
+        else:
+            self.write_ue(-2 * value)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        while self._nbits:
+            self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes, zero-padding the final partial byte."""
+        if not self._nbits:
+            return bytes(self._buffer)
+        tail = self._accum << (8 - self._nbits)
+        return bytes(self._buffer) + bytes([tail])
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes`` object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_signed(self, width: int) -> int:
+        """Read a ``width``-bit two's-complement signed integer."""
+        raw = self.read_bits(width)
+        if raw >= 1 << (width - 1):
+            raw -= 1 << width
+        return raw
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_ue(self) -> int:
+        """Read an unsigned Exp-Golomb code."""
+        zeros = 0
+        while self.read_bit() == 0:
+            zeros += 1
+            if zeros > 64:
+                raise ValueError("malformed Exp-Golomb code")
+        value = 1
+        for _ in range(zeros):
+            value = (value << 1) | self.read_bit()
+        return value - 1
+
+    def read_se(self) -> int:
+        """Read a signed Exp-Golomb code."""
+        ue = self.read_ue()
+        magnitude = (ue + 1) // 2
+        return magnitude if ue % 2 else -magnitude
+
+    def align(self) -> None:
+        """Skip to the next byte boundary."""
+        self._pos = (self._pos + 7) & ~7

@@ -1,0 +1,80 @@
+"""Static entropy-coding tables shared by the video encoder and decoder.
+
+Standards ship fixed Huffman tables trained on representative content; this
+module builds ours deterministically from analytic priors (geometric run
+lengths, Laplacian-ish level magnitudes), so encoder and decoder derive
+bit-identical tables without any table serialization in the stream.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .huffman import HuffmanCodec
+
+#: Magnitude categories 0..15 (JPEG-style: category = bit_length(|level|)).
+NUM_CATEGORIES = 16
+
+#: AC events are (run, category) pairs packed as run * NUM_CATEGORIES + cat.
+#: The extra trailing symbol is the end-of-block marker.
+
+
+def ac_alphabet_size(block_size: int) -> int:
+    return block_size * block_size * NUM_CATEGORIES + 1
+
+
+def eob_symbol(block_size: int) -> int:
+    return block_size * block_size * NUM_CATEGORIES
+
+
+def pack_ac(run: int, category: int) -> int:
+    return run * NUM_CATEGORIES + category
+
+
+def unpack_ac(symbol: int) -> tuple[int, int]:
+    return divmod(symbol, NUM_CATEGORIES)
+
+
+@lru_cache(maxsize=8)
+def default_ac_codec(block_size: int) -> HuffmanCodec:
+    """AC (run, category) codec from a geometric run / decaying level prior."""
+    freqs: dict[int, int] = {}
+    max_run = block_size * block_size
+    for run in range(max_run):
+        p_run = 0.55 ** run
+        for cat in range(1, 13):
+            p_cat = 0.5 ** cat
+            freqs[pack_ac(run, cat)] = 1 + int(2_000_000 * p_run * p_cat)
+    freqs[eob_symbol(block_size)] = 600_000
+    return HuffmanCodec.from_frequencies(freqs)
+
+
+@lru_cache(maxsize=8)
+def default_dc_codec(block_size: int) -> HuffmanCodec:
+    """DC-difference category codec: small differences dominate."""
+    freqs = {cat: 1 + int(1_000_000 * 0.6 ** cat) for cat in range(13)}
+    return HuffmanCodec.from_frequencies(freqs)
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG-style category: number of bits in |value| (0 for value == 0)."""
+    return int(abs(value)).bit_length()
+
+
+def encode_magnitude(value: int, writer) -> None:
+    """Write the JPEG-style magnitude bits for ``value`` (category implied)."""
+    cat = magnitude_category(value)
+    if cat == 0:
+        return
+    bits = value if value > 0 else value + (1 << cat) - 1
+    writer.write_bits(bits, cat)
+
+
+def decode_magnitude(category: int, reader) -> int:
+    """Read back a value whose category was decoded from the Huffman stream."""
+    if category == 0:
+        return 0
+    bits = reader.read_bits(category)
+    if bits >= 1 << (category - 1):
+        return bits
+    return bits - (1 << category) + 1

@@ -1,0 +1,134 @@
+"""Discrete cosine transform kernels.
+
+Section 3 of the paper singles out the DCT as the first of the three major
+video-compression techniques and notes the property this module demonstrates:
+*"It is a frequency transform with the advantage that a 2-D DCT can be
+computed from two 1-D DCTs."*
+
+We provide the orthonormal type-II DCT (and its inverse, the type-III) in
+three forms:
+
+* ``dct_1d`` / ``idct_1d`` — matrix-free 1-D reference transforms;
+* ``dct_2d`` / ``idct_2d`` — separable 2-D transforms (two 1-D passes),
+  the form every practical encoder uses;
+* ``dct_2d_direct`` — the naive O(N^4) 2-D definition, kept as the baseline
+  for the separability benchmark (experiment C3 in DESIGN.md).
+
+Operation-count helpers feed the MPSoC workload models in
+:mod:`repro.video.taskgraph`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=16)
+def dct_matrix(n: int) -> np.ndarray:
+    """Return the ``n`` x ``n`` orthonormal type-II DCT matrix ``C``.
+
+    ``C @ x`` computes the 1-D DCT of ``x``; ``C.T`` is the inverse since the
+    matrix is orthogonal: ``C.T @ C == I``.
+    """
+    if n <= 0:
+        raise ValueError(f"DCT size must be positive, got {n}")
+    k = np.arange(n).reshape(-1, 1)
+    i = np.arange(n).reshape(1, -1)
+    mat = np.cos(math.pi * (2 * i + 1) * k / (2 * n))
+    mat *= math.sqrt(2.0 / n)
+    mat[0, :] = 1.0 / math.sqrt(n)
+    return mat
+
+
+def dct_1d(x: np.ndarray) -> np.ndarray:
+    """Orthonormal 1-D type-II DCT of the last axis of ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    c = dct_matrix(x.shape[-1])
+    return x @ c.T
+
+
+def idct_1d(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct_1d` (orthonormal type-III DCT)."""
+    x = np.asarray(x, dtype=np.float64)
+    c = dct_matrix(x.shape[-1])
+    return x @ c
+
+
+def dct_2d(block: np.ndarray) -> np.ndarray:
+    """Separable 2-D DCT: a 1-D DCT over rows, then one over columns.
+
+    This is the "two 1-D DCTs" formulation from Section 3 of the paper.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {block.shape}")
+    rows = dct_matrix(block.shape[0])
+    cols = dct_matrix(block.shape[1])
+    return rows @ block @ cols.T
+
+
+def idct_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse separable 2-D DCT."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {coeffs.shape}")
+    rows = dct_matrix(coeffs.shape[0])
+    cols = dct_matrix(coeffs.shape[1])
+    return rows.T @ coeffs @ cols
+
+
+def dct_2d_direct(block: np.ndarray) -> np.ndarray:
+    """Naive 2-D DCT straight from the definition (O(N^2 M^2) multiplies).
+
+    Numerically identical to :func:`dct_2d`; exists so the separability claim
+    can be benchmarked against the non-separable formulation.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError(f"expected a 2-D block, got shape {block.shape}")
+    n, m = block.shape
+    out = np.empty((n, m), dtype=np.float64)
+    ii = np.arange(n).reshape(-1, 1)
+    jj = np.arange(m).reshape(1, -1)
+    for u in range(n):
+        cu = math.sqrt(1.0 / n) if u == 0 else math.sqrt(2.0 / n)
+        cos_u = np.cos(math.pi * (2 * ii + 1) * u / (2 * n))
+        for v in range(m):
+            cv = math.sqrt(1.0 / m) if v == 0 else math.sqrt(2.0 / m)
+            cos_v = np.cos(math.pi * (2 * jj + 1) * v / (2 * m))
+            out[u, v] = cu * cv * float(np.sum(block * cos_u * cos_v))
+    return out
+
+
+def blockwise(image: np.ndarray, block_size: int, func) -> np.ndarray:
+    """Apply ``func`` to every ``block_size`` x ``block_size`` tile of ``image``.
+
+    The image dimensions must be multiples of ``block_size``; encoders pad
+    first (see :mod:`repro.video.frames`).
+    """
+    image = np.asarray(image, dtype=np.float64)
+    h, w = image.shape
+    if h % block_size or w % block_size:
+        raise ValueError(
+            f"image {h}x{w} is not a multiple of block size {block_size}"
+        )
+    out = np.empty_like(image)
+    for y in range(0, h, block_size):
+        for x in range(0, w, block_size):
+            out[y:y + block_size, x:x + block_size] = func(
+                image[y:y + block_size, x:x + block_size]
+            )
+    return out
+
+
+def separable_mul_count(n: int) -> int:
+    """Multiplications for one ``n`` x ``n`` separable 2-D DCT (2 n^3)."""
+    return 2 * n ** 3
+
+
+def direct_mul_count(n: int) -> int:
+    """Multiplications for one ``n`` x ``n`` direct 2-D DCT (n^4)."""
+    return n ** 4

@@ -1,0 +1,179 @@
+"""Video decoder: the receiver half of the paper's Figure 1 loop.
+
+The decoder is deliberately much simpler than the encoder — no motion
+*estimation*, only compensation — which is exactly the encode/decode
+asymmetry the paper's Section 2 builds its broadcast argument on
+(experiment C1 measures it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import codec_tables as tables
+from .bitstream import BitReader
+from .dct import idct_2d
+from .encoder import MAGIC, VERSION
+from .frames import Frame
+from .motion import MotionField, motion_compensate
+from .quant import INTRA_BASE, dequantize, uniform_matrix
+from .zigzag import inverse_zigzag
+
+
+@dataclass
+class DecodedVideo:
+    """Decoder output: frames plus per-frame op accounting."""
+
+    frames: list[Frame]
+    frame_types: list[str]
+    stage_ops: list[dict[str, float]]
+
+
+class VideoDecoder:
+    """Parses and reconstructs streams produced by :class:`VideoEncoder`."""
+
+    def decode(self, data: bytes) -> DecodedVideo:
+        reader = BitReader(data)
+        magic = reader.read_bits(16)
+        if magic != MAGIC:
+            raise ValueError(f"bad stream magic 0x{magic:04x}")
+        version = reader.read_bits(4)
+        if version != VERSION:
+            raise ValueError(f"unsupported stream version {version}")
+        width = reader.read_bits(16)
+        height = reader.read_bits(16)
+        block_size = reader.read_bits(8)
+        num_frames = reader.read_bits(16)
+        code_chroma = bool(reader.read_bits(1))
+
+        ac_codec = tables.default_ac_codec(block_size)
+        dc_codec = tables.default_dc_codec(block_size)
+        eob = tables.eob_symbol(block_size)
+
+        n = block_size
+        pad_h = -(-height // n) * n
+        pad_w = -(-width // n) * n
+        chroma_h, chroma_w = height // 2, width // 2
+        cpad_h = -(-chroma_h // n) * n
+        cpad_w = -(-chroma_w // n) * n
+
+        reference: dict[str, np.ndarray] = {}
+        frames: list[Frame] = []
+        frame_types: list[str] = []
+        ops: list[dict[str, float]] = []
+
+        for _ in range(num_frames):
+            is_inter = bool(reader.read_bits(1))
+            step = reader.read_bits(12) / 16.0
+            intra_matrix = np.clip(INTRA_BASE * (step / 16.0), 1.0, 255.0)
+            inter_matrix = uniform_matrix(step, (n, n))
+            frame_ops: dict[str, float] = {}
+
+            motion: MotionField | None = None
+            if is_inter:
+                by, bx = pad_h // n, pad_w // n
+                dy = np.zeros((by, bx), dtype=np.int32)
+                dx = np.zeros((by, bx), dtype=np.int32)
+                for i in range(by):
+                    for j in range(bx):
+                        dy[i, j] = reader.read_se()
+                        dx[i, j] = reader.read_se()
+                motion = MotionField(dy=dy, dx=dx, block_size=n)
+
+            recon: dict[str, np.ndarray] = {}
+            plane_specs = [("y", pad_h, pad_w)]
+            if code_chroma:
+                plane_specs += [("cb", cpad_h, cpad_w), ("cr", cpad_h, cpad_w)]
+            for name, ph, pw in plane_specs:
+                if not is_inter or motion is None:
+                    prediction = np.full((ph, pw), 128.0)
+                elif name == "y":
+                    prediction = motion_compensate(reference["y"], motion)
+                    frame_ops["motion_compensation"] = (
+                        frame_ops.get("motion_compensation", 0.0) + ph * pw
+                    )
+                else:
+                    from .encoder import _halve_motion
+
+                    chroma_field = _halve_motion(motion, (ph, pw), n)
+                    prediction = motion_compensate(reference[name], chroma_field)
+                matrix = inter_matrix if is_inter else intra_matrix
+                plane, blocks = self._decode_plane(
+                    reader, ph, pw, n, matrix, prediction,
+                    ac_codec, dc_codec, eob,
+                )
+                recon[name] = plane
+                frame_ops["inverse_dct"] = (
+                    frame_ops.get("inverse_dct", 0.0) + blocks * 2 * n ** 3
+                )
+                frame_ops["dequantize"] = (
+                    frame_ops.get("dequantize", 0.0) + blocks * n * n
+                )
+            if not code_chroma:
+                recon["cb"] = np.full((cpad_h, cpad_w), 128.0)
+                recon["cr"] = np.full((cpad_h, cpad_w), 128.0)
+
+            reference = recon
+            frames.append(
+                Frame(
+                    y=recon["y"][:height, :width],
+                    cb=recon["cb"][:chroma_h, :chroma_w],
+                    cr=recon["cr"][:chroma_h, :chroma_w],
+                )
+            )
+            frame_types.append("P" if is_inter else "I")
+            ops.append(frame_ops)
+
+        return DecodedVideo(frames=frames, frame_types=frame_types, stage_ops=ops)
+
+    def _decode_plane(
+        self,
+        reader: BitReader,
+        height: int,
+        width: int,
+        n: int,
+        matrix: np.ndarray,
+        prediction: np.ndarray,
+        ac_codec,
+        dc_codec,
+        eob: int,
+    ) -> tuple[np.ndarray, int]:
+        plane = np.empty((height, width), dtype=np.float64)
+        prev_dc = 0
+        blocks = 0
+        for y in range(0, height, n):
+            for x in range(0, width, n):
+                vec, prev_dc = self._decode_block(
+                    reader, n, ac_codec, dc_codec, eob, prev_dc
+                )
+                levels = inverse_zigzag(vec, n)
+                coeffs = dequantize(levels.astype(np.float64), matrix)
+                plane[y:y + n, x:x + n] = (
+                    idct_2d(coeffs) + prediction[y:y + n, x:x + n]
+                )
+                blocks += 1
+        np.clip(plane, 0.0, 255.0, out=plane)
+        return plane, blocks
+
+    def _decode_block(
+        self, reader: BitReader, n: int, ac_codec, dc_codec, eob: int,
+        prev_dc: int,
+    ) -> tuple[np.ndarray, int]:
+        vec = np.zeros(n * n, dtype=np.int32)
+        cat = dc_codec.decode_symbol(reader)
+        dc = prev_dc + tables.decode_magnitude(cat, reader)
+        vec[0] = dc
+        pos = 1
+        while True:
+            symbol = ac_codec.decode_symbol(reader)
+            if symbol == eob:
+                break
+            run, cat = tables.unpack_ac(symbol)
+            pos += run
+            if pos >= n * n:
+                raise ValueError("corrupt stream: AC coefficients overrun block")
+            vec[pos] = tables.decode_magnitude(cat, reader)
+            pos += 1
+        return vec, dc

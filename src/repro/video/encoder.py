@@ -1,0 +1,359 @@
+"""The video encoder of the paper's Figure 1.
+
+Dataflow per frame (arrows as drawn in the paper)::
+
+                 +-------+   +-----------+   +----------------+   +--------+
+    frame ----->(-)-> DCT --> QUANTIZER --> VARIABLE LENGTH   --> BUFFER -->
+                 ^    |          |              ENCODE                 |
+                 |    |     INVERSE DCT                        step feedback
+                 |    |          |
+                 |  MOTION-COMPENSATED PREDICTOR <- reconstructed frame
+                 |          ^
+                 +--- MOTION ESTIMATOR <------- reference frame store
+
+I-frames code the shifted pixels directly; P-frames code the motion-
+compensated residual.  The encoder contains the decoder loop (inverse
+quantize + inverse DCT + predictor) so that encoder and decoder predict
+from *identical* reconstructed references — the property that keeps lossy
+inter coding from drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import codec_tables as tables
+from .bitstream import BitWriter
+from .dct import dct_2d, idct_2d
+from .frames import Frame, pad_to_multiple
+from .motion import SEARCH_ALGORITHMS, MotionField, motion_compensate
+from .quant import INTRA_BASE, dequantize, quantize, uniform_matrix
+from .ratecontrol import RateController
+from .rle import EOB, encode_block
+from .zigzag import zigzag
+
+MAGIC = 0x5657  # "VW"
+VERSION = 1
+
+
+@dataclass
+class EncoderConfig:
+    """Knobs of the Figure-1 encoder."""
+
+    block_size: int = 8
+    gop_size: int = 8
+    search_algorithm: str = "full"
+    search_range: int = 7
+    quality: int = 75
+    target_bitrate: float | None = None  # bits per second
+    frame_rate: float = 30.0
+    code_chroma: bool = True
+    motion_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.block_size < 2:
+            raise ValueError("block size must be at least 2")
+        if self.gop_size < 1:
+            raise ValueError("GOP size must be at least 1")
+        if self.search_algorithm not in SEARCH_ALGORITHMS:
+            raise ValueError(
+                f"unknown search algorithm {self.search_algorithm!r}; "
+                f"choose from {sorted(SEARCH_ALGORITHMS)}"
+            )
+        if not 1 <= self.quality <= 100:
+            raise ValueError("quality must be in 1..100")
+
+    def base_step(self) -> float:
+        """Quantizer step implied by ``quality`` (used without rate control).
+
+        Clamped to the rate controller's admissible step range.
+        """
+        from .quant import quality_scale
+
+        return min(112.0, max(2.0, 16.0 * quality_scale(self.quality)))
+
+
+@dataclass
+class FrameStats:
+    """Per-frame accounting the benchmarks aggregate."""
+
+    index: int
+    frame_type: str  # "I" or "P"
+    bits: int
+    quant_step: float
+    me_evaluations: int
+    mv_bits: int
+    coeff_bits: int
+    buffer_occupancy: float
+    stage_ops: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class EncodedVideo:
+    """Encoder output: the packed stream plus per-frame statistics."""
+
+    data: bytes
+    config: EncoderConfig
+    width: int
+    height: int
+    frame_stats: list[FrameStats]
+
+    @property
+    def total_bits(self) -> int:
+        return len(self.data) * 8
+
+    def mean_bits_per_frame(self) -> float:
+        if not self.frame_stats:
+            return 0.0
+        return sum(s.bits for s in self.frame_stats) / len(self.frame_stats)
+
+
+def _as_frames(sequence) -> list[Frame]:
+    frames = []
+    for item in sequence:
+        if isinstance(item, Frame):
+            frames.append(item)
+        else:
+            frames.append(Frame(y=np.asarray(item, dtype=np.float64)))
+    if not frames:
+        raise ValueError("cannot encode an empty sequence")
+    first = frames[0]
+    for f in frames[1:]:
+        if (f.height, f.width) != (first.height, first.width):
+            raise ValueError("all frames must share the same dimensions")
+    return frames
+
+
+class VideoEncoder:
+    """Block-transform hybrid encoder (Figure 1 of the paper)."""
+
+    def __init__(self, config: EncoderConfig | None = None) -> None:
+        self.config = config or EncoderConfig()
+        n = self.config.block_size
+        self._ac_codec = tables.default_ac_codec(n)
+        self._dc_codec = tables.default_dc_codec(n)
+        self._eob = tables.eob_symbol(n)
+
+    # ----------------------------------------------------------------- API
+
+    def encode(self, sequence) -> EncodedVideo:
+        """Encode a sequence of :class:`Frame` (or 2-D luma arrays)."""
+        cfg = self.config
+        frames = _as_frames(sequence)
+        writer = BitWriter()
+        self._write_header(writer, frames)
+
+        rate = RateController(
+            bits_per_frame=(
+                cfg.target_bitrate / cfg.frame_rate
+                if cfg.target_bitrate
+                else None
+            ),
+            base_step=cfg.base_step(),
+        )
+
+        reference: dict[str, np.ndarray] | None = None
+        stats: list[FrameStats] = []
+        for index, frame in enumerate(frames):
+            is_intra = (index % cfg.gop_size == 0) or reference is None
+            step = rate.quant_step()
+            bits_before = len(writer)
+            frame_stat, reference = self._encode_frame(
+                writer, frame, reference, is_intra, step, index
+            )
+            frame_stat.bits = len(writer) - bits_before
+            state = rate.frame_coded(frame_stat.bits)
+            frame_stat.buffer_occupancy = state.occupancy
+            stats.append(frame_stat)
+
+        writer.align()
+        return EncodedVideo(
+            data=writer.getvalue(),
+            config=cfg,
+            width=frames[0].width,
+            height=frames[0].height,
+            frame_stats=stats,
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    def _write_header(self, writer: BitWriter, frames: list[Frame]) -> None:
+        cfg = self.config
+        writer.write_bits(MAGIC, 16)
+        writer.write_bits(VERSION, 4)
+        writer.write_bits(frames[0].width, 16)
+        writer.write_bits(frames[0].height, 16)
+        writer.write_bits(cfg.block_size, 8)
+        writer.write_bits(len(frames), 16)
+        writer.write_bits(1 if cfg.code_chroma else 0, 1)
+
+    def _encode_frame(
+        self,
+        writer: BitWriter,
+        frame: Frame,
+        reference: dict[str, np.ndarray] | None,
+        is_intra: bool,
+        step: float,
+        index: int,
+    ) -> tuple[FrameStats, dict[str, np.ndarray]]:
+        cfg = self.config
+        n = cfg.block_size
+        writer.write_bits(0 if is_intra else 1, 1)
+        # Step is carried as 12-bit fixed point (1/16 resolution).
+        step_q = max(16, min(4095, int(round(step * 16))))
+        writer.write_bits(step_q, 12)
+        step = step_q / 16.0
+
+        intra_matrix = np.clip(INTRA_BASE * (step / 16.0), 1.0, 255.0)
+        inter_matrix = uniform_matrix(step, (n, n))
+
+        me_evals = 0
+        mv_bits = 0
+        stage_ops: dict[str, float] = {}
+        luma = pad_to_multiple(frame.y, n)
+        motion: MotionField | None = None
+
+        if not is_intra:
+            assert reference is not None
+            search = SEARCH_ALGORITHMS[cfg.search_algorithm]
+            if cfg.motion_enabled:
+                motion, me_evals = search(
+                    luma, reference["y"], block_size=n,
+                    search_range=cfg.search_range,
+                )
+            else:
+                by, bx = luma.shape[0] // n, luma.shape[1] // n
+                motion = MotionField(
+                    dy=np.zeros((by, bx), dtype=np.int32),
+                    dx=np.zeros((by, bx), dtype=np.int32),
+                    block_size=n,
+                )
+            before = len(writer)
+            self._write_motion(writer, motion)
+            mv_bits = len(writer) - before
+            stage_ops["motion_estimation"] = float(me_evals * n * n)
+
+        coeff_before = len(writer)
+        recon: dict[str, np.ndarray] = {}
+        planes = frame.planes() if cfg.code_chroma else frame.planes()[:1]
+        for name, plane in planes:
+            padded = pad_to_multiple(plane, n)
+            if is_intra or motion is None:
+                prediction = np.full_like(padded, 128.0)
+            elif name == "y":
+                prediction = motion_compensate(reference["y"], motion)
+            else:
+                chroma_field = _halve_motion(motion, padded.shape, n)
+                prediction = motion_compensate(reference[name], chroma_field)
+            matrix = intra_matrix if is_intra else inter_matrix
+            recon_plane, plane_ops = self._code_plane(
+                writer, padded, prediction, matrix
+            )
+            recon[name] = recon_plane
+            for key, val in plane_ops.items():
+                stage_ops[key] = stage_ops.get(key, 0.0) + val
+        if not cfg.code_chroma:
+            recon["cb"] = pad_to_multiple(frame.cb, n)
+            recon["cr"] = pad_to_multiple(frame.cr, n)
+        coeff_bits = len(writer) - coeff_before
+
+        stat = FrameStats(
+            index=index,
+            frame_type="I" if is_intra else "P",
+            bits=0,  # caller fills in (includes headers)
+            quant_step=step,
+            me_evaluations=me_evals,
+            mv_bits=mv_bits,
+            coeff_bits=coeff_bits,
+            buffer_occupancy=0.0,
+            stage_ops=stage_ops,
+        )
+        return stat, recon
+
+    def _write_motion(self, writer: BitWriter, motion: MotionField) -> None:
+        by, bx = motion.shape
+        for i in range(by):
+            for j in range(bx):
+                writer.write_se(int(motion.dy[i, j]))
+                writer.write_se(int(motion.dx[i, j]))
+
+    def _code_plane(
+        self,
+        writer: BitWriter,
+        plane: np.ndarray,
+        prediction: np.ndarray,
+        matrix: np.ndarray,
+    ) -> tuple[np.ndarray, dict[str, float]]:
+        """Transform-code one plane; return its reconstruction and op counts."""
+        n = self.config.block_size
+        residual = plane - prediction
+        h, w = plane.shape
+        recon = np.empty_like(plane)
+        prev_dc = 0
+        blocks = 0
+        for y in range(0, h, n):
+            for x in range(0, w, n):
+                block = residual[y:y + n, x:x + n]
+                coeffs = dct_2d(block)
+                levels = quantize(coeffs, matrix)
+                vec = zigzag(levels)
+                prev_dc = self._write_block(writer, vec, prev_dc)
+                dequant = dequantize(
+                    np.asarray(
+                        _unzigzag_cached(vec, n), dtype=np.float64
+                    ),
+                    matrix,
+                )
+                rec_block = idct_2d(dequant) + prediction[y:y + n, x:x + n]
+                recon[y:y + n, x:x + n] = rec_block
+                blocks += 1
+        np.clip(recon, 0.0, 255.0, out=recon)
+        ops = {
+            "dct": float(blocks * 2 * n ** 3),
+            "quantize": float(blocks * n * n),
+            "inverse_dct": float(blocks * 2 * n ** 3),
+            "vlc": float(blocks * n * n),
+        }
+        return recon, ops
+
+    def _write_block(self, writer: BitWriter, vec: np.ndarray, prev_dc: int) -> int:
+        """Entropy-code one zig-zag vector; returns the new DC predictor."""
+        dc = int(vec[0])
+        diff = dc - prev_dc
+        cat = tables.magnitude_category(diff)
+        self._dc_codec.encode_symbol(cat, writer)
+        tables.encode_magnitude(diff, writer)
+        for event in encode_block(vec[1:]):
+            if event == EOB:
+                self._ac_codec.encode_symbol(self._eob, writer)
+                continue
+            cat = tables.magnitude_category(event.level)
+            self._ac_codec.encode_symbol(tables.pack_ac(event.run, cat), writer)
+            tables.encode_magnitude(event.level, writer)
+        return dc
+
+
+def _halve_motion(
+    motion: MotionField, chroma_shape: tuple[int, int], n: int
+) -> MotionField:
+    """Derive a chroma-plane motion field from the luma field (4:2:0)."""
+    by = chroma_shape[0] // n
+    bx = chroma_shape[1] // n
+    dy = np.zeros((by, bx), dtype=np.int32)
+    dx = np.zeros((by, bx), dtype=np.int32)
+    ly, lx = motion.shape
+    for i in range(by):
+        for j in range(bx):
+            si = min(2 * i, ly - 1)
+            sj = min(2 * j, lx - 1)
+            dy[i, j] = int(motion.dy[si, sj]) // 2
+            dx[i, j] = int(motion.dx[si, sj]) // 2
+    return MotionField(dy=dy, dx=dx, block_size=n)
+
+
+def _unzigzag_cached(vec: np.ndarray, n: int) -> np.ndarray:
+    from .zigzag import inverse_zigzag
+
+    return inverse_zigzag(vec, n)

@@ -1,0 +1,129 @@
+"""Frame containers, colour conversion, and chroma subsampling.
+
+Consumer codecs operate on Y'CbCr with 4:2:0 chroma subsampling; the eye's
+lower chroma acuity is the first "information to be thrown away" before any
+transform runs.  This module supplies that plumbing for the encoder of
+Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: ITU-R BT.601 luma weights used for RGB <-> YCbCr conversion.
+_KR, _KG, _KB = 0.299, 0.587, 0.114
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an (H, W, 3) RGB array in [0, 255] to YCbCr in [0, 255]."""
+    rgb = np.asarray(rgb, dtype=np.float64)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) RGB array, got {rgb.shape}")
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = _KR * r + _KG * g + _KB * b
+    cb = 128.0 + (b - y) / (2.0 * (1.0 - _KB))
+    cr = 128.0 + (r - y) / (2.0 * (1.0 - _KR))
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycc: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_ycbcr`, clipped to [0, 255]."""
+    ycc = np.asarray(ycc, dtype=np.float64)
+    if ycc.ndim != 3 or ycc.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) YCbCr array, got {ycc.shape}")
+    y, cb, cr = ycc[..., 0], ycc[..., 1] - 128.0, ycc[..., 2] - 128.0
+    r = y + 2.0 * (1.0 - _KR) * cr
+    b = y + 2.0 * (1.0 - _KB) * cb
+    g = (y - _KR * r - _KB * b) / _KG
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 255.0)
+
+
+def subsample_420(plane: np.ndarray) -> np.ndarray:
+    """2x2 average-pool a chroma plane (4:2:0 subsampling)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        raise ValueError(f"plane {h}x{w} must have even dimensions for 4:2:0")
+    return (
+        plane[0::2, 0::2] + plane[0::2, 1::2]
+        + plane[1::2, 0::2] + plane[1::2, 1::2]
+    ) / 4.0
+
+
+def upsample_420(plane: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour 2x upsampling (inverse of :func:`subsample_420`)."""
+    plane = np.asarray(plane, dtype=np.float64)
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+
+
+def pad_to_multiple(plane: np.ndarray, multiple: int) -> np.ndarray:
+    """Edge-pad a plane so both dimensions divide ``multiple``."""
+    plane = np.asarray(plane, dtype=np.float64)
+    h, w = plane.shape
+    ph = (-h) % multiple
+    pw = (-w) % multiple
+    if not ph and not pw:
+        return plane
+    return np.pad(plane, ((0, ph), (0, pw)), mode="edge")
+
+
+@dataclass
+class Frame:
+    """One video frame in planar 4:2:0 Y'CbCr.
+
+    ``y`` is (H, W); ``cb``/``cr`` are (H/2, W/2).  Luma-only content (the
+    common case in tests) may leave the chroma planes at neutral 128.
+    """
+
+    y: np.ndarray
+    cb: np.ndarray = field(default=None)  # type: ignore[assignment]
+    cr: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.y = np.asarray(self.y, dtype=np.float64)
+        if self.y.ndim != 2:
+            raise ValueError(f"luma plane must be 2-D, got {self.y.shape}")
+        h, w = self.y.shape
+        if h % 2 or w % 2:
+            raise ValueError(f"frame {h}x{w} must have even dimensions")
+        if self.cb is None:
+            self.cb = np.full((h // 2, w // 2), 128.0)
+        if self.cr is None:
+            self.cr = np.full((h // 2, w // 2), 128.0)
+        self.cb = np.asarray(self.cb, dtype=np.float64)
+        self.cr = np.asarray(self.cr, dtype=np.float64)
+        if self.cb.shape != (h // 2, w // 2) or self.cr.shape != (h // 2, w // 2):
+            raise ValueError("chroma planes must be half the luma size (4:2:0)")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @classmethod
+    def from_rgb(cls, rgb: np.ndarray) -> "Frame":
+        """Build a 4:2:0 frame from an (H, W, 3) RGB array."""
+        ycc = rgb_to_ycbcr(rgb)
+        return cls(
+            y=ycc[..., 0],
+            cb=subsample_420(ycc[..., 1]),
+            cr=subsample_420(ycc[..., 2]),
+        )
+
+    def to_rgb(self) -> np.ndarray:
+        """Reconstruct an (H, W, 3) RGB array (chroma nearest-upsampled)."""
+        ycc = np.stack(
+            [self.y, upsample_420(self.cb), upsample_420(self.cr)], axis=-1
+        )
+        return ycbcr_to_rgb(ycc)
+
+    def copy(self) -> "Frame":
+        return Frame(y=self.y.copy(), cb=self.cb.copy(), cr=self.cr.copy())
+
+    def planes(self) -> list[tuple[str, np.ndarray]]:
+        return [("y", self.y), ("cb", self.cb), ("cr", self.cr)]

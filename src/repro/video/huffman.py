@@ -1,0 +1,168 @@
+"""Huffman entropy coding ("lossless encoding, particularly Huffman-style
+encoding, is used to remove entropy from the final data stream" — Section 3).
+
+The codec works over an integer symbol alphabet and produces *canonical*
+codes, so a table can be reconstructed from code lengths alone.  Video and
+audio encoders map their events (run/level pairs, scale factors, ...) onto
+integers before entropy coding.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Mapping
+
+from .bitstream import BitReader, BitWriter
+
+#: Longest admissible code; tables are rebuilt with damped frequencies if the
+#: optimal tree is deeper (5-bit length fields in serialized tables).
+MAX_CODE_LENGTH = 31
+
+
+def code_lengths(frequencies: Mapping[int, int]) -> dict[int, int]:
+    """Compute Huffman code lengths for every symbol with non-zero frequency.
+
+    Ties are broken deterministically (by symbol) so encoder and decoder can
+    derive identical tables from identical frequencies.  A single-symbol
+    alphabet gets a 1-bit code.
+    """
+    active = {s: f for s, f in frequencies.items() if f > 0}
+    if not active:
+        raise ValueError("cannot build a Huffman table from empty frequencies")
+    if len(active) == 1:
+        (symbol,) = active
+        return {symbol: 1}
+
+    while True:
+        lengths = _tree_lengths(active)
+        if max(lengths.values()) <= MAX_CODE_LENGTH:
+            return lengths
+        # Damp the skew and retry; halving preserves ordering well enough.
+        active = {s: max(1, f // 2) for s, f in active.items()}
+
+
+def _tree_lengths(frequencies: Mapping[int, int]) -> dict[int, int]:
+    """Standard heap-based Huffman construction returning per-symbol depths."""
+    heap: list[tuple[int, int, list[int]]] = [
+        (freq, symbol, [symbol]) for symbol, freq in frequencies.items()
+    ]
+    heapq.heapify(heap)
+    depths = dict.fromkeys(frequencies, 0)
+    while len(heap) > 1:
+        f1, t1, syms1 = heapq.heappop(heap)
+        f2, t2, syms2 = heapq.heappop(heap)
+        for s in syms1 + syms2:
+            depths[s] += 1
+        heapq.heappush(heap, (f1 + f2, min(t1, t2), syms1 + syms2))
+    return depths
+
+
+def canonical_codes(lengths: Mapping[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical codes (value, width) from code lengths.
+
+    Symbols are ordered by (length, symbol); codes count upward, shifting
+    left when the length increases — the canonical Huffman convention.
+    """
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = ordered[0][1] if ordered else 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanCodec:
+    """Canonical Huffman encoder/decoder over an integer alphabet."""
+
+    def __init__(self, lengths: Mapping[int, int]) -> None:
+        for symbol, length in lengths.items():
+            if length <= 0 or length > MAX_CODE_LENGTH:
+                raise ValueError(
+                    f"symbol {symbol} has invalid code length {length}"
+                )
+        self._lengths = dict(lengths)
+        self._codes = canonical_codes(self._lengths)
+        self._decode_map = {
+            (length, code): symbol
+            for symbol, (code, length) in self._codes.items()
+        }
+        _validate_kraft(self._lengths)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Mapping[int, int]) -> "HuffmanCodec":
+        return cls(code_lengths(frequencies))
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[int]) -> "HuffmanCodec":
+        freqs: dict[int, int] = {}
+        for s in symbols:
+            freqs[s] = freqs.get(s, 0) + 1
+        return cls.from_frequencies(freqs)
+
+    @property
+    def lengths(self) -> dict[int, int]:
+        return dict(self._lengths)
+
+    def code_for(self, symbol: int) -> tuple[int, int]:
+        """Return (code value, code width) for ``symbol``."""
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise KeyError(f"symbol {symbol} not in Huffman alphabet") from None
+
+    def encode_symbol(self, symbol: int, writer: BitWriter) -> None:
+        code, length = self.code_for(symbol)
+        writer.write_bits(code, length)
+
+    def encode(self, symbols: Iterable[int], writer: BitWriter) -> None:
+        for symbol in symbols:
+            self.encode_symbol(symbol, writer)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, MAX_CODE_LENGTH + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._decode_map.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise ValueError("invalid Huffman code in bitstream")
+
+    def decode(self, reader: BitReader, count: int) -> list[int]:
+        return [self.decode_symbol(reader) for _ in range(count)]
+
+    def mean_code_length(self, frequencies: Mapping[int, int]) -> float:
+        """Expected bits/symbol under ``frequencies`` (for rate estimation)."""
+        total = sum(f for s, f in frequencies.items() if s in self._lengths)
+        if total == 0:
+            return 0.0
+        bits = sum(
+            self._lengths[s] * f
+            for s, f in frequencies.items()
+            if s in self._lengths
+        )
+        return bits / total
+
+    def write_table(self, writer: BitWriter, alphabet_size: int) -> None:
+        """Serialize the table as 5-bit lengths for symbols 0..alphabet_size-1."""
+        for symbol in range(alphabet_size):
+            writer.write_bits(self._lengths.get(symbol, 0), 5)
+
+    @classmethod
+    def read_table(cls, reader: BitReader, alphabet_size: int) -> "HuffmanCodec":
+        lengths = {}
+        for symbol in range(alphabet_size):
+            length = reader.read_bits(5)
+            if length:
+                lengths[symbol] = length
+        return cls(lengths)
+
+
+def _validate_kraft(lengths: Mapping[int, int]) -> None:
+    """Reject length sets violating the Kraft inequality (undecodable)."""
+    total = sum(2.0 ** -length for length in lengths.values())
+    if total > 1.0 + 1e-9:
+        raise ValueError(f"code lengths violate Kraft inequality (sum={total})")

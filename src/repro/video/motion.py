@@ -1,0 +1,249 @@
+"""Motion estimation and compensation.
+
+Section 3: *"Motion estimation compares part of one frame to a reference
+frame and determines what motion would cause the selected part to appear in
+the reference frame.  Motion compensation at the receiver then applies that
+motion vector to reconstruct the frame ... motion estimation/compensation
+greatly reduce the number of bits required to represent the video
+sequence."*
+
+Three block-matching searches are provided, spanning the compute/quality
+trade-off that drives MPSoC provisioning (experiment C4):
+
+* :func:`full_search` — exhaustive over a +/- R window; the quality anchor
+  and by far the heaviest stage of the encoder.
+* :func:`three_step_search` — the classic logarithmic refinement.
+* :func:`diamond_search` — small/large diamond pattern search, the cheapest.
+
+All return a :class:`MotionField` plus the number of SAD evaluations spent,
+which the task-graph workload models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MotionField:
+    """Per-block motion vectors: ``dy``/``dx`` index block rows/cols."""
+
+    dy: np.ndarray  # (blocks_y, blocks_x) int32
+    dx: np.ndarray
+    block_size: int
+
+    def __post_init__(self) -> None:
+        self.dy = np.asarray(self.dy, dtype=np.int32)
+        self.dx = np.asarray(self.dx, dtype=np.int32)
+        if self.dy.shape != self.dx.shape:
+            raise ValueError("dy and dx grids must have identical shapes")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.dy.shape
+
+    def magnitude(self) -> float:
+        """Mean Euclidean MV magnitude (pixels)."""
+        return float(np.mean(np.hypot(self.dy, self.dx)))
+
+
+def sad(block: np.ndarray, candidate: np.ndarray) -> float:
+    """Sum of absolute differences between two equally sized blocks."""
+    return float(np.sum(np.abs(block - candidate)))
+
+
+def _block_grid(frame: np.ndarray, block_size: int) -> tuple[int, int]:
+    h, w = frame.shape
+    if h % block_size or w % block_size:
+        raise ValueError(
+            f"frame {h}x{w} is not a multiple of block size {block_size}"
+        )
+    return h // block_size, w // block_size
+
+
+def _candidate(ref: np.ndarray, y: int, x: int, n: int) -> np.ndarray | None:
+    """The n x n block of ``ref`` at (y, x), or None if out of bounds."""
+    h, w = ref.shape
+    if y < 0 or x < 0 or y + n > h or x + n > w:
+        return None
+    return ref[y:y + n, x:x + n]
+
+
+def full_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    block_size: int = 8,
+    search_range: int = 7,
+) -> tuple[MotionField, int]:
+    """Exhaustive block matching over a (2R+1)^2 window.
+
+    Returns the motion field and the number of SAD evaluations performed.
+    """
+    by, bx = _block_grid(current, block_size)
+    dy = np.zeros((by, bx), dtype=np.int32)
+    dx = np.zeros((by, bx), dtype=np.int32)
+    evaluations = 0
+    for i in range(by):
+        for j in range(bx):
+            y0, x0 = i * block_size, j * block_size
+            block = current[y0:y0 + block_size, x0:x0 + block_size]
+            best = np.inf
+            best_vec = (0, 0)
+            for oy in range(-search_range, search_range + 1):
+                for ox in range(-search_range, search_range + 1):
+                    cand = _candidate(reference, y0 + oy, x0 + ox, block_size)
+                    if cand is None:
+                        continue
+                    evaluations += 1
+                    cost = sad(block, cand)
+                    # Prefer the zero vector on ties: cheaper to encode.
+                    if cost < best or (
+                        cost == best and (oy, ox) == (0, 0)
+                    ):
+                        best = cost
+                        best_vec = (oy, ox)
+            dy[i, j], dx[i, j] = best_vec
+    return MotionField(dy=dy, dx=dx, block_size=block_size), evaluations
+
+
+def _pattern_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    block_size: int,
+    search_range: int,
+    step_schedule,
+) -> tuple[MotionField, int]:
+    """Shared driver for the step-pattern searches (TSS, diamond)."""
+    by, bx = _block_grid(current, block_size)
+    dy = np.zeros((by, bx), dtype=np.int32)
+    dx = np.zeros((by, bx), dtype=np.int32)
+    evaluations = 0
+    for i in range(by):
+        for j in range(bx):
+            y0, x0 = i * block_size, j * block_size
+            block = current[y0:y0 + block_size, x0:x0 + block_size]
+            center = (0, 0)
+            cand0 = _candidate(reference, y0, x0, block_size)
+            best = sad(block, cand0) if cand0 is not None else np.inf
+            evaluations += 1
+            for offsets in step_schedule(search_range):
+                while True:
+                    # Classic pattern-search discipline: score the whole
+                    # ring around a FIXED centre, then move once to the
+                    # best point; moving mid-scan biases the walk.
+                    best_move = None
+                    for oy, ox in offsets:
+                        vy, vx = center[0] + oy, center[1] + ox
+                        if max(abs(vy), abs(vx)) > search_range:
+                            continue
+                        cand = _candidate(
+                            reference, y0 + vy, x0 + vx, block_size
+                        )
+                        if cand is None:
+                            continue
+                        evaluations += 1
+                        cost = sad(block, cand)
+                        if cost < best:
+                            best = cost
+                            best_move = (vy, vx)
+                    if best_move is not None:
+                        center = best_move
+                    if best_move is None or not offsets_repeat(offsets):
+                        break
+            dy[i, j], dx[i, j] = center
+    return MotionField(dy=dy, dx=dx, block_size=block_size), evaluations
+
+
+def offsets_repeat(offsets) -> bool:
+    """Patterns marked repeatable iterate until no improvement (diamond)."""
+    return getattr(offsets, "repeat", False)
+
+
+class _RepeatingPattern(list):
+    """List of offsets that the pattern driver re-applies until convergence."""
+
+    repeat = True
+
+
+def three_step_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    block_size: int = 8,
+    search_range: int = 7,
+) -> tuple[MotionField, int]:
+    """Three-step (logarithmic) search: halving step, 8 neighbours + centre."""
+
+    def schedule(rng: int):
+        step = max(1, (rng + 1) // 2)
+        while step >= 1:
+            yield [
+                (oy * step, ox * step)
+                for oy in (-1, 0, 1)
+                for ox in (-1, 0, 1)
+                if (oy, ox) != (0, 0)
+            ]
+            if step == 1:
+                break
+            step //= 2
+
+    return _pattern_search(current, reference, block_size, search_range, schedule)
+
+
+def diamond_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    block_size: int = 8,
+    search_range: int = 7,
+) -> tuple[MotionField, int]:
+    """Diamond search: large diamond until stable, then small diamond."""
+
+    def schedule(rng: int):
+        yield _RepeatingPattern(
+            [(-2, 0), (2, 0), (0, -2), (0, 2), (-1, -1), (-1, 1), (1, -1), (1, 1)]
+        )
+        yield [(-1, 0), (1, 0), (0, -1), (0, 1)]
+
+    return _pattern_search(current, reference, block_size, search_range, schedule)
+
+
+#: Registry used by the encoder configuration and the benchmarks.
+SEARCH_ALGORITHMS = {
+    "full": full_search,
+    "three_step": three_step_search,
+    "diamond": diamond_search,
+}
+
+
+def motion_compensate(reference: np.ndarray, field: MotionField) -> np.ndarray:
+    """Build the predicted frame by applying ``field`` to ``reference``.
+
+    This is the decoder-side operation the paper describes: the receiver
+    holds the reference frame and applies the motion vectors.
+    Out-of-bounds vectors clamp to the frame edge (encoder never emits them,
+    but a robust decoder must not crash on a malformed stream).
+    """
+    n = field.block_size
+    h, w = reference.shape
+    out = np.empty_like(reference)
+    by, bx = field.shape
+    for i in range(by):
+        for j in range(bx):
+            y0, x0 = i * n, j * n
+            sy = min(max(y0 + int(field.dy[i, j]), 0), h - n)
+            sx = min(max(x0 + int(field.dx[i, j]), 0), w - n)
+            out[y0:y0 + n, x0:x0 + n] = reference[sy:sy + n, sx:sx + n]
+    return out
+
+
+def full_search_op_count(
+    width: int, height: int, block_size: int, search_range: int
+) -> int:
+    """Analytic MAC count for full-search ME over one frame.
+
+    blocks * (2R+1)^2 candidates * N^2 absolute differences — the workload
+    model used for DSP/accelerator provisioning in the task graphs.
+    """
+    blocks = (width // block_size) * (height // block_size)
+    return blocks * (2 * search_range + 1) ** 2 * block_size ** 2

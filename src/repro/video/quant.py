@@ -1,0 +1,85 @@
+"""Quantization of DCT coefficients.
+
+The paper (Section 3): *"The DCT itself does not fundamentally reduce the
+amount of information, but it does separate that information into spatial
+frequencies. The higher spatial frequencies represent finer detail that is
+eliminated first."*  Quantization is the stage that does the eliminating —
+it divides each coefficient by a frequency-dependent step and rounds, which
+zeroes the high-frequency detail first because those steps are largest.
+
+The module provides MPEG-style intra/inter base matrices, a quality-scaling
+rule, and the forward/inverse quantizers used by the video and image codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Base quantization matrix for intra (I) blocks, borrowed in spirit from the
+# JPEG/MPEG luminance default: steps grow toward the high-frequency corner.
+INTRA_BASE = np.array(
+    [
+        [8, 16, 19, 22, 26, 27, 29, 34],
+        [16, 16, 22, 24, 27, 29, 34, 37],
+        [19, 22, 26, 27, 29, 34, 34, 38],
+        [22, 22, 26, 27, 29, 34, 37, 40],
+        [22, 26, 27, 29, 32, 35, 40, 48],
+        [26, 27, 29, 32, 35, 40, 48, 58],
+        [26, 27, 29, 34, 38, 46, 56, 69],
+        [27, 29, 35, 38, 46, 56, 69, 83],
+    ],
+    dtype=np.float64,
+)
+
+# Inter (P) residuals carry little DC energy, so MPEG uses a flat matrix.
+INTER_BASE = np.full((8, 8), 16.0, dtype=np.float64)
+
+
+def quality_scale(quality: int) -> float:
+    """Map a JPEG-style quality factor (1..100) to a matrix multiplier.
+
+    Follows the Independent JPEG Group convention: 50 leaves the base matrix
+    unchanged, higher qualities shrink the steps, lower qualities grow them.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in 1..100, got {quality}")
+    if quality < 50:
+        return 50.0 / quality
+    return 2.0 - 2.0 * quality / 100.0
+
+
+def scaled_matrix(base: np.ndarray, quality: int) -> np.ndarray:
+    """Scale ``base`` by the quality rule, clamping steps to [1, 255]."""
+    scale = quality_scale(quality)
+    return np.clip(np.round(base * scale), 1.0, 255.0)
+
+
+def quantize(coeffs: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Divide coefficients by the step matrix and round to nearest integer."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.shape != matrix.shape:
+        raise ValueError(
+            f"coefficient block {coeffs.shape} does not match matrix {matrix.shape}"
+        )
+    return np.round(coeffs / matrix).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Reconstruct coefficient magnitudes from quantized levels."""
+    levels = np.asarray(levels, dtype=np.float64)
+    if levels.shape != matrix.shape:
+        raise ValueError(
+            f"level block {levels.shape} does not match matrix {matrix.shape}"
+        )
+    return levels * matrix
+
+
+def uniform_matrix(step: float, shape: tuple[int, int] = (8, 8)) -> np.ndarray:
+    """A flat quantization matrix with one ``step`` everywhere.
+
+    Used by the rate-control loop (Figure 1's BUFFER feedback adjusts a single
+    scalar step) and by the inter-coded residual path.
+    """
+    if step <= 0:
+        raise ValueError(f"quantizer step must be positive, got {step}")
+    return np.full(shape, float(step), dtype=np.float64)

@@ -1,0 +1,115 @@
+"""Rate control: the BUFFER box of Figure 1.
+
+A video encoder feeding a constant-rate channel smooths its naturally bursty
+output through a buffer; the buffer fullness feeds *back* into the quantizer
+step (the arrow from BUFFER to QUANTIZER in the paper's figure).  This module
+models that loop: a leaky-bucket virtual buffer plus a proportional step
+controller in the spirit of MPEG-2 Test Model 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BufferState:
+    """Snapshot of the virtual buffer after a frame."""
+
+    fullness: float  # bits currently buffered
+    capacity: float
+    quant_step: float
+    overflowed: bool
+    underflowed: bool
+
+    @property
+    def occupancy(self) -> float:
+        """Fullness as a fraction of capacity (0..1)."""
+        return self.fullness / self.capacity if self.capacity else 0.0
+
+
+@dataclass
+class RateController:
+    """Leaky-bucket buffer with proportional quantizer-step feedback.
+
+    Parameters
+    ----------
+    bits_per_frame:
+        Channel drain per frame (target bitrate / frame rate).  ``None``
+        disables rate control: the step stays at ``base_step`` (constant
+        quality mode).
+    buffer_frames:
+        Buffer capacity expressed in frames of channel budget.
+    base_step, min_step, max_step:
+        Quantizer step at 50% occupancy and its clamp range.
+    """
+
+    bits_per_frame: float | None = None
+    buffer_frames: float = 4.0
+    base_step: float = 16.0
+    min_step: float = 2.0
+    max_step: float = 112.0
+    _fullness: float = field(default=0.0, init=False)
+    _overflow_events: int = field(default=0, init=False)
+    _underflow_events: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bits_per_frame is not None and self.bits_per_frame <= 0:
+            raise ValueError("bits_per_frame must be positive when set")
+        if not self.min_step <= self.base_step <= self.max_step:
+            raise ValueError("need min_step <= base_step <= max_step")
+        # Start half-full so the controller has headroom in both directions.
+        if self.bits_per_frame is not None:
+            self._fullness = 0.5 * self.capacity
+
+    @property
+    def capacity(self) -> float:
+        if self.bits_per_frame is None:
+            return 0.0
+        return self.buffer_frames * self.bits_per_frame
+
+    @property
+    def overflow_events(self) -> int:
+        return self._overflow_events
+
+    @property
+    def underflow_events(self) -> int:
+        return self._underflow_events
+
+    def quant_step(self) -> float:
+        """Current quantizer step from buffer occupancy.
+
+        Linear in occupancy: empty buffer -> min_step (spend bits freely),
+        full buffer -> max_step (clamp hard), 50% -> base_step.
+        """
+        if self.bits_per_frame is None:
+            return self.base_step
+        occ = self._fullness / self.capacity
+        if occ <= 0.5:
+            step = self.min_step + 2.0 * occ * (self.base_step - self.min_step)
+        else:
+            step = self.base_step + 2.0 * (occ - 0.5) * (
+                self.max_step - self.base_step
+            )
+        return min(max(step, self.min_step), self.max_step)
+
+    def frame_coded(self, bits: float) -> BufferState:
+        """Account for one coded frame entering and one frame draining."""
+        overflowed = underflowed = False
+        if self.bits_per_frame is not None:
+            self._fullness += bits - self.bits_per_frame
+            if self._fullness > self.capacity:
+                self._fullness = self.capacity
+                overflowed = True
+                self._overflow_events += 1
+            if self._fullness < 0.0:
+                self._fullness = 0.0
+                underflowed = True
+                self._underflow_events += 1
+        return BufferState(
+            fullness=self._fullness,
+            capacity=self.capacity,
+            quant_step=self.quant_step(),
+            overflowed=overflowed,
+            underflowed=underflowed,
+        )

@@ -1,0 +1,78 @@
+"""Run-length coding of zig-zag scanned coefficient vectors.
+
+The variable-length-encode stage of Figure 1 is classically a run-length
+model (runs of zeros between non-zero levels, plus an end-of-block marker)
+followed by entropy coding of the (run, level) events — see
+:mod:`repro.video.huffman`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Symbol emitted after the last non-zero coefficient of a block.
+EOB = "EOB"
+
+
+@dataclass(frozen=True)
+class RunLevel:
+    """A run of ``run`` zeros followed by the non-zero ``level``."""
+
+    run: int
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.run < 0:
+            raise ValueError(f"run must be non-negative, got {self.run}")
+        if self.level == 0:
+            raise ValueError("level of a RunLevel event cannot be zero")
+
+
+def encode_block(vector: np.ndarray) -> list:
+    """Encode a zig-zag vector into ``RunLevel`` events plus ``EOB``.
+
+    An all-zero vector encodes to just ``[EOB]``.
+    """
+    events: list = []
+    run = 0
+    for value in np.asarray(vector).tolist():
+        if value == 0:
+            run += 1
+        else:
+            events.append(RunLevel(run=run, level=int(value)))
+            run = 0
+    events.append(EOB)
+    return events
+
+
+def decode_block(events: list, length: int) -> np.ndarray:
+    """Invert :func:`encode_block` into a vector of ``length`` entries."""
+    out = np.zeros(length, dtype=np.int32)
+    pos = 0
+    for event in events:
+        if event == EOB:
+            return out
+        if not isinstance(event, RunLevel):
+            raise ValueError(f"unexpected event {event!r} in run-length stream")
+        pos += event.run
+        if pos >= length:
+            raise ValueError("run-length stream overruns the block")
+        out[pos] = event.level
+        pos += 1
+    raise ValueError("run-length stream missing EOB terminator")
+
+
+def split_blocks(events: list) -> list[list]:
+    """Split a flat event stream into per-block event lists (EOB-terminated)."""
+    blocks: list[list] = []
+    current: list = []
+    for event in events:
+        current.append(event)
+        if event == EOB:
+            blocks.append(current)
+            current = []
+    if current:
+        raise ValueError("trailing events after final EOB")
+    return blocks

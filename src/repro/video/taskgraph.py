@@ -1,0 +1,163 @@
+"""The Figure-1 video encoder/decoder as SDF task graphs.
+
+Actors carry *operation profiles* (counts per operation class) derived from
+the analytic costs of the algorithms implemented in this package — e.g.
+full-search ME is ``blocks * (2R+1)^2 * N^2`` MACs, a separable 2-D DCT is
+``2 N^3`` MACs per block.  The MPSoC mapper turns profiles into per-PE
+times via :meth:`repro.mpsoc.ProcessorType.time_for`.
+
+Token sizes are bytes per frame-grained token, so interconnect models see
+realistic traffic (a reference frame is w*h bytes; an entropy-coded frame
+is a fraction of that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataflow.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class VideoWorkload:
+    """Parameters that size the encoder's per-frame work."""
+
+    width: int = 176
+    height: int = 144
+    frame_rate: float = 15.0
+    block_size: int = 8
+    search_range: int = 7
+    search_algorithm: str = "full"
+    compressed_fraction: float = 0.1  # coded bits as fraction of raw
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if self.width % self.block_size or self.height % self.block_size:
+            raise ValueError("dimensions must be multiples of the block size")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def blocks(self) -> int:
+        return (self.width // self.block_size) * (self.height // self.block_size)
+
+    def me_macs(self) -> float:
+        """MACs per frame for the configured motion-estimation search."""
+        full = self.blocks * (2 * self.search_range + 1) ** 2 * self.block_size ** 2
+        if self.search_algorithm == "full":
+            return float(full)
+        # Fast searches visit ~tens of candidates instead of (2R+1)^2.
+        candidates = {"three_step": 25, "diamond": 16}[self.search_algorithm]
+        return float(self.blocks * candidates * self.block_size ** 2)
+
+    def dct_macs(self) -> float:
+        return float(self.blocks * 2 * self.block_size ** 3)
+
+
+def encoder_taskgraph(workload: VideoWorkload | None = None) -> SDFGraph:
+    """Figure 1 as an SDF graph (P-frame steady state, frame granularity).
+
+    The reconstruction loop (inverse quantizer -> inverse DCT -> motion-
+    compensated predictor) closes back on the motion estimator through
+    reference-frame channels carrying one initial token — exactly the
+    frame-store delay of the paper's figure.
+    """
+    w = workload or VideoWorkload()
+    px = float(w.pixels)
+    g = SDFGraph("video_encoder")
+
+    g.add_actor("capture", kind="capture", ops={"mem": px})
+    g.add_actor(
+        "motion_estimation",
+        kind="motion_estimation",
+        ops={"mac": w.me_macs(), "mem": px},
+    )
+    g.add_actor(
+        "predictor", kind="predictor", ops={"mem": 2 * px, "alu": px}
+    )
+    g.add_actor("difference", kind="difference", ops={"alu": px})
+    g.add_actor("dct", kind="dct", ops={"mac": w.dct_macs(), "mem": px})
+    g.add_actor("quantizer", kind="quantizer", ops={"alu": px, "mem": px})
+    g.add_actor(
+        "vlc", kind="vlc", ops={"bit": 2 * px, "control": px / 4}
+    )
+    g.add_actor("buffer", kind="ratecontrol", ops={"control": 512.0})
+    g.add_actor("inverse_quantizer", kind="quantizer", ops={"alu": px})
+    g.add_actor("inverse_dct", kind="idct", ops={"mac": w.dct_macs()})
+    g.add_actor("reconstruct", kind="reconstruct", ops={"alu": px, "mem": px})
+
+    frame = px  # bytes
+    coeff = 2 * px
+    coded = max(1.0, w.compressed_fraction * px)
+    vectors = float(w.blocks * 2)
+
+    g.add_channel("capture", "motion_estimation", token_size=frame)
+    g.add_channel("capture", "difference", token_size=frame)
+    g.add_channel("motion_estimation", "predictor", token_size=vectors)
+    g.add_channel("motion_estimation", "vlc", token_size=vectors)
+    g.add_channel("predictor", "difference", token_size=frame)
+    g.add_channel("predictor", "reconstruct", token_size=frame)
+    g.add_channel("difference", "dct", token_size=frame)
+    g.add_channel("dct", "quantizer", token_size=coeff)
+    g.add_channel("quantizer", "vlc", token_size=coeff)
+    g.add_channel("quantizer", "inverse_quantizer", token_size=coeff)
+    g.add_channel("vlc", "buffer", token_size=coded)
+    # Rate-control feedback: the buffer state reaches the quantizer one
+    # frame later (initial token = the BUFFER->QUANTIZER arrow in Fig. 1).
+    g.add_channel("buffer", "quantizer", initial_tokens=1, token_size=8.0)
+    g.add_channel("inverse_quantizer", "inverse_dct", token_size=coeff)
+    g.add_channel("inverse_dct", "reconstruct", token_size=frame)
+    # Reference-frame store: reconstruct feeds next frame's ME/prediction.
+    g.add_channel(
+        "reconstruct", "motion_estimation", initial_tokens=1, token_size=frame
+    )
+    g.add_channel(
+        "reconstruct", "predictor", initial_tokens=1, token_size=frame
+    )
+    return g
+
+
+def decoder_taskgraph(workload: VideoWorkload | None = None) -> SDFGraph:
+    """The receiver: parse -> dequantize -> IDCT -> motion compensation.
+
+    Note what is *absent* relative to the encoder: motion estimation, the
+    forward DCT/quantizer, and rate control — the paper's encode/decode
+    asymmetry in graph form.
+    """
+    w = workload or VideoWorkload()
+    px = float(w.pixels)
+    g = SDFGraph("video_decoder")
+    g.add_actor("vld", kind="vld", ops={"bit": 2 * px, "control": px / 4})
+    g.add_actor("inverse_quantizer", kind="quantizer", ops={"alu": px})
+    g.add_actor("inverse_dct", kind="idct", ops={"mac": w.dct_macs()})
+    g.add_actor(
+        "compensator", kind="predictor", ops={"mem": 2 * px, "alu": px}
+    )
+    g.add_actor("reconstruct", kind="reconstruct", ops={"alu": px, "mem": px})
+    g.add_actor("display", kind="display", ops={"mem": px})
+
+    coeff = 2 * px
+    frame = px
+    coded = max(1.0, w.compressed_fraction * px)
+    g.add_channel("vld", "inverse_quantizer", token_size=coded)
+    g.add_channel("vld", "compensator", token_size=float(w.blocks * 2))
+    g.add_channel("inverse_quantizer", "inverse_dct", token_size=coeff)
+    g.add_channel("inverse_dct", "reconstruct", token_size=frame)
+    g.add_channel("compensator", "reconstruct", token_size=frame)
+    g.add_channel("reconstruct", "display", token_size=frame)
+    g.add_channel(
+        "reconstruct", "compensator", initial_tokens=1, token_size=frame
+    )
+    return g
+
+
+def total_ops(graph: SDFGraph) -> dict[str, float]:
+    """Sum operation profiles over all actors (per iteration/frame)."""
+    totals: dict[str, float] = {}
+    for actor in graph.actors.values():
+        for cls, count in actor.tags.get("ops", {}).items():
+            totals[cls] = totals.get(cls, 0.0) + count
+    return totals

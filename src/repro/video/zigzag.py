@@ -1,0 +1,53 @@
+"""Zig-zag scan ordering of quantized DCT blocks.
+
+After quantization the non-zero coefficients cluster in the low-frequency
+corner; the zig-zag scan linearizes a 2-D block so those coefficients come
+first and the (mostly zero) high frequencies trail, which is what makes the
+run-length stage in :mod:`repro.video.rle` effective.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=16)
+def zigzag_order(n: int) -> tuple[tuple[int, int], ...]:
+    """Return the (row, col) visit order for an ``n`` x ``n`` zig-zag scan."""
+    if n <= 0:
+        raise ValueError(f"block size must be positive, got {n}")
+    order = []
+    for s in range(2 * n - 1):
+        diagonal = [
+            (i, s - i)
+            for i in range(max(0, s - n + 1), min(s, n - 1) + 1)
+        ]
+        # Even diagonals run bottom-left -> top-right, odd ones the reverse,
+        # starting from (0,0), (0,1), (1,0), (2,0), ...
+        if s % 2 == 0:
+            diagonal.reverse()
+        order.extend(diagonal)
+    return tuple(order)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Flatten a square block into zig-zag order."""
+    block = np.asarray(block)
+    n, m = block.shape
+    if n != m:
+        raise ValueError(f"zig-zag scan needs a square block, got {n}x{m}")
+    order = zigzag_order(n)
+    return np.array([block[r, c] for r, c in order], dtype=block.dtype)
+
+
+def inverse_zigzag(vector: np.ndarray, n: int) -> np.ndarray:
+    """Rebuild an ``n`` x ``n`` block from its zig-zag vector."""
+    vector = np.asarray(vector)
+    if vector.size != n * n:
+        raise ValueError(f"vector of {vector.size} entries cannot fill {n}x{n}")
+    block = np.empty((n, n), dtype=vector.dtype)
+    for value, (r, c) in zip(vector, zigzag_order(n)):
+        block[r, c] = value
+    return block

@@ -1,0 +1,5 @@
+"""Synthetic workload generators used by tests, examples, and benchmarks."""
+
+from . import audio_gen, video_gen
+
+__all__ = ["audio_gen", "video_gen"]

@@ -1,0 +1,59 @@
+"""Synthetic test images with controllable structure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def smooth_gradient(height: int = 64, width: int = 64) -> np.ndarray:
+    """A diagonal luminance ramp: trivially compressible, artifact-prone."""
+    yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    return 255.0 * (yy + xx) / (height + width - 2)
+
+def natural_like(height: int = 64, width: int = 64, seed=0) -> np.ndarray:
+    """1/f-ish image: smooth regions, edges, and mild texture.
+
+    Built by low-pass filtering noise at several scales and adding a couple
+    of hard-edged shapes, which is enough structure for codec comparisons.
+    """
+    rng = _rng(seed)
+    img = np.zeros((height, width))
+    for scale, weight in ((4, 0.5), (8, 0.3), (16, 0.2)):
+        small = rng.normal(size=(height // scale + 2, width // scale + 2))
+        up = np.kron(small, np.ones((scale, scale)))[:height, :width]
+        img += weight * up
+    img = (img - img.min()) / (img.max() - img.min() + 1e-12)
+    img = 40.0 + 170.0 * img
+    # Hard edges: a bright rectangle and a dark disc.
+    img[height // 6:height // 3, width // 5:width // 2] = 230.0
+    yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    disc = (yy - 2 * height // 3) ** 2 + (xx - 2 * width // 3) ** 2 < (
+        min(height, width) // 5
+    ) ** 2
+    img[disc] = 25.0
+    return np.clip(img, 0.0, 255.0)
+
+
+def checkerboard(height: int = 64, width: int = 64, cell: int = 8) -> np.ndarray:
+    """Worst case for both codecs: maximum-frequency structure."""
+    yy, xx = np.meshgrid(np.arange(height), np.arange(width), indexing="ij")
+    return 255.0 * (((yy // cell) + (xx // cell)) % 2).astype(np.float64)
+
+
+def texture(height: int = 64, width: int = 64, seed=0) -> np.ndarray:
+    """Band-limited noise texture."""
+    rng = _rng(seed)
+    img = rng.normal(size=(height, width))
+    kernel = np.outer(np.hanning(5), np.hanning(5))
+    kernel /= kernel.sum()
+    padded = np.pad(img, 2, mode="reflect")
+    out = np.zeros_like(img)
+    for dy in range(5):
+        for dx in range(5):
+            out += kernel[dy, dx] * padded[dy:dy + height, dx:dx + width]
+    out = (out - out.min()) / (out.max() - out.min() + 1e-12)
+    return 255.0 * out

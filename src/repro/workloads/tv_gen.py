@@ -1,0 +1,145 @@
+"""Synthetic broadcast-TV streams with commercials (paper Section 5).
+
+The generator produces the structure the Replay-era detectors exploit:
+
+* programs and commercials are separated by runs of **black frames**;
+* commercials are **shorter**, more **saturated** (the colour-burst trick:
+  "many movies on broadcast TV were black-and-white while the commercials
+  were in colour"), and **cut faster**;
+* every frame carries a ground-truth label so detectors can be scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+PROGRAM = "program"
+COMMERCIAL = "commercial"
+BLACK = "black"
+
+
+@dataclass
+class TvStream:
+    """Frames (RGB, float 0..255) plus per-frame ground truth labels."""
+
+    frames: list[np.ndarray]
+    labels: list[str]
+    frame_rate: float = 10.0
+
+    def __post_init__(self) -> None:
+        if len(self.frames) != len(self.labels):
+            raise ValueError("frames and labels must align")
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.frames)
+
+    def segments(self) -> list[tuple[str, int, int]]:
+        """Contiguous (label, start, end-exclusive) runs."""
+        runs = []
+        start = 0
+        for i in range(1, len(self.labels) + 1):
+            if i == len(self.labels) or self.labels[i] != self.labels[start]:
+                runs.append((self.labels[start], start, i))
+                start = i
+        return runs
+
+
+@dataclass
+class TvStreamConfig:
+    height: int = 24
+    width: int = 32
+    frame_rate: float = 10.0
+    num_program_segments: int = 3
+    program_len_range: tuple[int, int] = (60, 120)  # frames
+    commercial_len_range: tuple[int, int] = (15, 30)
+    commercials_per_break: tuple[int, int] = (2, 4)
+    black_len: int = 3
+    program_saturation: float = 0.15
+    commercial_saturation: float = 0.8
+    program_cut_period: int = 40
+    commercial_cut_period: int = 6
+    monochrome_program: bool = False
+    noise_sigma: float = 2.0
+
+
+def _scene(rng, cfg: TvStreamConfig, saturation: float, monochrome: bool) -> np.ndarray:
+    """One static scene: random blocks of colour with given saturation."""
+    h, w = cfg.height, cfg.width
+    luma = rng.uniform(60.0, 200.0, size=(h, w))
+    # Blocky structure so scenes differ meaningfully.
+    for _ in range(4):
+        y, x = int(rng.integers(0, h - 4)), int(rng.integers(0, w - 4))
+        bh, bw = int(rng.integers(3, h // 2)), int(rng.integers(3, w // 2))
+        luma[y:y + bh, x:x + bw] = rng.uniform(40.0, 220.0)
+    if monochrome:
+        rgb = np.stack([luma, luma, luma], axis=-1)
+        return rgb
+    hue = rng.uniform(0, 2 * np.pi, size=(h, w))
+    chroma = saturation * 80.0
+    r = luma + chroma * np.cos(hue)
+    g = luma + chroma * np.cos(hue - 2.0)
+    b = luma + chroma * np.cos(hue + 2.0)
+    return np.clip(np.stack([r, g, b], axis=-1), 0.0, 255.0)
+
+
+def _segment_frames(
+    rng, cfg: TvStreamConfig, length: int, saturation: float,
+    cut_period: int, monochrome: bool,
+) -> list[np.ndarray]:
+    frames = []
+    scene = _scene(rng, cfg, saturation, monochrome)
+    since_cut = 0
+    for _ in range(length):
+        if since_cut >= cut_period:
+            scene = _scene(rng, cfg, saturation, monochrome)
+            since_cut = 0
+        jitter = rng.normal(0.0, cfg.noise_sigma, size=scene.shape)
+        frames.append(np.clip(scene + jitter, 0.0, 255.0))
+        since_cut += 1
+    return frames
+
+
+def generate_tv_stream(config: TvStreamConfig | None = None, seed=0) -> TvStream:
+    """Program / black / commercial-break / black / program / ..."""
+    cfg = config or TvStreamConfig()
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    frames: list[np.ndarray] = []
+    labels: list[str] = []
+
+    def add_black() -> None:
+        for _ in range(cfg.black_len):
+            noise = rng.uniform(0.0, 4.0, size=(cfg.height, cfg.width, 3))
+            frames.append(noise)
+            labels.append(BLACK)
+
+    for segment in range(cfg.num_program_segments):
+        length = int(rng.integers(*cfg.program_len_range))
+        for f in _segment_frames(
+            rng, cfg, length, cfg.program_saturation,
+            cfg.program_cut_period, cfg.monochrome_program,
+        ):
+            frames.append(f)
+            labels.append(PROGRAM)
+        if segment == cfg.num_program_segments - 1:
+            break
+        add_black()
+        num_ads = int(rng.integers(*cfg.commercials_per_break))
+        for ad in range(num_ads):
+            length = int(rng.integers(*cfg.commercial_len_range))
+            for f in _segment_frames(
+                rng, cfg, length, cfg.commercial_saturation,
+                cfg.commercial_cut_period, False,
+            ):
+                frames.append(f)
+                labels.append(COMMERCIAL)
+            if ad != num_ads - 1:
+                add_black()
+        add_black()
+    return TvStream(frames=frames, labels=labels, frame_rate=cfg.frame_rate)

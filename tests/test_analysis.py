@@ -1,0 +1,217 @@
+"""Tests for content analysis: detectors, commercial skipping, music."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BlackFrameDetector,
+    ColourBurstDetector,
+    CommercialDetector,
+    MusicCategorizer,
+    ShotBoundaryDetector,
+    extract_audio_features,
+    extract_features,
+    histogram_distance,
+    luma_of,
+    saturation_of,
+    score_detection,
+)
+from repro.workloads.audio_gen import music_like, speech_like, tone
+from repro.workloads.tv_gen import TvStreamConfig, generate_tv_stream
+
+
+def black_frame(h=24, w=32):
+    return np.full((h, w, 3), 3.0)
+
+
+def colour_frame(h=24, w=32, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(80, 200, size=(h, w, 1))
+    chroma = np.array([60.0, -30.0, -30.0])
+    return np.clip(base + chroma, 0, 255)
+
+
+def grey_frame(h=24, w=32, seed=0):
+    rng = np.random.default_rng(seed)
+    g = rng.uniform(60, 200, size=(h, w))
+    return np.stack([g, g, g], axis=-1)
+
+
+class TestFeatures:
+    def test_luma_of_grey_is_identity(self):
+        g = grey_frame()
+        assert np.allclose(luma_of(g), g[..., 0], atol=1e-9)
+
+    def test_saturation_zero_for_grey(self):
+        assert saturation_of(grey_frame()) < 1e-9
+
+    def test_saturation_positive_for_colour(self):
+        assert saturation_of(colour_frame()) > 20.0
+
+    def test_histogram_normalised(self):
+        f = extract_features(grey_frame())
+        assert f.histogram.sum() == pytest.approx(1.0)
+
+    def test_histogram_distance_bounds(self):
+        a = np.zeros(16)
+        a[0] = 1.0
+        b = np.zeros(16)
+        b[15] = 1.0
+        assert histogram_distance(a, b) == pytest.approx(2.0)
+        assert histogram_distance(a, a) == 0.0
+
+    def test_bad_frame_shape_rejected(self):
+        with pytest.raises(ValueError):
+            luma_of(np.zeros((4, 4, 2)))
+
+
+class TestBlackFrameDetector:
+    def test_detects_black(self):
+        assert BlackFrameDetector().is_black(black_frame())
+
+    def test_rejects_content(self):
+        assert not BlackFrameDetector().is_black(colour_frame())
+
+    def test_rejects_uniform_grey(self):
+        # Dark but not black enough.
+        frame = np.full((24, 32, 3), 60.0)
+        assert not BlackFrameDetector().is_black(frame)
+
+    def test_black_runs(self):
+        frames = (
+            [colour_frame()] * 3 + [black_frame()] * 3 + [colour_frame()] * 2
+        )
+        runs = BlackFrameDetector().black_runs(frames)
+        assert runs == [(3, 6)]
+
+    def test_short_runs_filtered(self):
+        frames = [colour_frame(), black_frame(), colour_frame()]
+        assert BlackFrameDetector().black_runs(frames, min_len=2) == []
+
+
+class TestColourBurst:
+    def test_colour_vs_grey(self):
+        det = ColourBurstDetector()
+        assert det.is_colour(colour_frame())
+        assert not det.is_colour(grey_frame())
+
+
+class TestShotDetector:
+    def test_cut_detected(self):
+        a = grey_frame(seed=1)
+        b = np.clip(grey_frame(seed=2) + 60, 0, 255)
+        frames = [a, a, a, b, b]
+        cuts = ShotBoundaryDetector().boundaries(frames)
+        assert 3 in cuts
+
+    def test_static_clip_no_cuts(self):
+        a = grey_frame(seed=3)
+        assert ShotBoundaryDetector().boundaries([a] * 5) == []
+
+    def test_cut_rate(self):
+        a, b = grey_frame(seed=4), np.clip(grey_frame(seed=5) + 80, 0, 255)
+        frames = [a, b, a, b]  # cut every frame
+        rate = ShotBoundaryDetector().cut_rate(frames, frame_rate=10.0)
+        assert rate > 3.0
+
+
+class TestCommercialDetection:
+    def test_high_f1_on_default_stream(self):
+        stream = generate_tv_stream(seed=0)
+        detector = CommercialDetector()
+        score = score_detection(stream, detector.skip_intervals(stream))
+        assert score.f1 > 0.9
+
+    def test_monochrome_program_easier(self):
+        # The colour-burst VCR trick: B&W movie + colour ads.
+        cfg = TvStreamConfig(monochrome_program=True)
+        stream = generate_tv_stream(cfg, seed=1)
+        detector = CommercialDetector()
+        score = score_detection(stream, detector.skip_intervals(stream))
+        assert score.recall > 0.9
+
+    def test_robust_across_seeds(self):
+        detector = CommercialDetector()
+        f1s = []
+        for seed in range(4):
+            stream = generate_tv_stream(seed=seed)
+            f1s.append(
+                score_detection(stream, detector.skip_intervals(stream)).f1
+            )
+        assert np.mean(f1s) > 0.85
+
+    def test_segments_cover_stream(self):
+        stream = generate_tv_stream(seed=2)
+        segments = CommercialDetector().segment(stream)
+        assert segments
+        covered = sum(end - start for start, end in segments)
+        assert covered > 0.8 * stream.num_frames
+
+    def test_no_commercials_no_skips(self):
+        cfg = TvStreamConfig(num_program_segments=1)
+        stream = generate_tv_stream(cfg, seed=3)
+        skips = CommercialDetector().skip_intervals(stream)
+        skipped = sum(end - start for start, end in skips)
+        assert skipped < 0.1 * stream.num_frames
+
+
+class TestMusicCategorizer:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        cat = MusicCategorizer()
+        train = {
+            "music": [music_like(0.4, seed=s) for s in range(3)],
+            "speech": [speech_like(0.4, 44100.0, seed=s) for s in range(3)],
+            "tone": [
+                tone(200.0 * (s + 1), 0.4) for s in range(3)
+            ],
+        }
+        cat.train(train)
+        return cat
+
+    def test_classifies_held_out_clips(self, trained):
+        assert trained.classify(music_like(0.4, seed=9)) == "music"
+        assert trained.classify(speech_like(0.4, 44100.0, seed=9)) == "speech"
+        assert trained.classify(tone(500.0, 0.4)) == "tone"
+
+    def test_training_accuracy_high(self, trained):
+        train = {
+            "music": [music_like(0.4, seed=s) for s in range(3)],
+            "speech": [speech_like(0.4, 44100.0, seed=s) for s in range(3)],
+        }
+        assert trained.accuracy(train) >= 0.8
+
+    def test_recommendation_prefers_same_class(self, trained):
+        library = {
+            "song_a": music_like(0.4, seed=20),
+            "song_b": music_like(0.4, seed=21),
+            "talk_a": speech_like(0.4, 44100.0, seed=20),
+        }
+        recs = trained.recommend(library, music_like(0.4, seed=22), top_k=2)
+        assert "talk_a" not in recs
+
+    def test_untrained_rejected(self):
+        with pytest.raises(RuntimeError):
+            MusicCategorizer().classify(tone(440.0))
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            MusicCategorizer().train({})
+
+
+class TestAudioFeatures:
+    def test_tone_centroid_near_frequency(self):
+        f = extract_audio_features(tone(2000.0, 0.3))
+        assert f.spectral_centroid_hz == pytest.approx(2000.0, rel=0.25)
+
+    def test_noise_has_higher_zcr_than_tone(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(0, 0.3, 44100 // 2)
+        assert (
+            extract_audio_features(noise).zero_crossing_rate
+            > extract_audio_features(tone(440.0, 0.5)).zero_crossing_rate
+        )
+
+    def test_too_short_clip_rejected(self):
+        with pytest.raises(ValueError):
+            extract_audio_features(np.zeros(100))

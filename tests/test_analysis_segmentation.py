@@ -1,0 +1,112 @@
+"""Tests for program segmentation (Section 5's skip-to-next-part)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ProgramSegmenter
+
+
+def make_scene(seed, num_shots=3, shot_len=8, h=24, w=32, base_level=None):
+    """Several shots that share a visual family (same scene).
+
+    Consecutive shots differ enough for the cut detector (each shot's
+    brightness drifts by ~20 codes — a different camera angle) while the
+    scene-level statistics stay continuous.
+    """
+    rng = np.random.default_rng(seed)
+    level = base_level if base_level is not None else rng.uniform(60, 200)
+    frames = []
+    for shot_index in range(num_shots):
+        shot_level = level + 14.0 * (shot_index % 2)
+        img = np.clip(
+            shot_level + rng.normal(0, 12, size=(h, w)), 0, 255
+        )
+        img = np.stack([img] * 3, axis=-1)
+        for _ in range(shot_len):
+            frames.append(
+                np.clip(img + rng.normal(0, 2, size=img.shape), 0, 255)
+            )
+    return frames
+
+
+def two_part_program():
+    """Interview (dark, flat) followed by action (bright), like the paper's
+    skip-the-interview example."""
+    interview = make_scene(seed=1, base_level=70.0)
+    action = make_scene(seed=2, base_level=200.0)
+    return interview + action, len(interview)
+
+
+class TestShots:
+    def test_shot_count(self):
+        frames = make_scene(seed=3, num_shots=3)
+        shots = ProgramSegmenter().shots(frames)
+        assert len(shots) >= 2  # at least the internal cuts found
+
+    def test_empty_input(self):
+        seg = ProgramSegmenter()
+        assert seg.shots([]) == []
+        assert seg.scenes([]) == []
+
+    def test_single_shot_clip(self):
+        rng = np.random.default_rng(4)
+        img = np.stack([rng.uniform(0, 255, (24, 32))] * 3, axis=-1)
+        frames = [img + rng.normal(0, 1, img.shape) for _ in range(10)]
+        shots = ProgramSegmenter().shots(frames)
+        assert len(shots) == 1
+        assert shots[0].start == 0 and shots[0].end == 10
+
+
+class TestScenes:
+    def test_two_part_program_found(self):
+        frames, boundary = two_part_program()
+        scenes = ProgramSegmenter().scenes(frames)
+        assert len(scenes) >= 2
+        starts = [s.start for s in scenes]
+        # Some scene starts at (or within a shot of) the true boundary.
+        assert min(abs(s - boundary) for s in starts) <= 8
+
+    def test_scenes_partition_the_stream(self):
+        frames, _ = two_part_program()
+        scenes = ProgramSegmenter().scenes(frames)
+        assert scenes[0].start == 0
+        assert scenes[-1].end == len(frames)
+        for a, b in zip(scenes, scenes[1:]):
+            assert a.end == b.start
+
+    def test_homogeneous_clip_is_one_scene(self):
+        frames = make_scene(seed=5, num_shots=4, base_level=120.0)
+        scenes = ProgramSegmenter().scenes(frames)
+        assert len(scenes) == 1
+        assert scenes[0].cut_count >= 2  # cuts inside, no scene break
+
+
+class TestSkipButton:
+    def test_skip_from_interview_reaches_next_part(self):
+        # A scene may subdivide; pressing skip a few times must still get
+        # the viewer out of the interview and into the action part.
+        frames, boundary = two_part_program()
+        seg = ProgramSegmenter()
+        position = 4
+        for _ in range(4):
+            target = seg.next_segment_start(frames, position)
+            if target is None:
+                break
+            position = target
+            if position >= boundary - 8:
+                break
+        assert position >= boundary - 8
+
+    def test_no_next_segment_at_the_end(self):
+        frames, _ = two_part_program()
+        seg = ProgramSegmenter()
+        assert seg.next_segment_start(frames, len(frames) - 1) is None
+
+    def test_labels_cover_every_frame(self):
+        frames, _ = two_part_program()
+        labels = ProgramSegmenter().segment_labels(frames)
+        assert len(labels) == len(frames)
+        assert labels[0] == 0
+        assert labels[-1] == max(labels)
+        # Labels are non-decreasing (scenes are contiguous).
+        assert all(b - a in (0, 1) for a, b in zip(labels, labels[1:]))

@@ -1,0 +1,113 @@
+"""Tests for the polyphase filterbank (the MAPPER of Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.audio.filterbank import (
+    PolyphaseFilterbank,
+    band_energies,
+    prototype_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return PolyphaseFilterbank(32)
+
+
+class TestPrototype:
+    def test_symmetric_about_half_sample_centre(self):
+        h = prototype_filter(32, 16)
+        assert np.allclose(h, h[::-1], atol=1e-12)
+
+    def test_lowpass_dc_gain_positive(self):
+        h = prototype_filter(32, 16)
+        assert np.sum(h) > 0
+
+    def test_length(self):
+        assert prototype_filter(32, 16).size == 512
+        assert prototype_filter(8, 16).size == 128
+
+
+class TestReconstruction:
+    def test_sine_near_perfect(self, bank):
+        t = np.arange(8192)
+        x = np.sin(2 * np.pi * 1000 / 44100 * t)
+        assert bank.roundtrip_snr(x) > 40.0
+
+    def test_noise_near_perfect(self, bank):
+        x = np.random.default_rng(0).normal(size=8192)
+        assert bank.roundtrip_snr(x) > 40.0
+
+    def test_multitone_near_perfect(self, bank):
+        t = np.arange(8192)
+        x = sum(np.sin(2 * np.pi * f / 44100 * t) for f in (440, 2000, 9000))
+        assert bank.roundtrip_snr(x) > 40.0
+
+    def test_other_band_counts(self):
+        x = np.random.default_rng(1).normal(size=4096)
+        assert PolyphaseFilterbank(8).roundtrip_snr(x) > 40.0
+        assert PolyphaseFilterbank(16).roundtrip_snr(x) > 40.0
+
+    def test_silence_reconstructs_silence(self, bank):
+        y = bank.synthesize(bank.analyze(np.zeros(1024)))
+        assert np.allclose(y, 0.0)
+
+
+class TestBandSelectivity:
+    def test_tone_lands_in_expected_band(self, bank):
+        # Band k covers ((k) .. (k+1)) * fs/64; 5 kHz at 44.1 kHz -> band 7.
+        t = np.arange(8192)
+        freq = 5000.0
+        x = np.sin(2 * np.pi * freq / 44100 * t)
+        res = bank.analyze(x)
+        energies = band_energies(res.subbands)
+        expected = int(freq / (44100 / 2) * 32)
+        assert int(np.argmax(energies)) == expected
+
+    def test_dominant_band_holds_most_energy(self, bank):
+        t = np.arange(8192)
+        x = np.sin(2 * np.pi * 3000 / 44100 * t)
+        energies = band_energies(bank.analyze(x).subbands)
+        assert energies.max() / energies.sum() > 0.95
+
+    def test_two_tones_two_bands(self, bank):
+        t = np.arange(8192)
+        x = np.sin(2 * np.pi * 1000 / 44100 * t) + np.sin(
+            2 * np.pi * 10000 / 44100 * t
+        )
+        energies = band_energies(bank.analyze(x).subbands)
+        top_two = set(np.argsort(energies)[-2:])
+        assert top_two == {int(1000 / 44100 * 64), int(10000 / 44100 * 64)}
+
+
+class TestShapes:
+    def test_subband_shape(self, bank):
+        res = bank.analyze(np.zeros(320))
+        assert res.subbands.shape == (10, 32)
+
+    def test_non_multiple_length_padded(self, bank):
+        res = bank.analyze(np.zeros(100))
+        assert res.subbands.shape[0] == 4  # ceil(100/32)
+
+    def test_synthesis_length(self, bank):
+        y = bank.synthesize(np.zeros((10, 32)))
+        assert y.size == 320
+
+    def test_rejects_stereo(self, bank):
+        with pytest.raises(ValueError):
+            bank.analyze(np.zeros((2, 512)))
+
+    def test_rejects_wrong_band_count(self, bank):
+        with pytest.raises(ValueError):
+            bank.synthesize(np.zeros((4, 16)))
+
+
+class TestValidation:
+    def test_too_few_bands_rejected(self):
+        with pytest.raises(ValueError):
+            PolyphaseFilterbank(1)
+
+    def test_too_short_prototype_rejected(self):
+        with pytest.raises(ValueError):
+            PolyphaseFilterbank(32, taps_per_band=2)

@@ -1,0 +1,170 @@
+"""Tests for LPC primitives and the RPE-LTP speech codec (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.audio import lpc
+from repro.audio.metrics import segmental_snr_db, snr_db
+from repro.audio.rpeltp import (
+    FRAME_SIZE,
+    RpeLtpDecoder,
+    RpeLtpEncoder,
+    frame_bits,
+)
+from repro.workloads.audio_gen import (
+    lpc_residual_energy_ratio,
+    speech_like,
+    unvoiced_speech,
+    voiced_speech,
+)
+
+
+class TestLpc:
+    def test_autocorrelation_of_white_noise(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=4000)
+        r = lpc.autocorrelation(x, 4)
+        assert r[0] > 0
+        assert abs(r[1]) < 0.1 * r[0]
+
+    def test_levinson_recovers_ar1(self):
+        # AR(1): x[n] = 0.9 x[n-1] + e[n]  ->  a = [0.9, ~0, ...]
+        rng = np.random.default_rng(1)
+        e = rng.normal(size=20000)
+        x = np.empty_like(e)
+        x[0] = e[0]
+        for n in range(1, e.size):
+            x[n] = 0.9 * x[n - 1] + e[n]
+        a, k, err = lpc.levinson_durbin(lpc.autocorrelation(x, 4))
+        assert a[0] == pytest.approx(0.9, abs=0.05)
+        assert abs(a[1]) < 0.1
+
+    def test_prediction_error_decreases_with_order(self):
+        x = voiced_speech(duration=0.3, seed=2)
+        errs = []
+        for order in (1, 4, 8):
+            _, _, err = lpc.levinson_durbin(lpc.autocorrelation(x, order))
+            errs.append(err)
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_analysis_synthesis_inverse(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=200)
+        a = np.array([0.5, -0.2, 0.1])
+        res = lpc.analysis_filter(x, a)
+        back = lpc.synthesis_filter(res, a)
+        assert np.allclose(back, x, atol=1e-9)
+
+    def test_analysis_synthesis_with_history(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=100)
+        a = np.array([0.7, -0.1])
+        hist = x[:10]
+        res = lpc.analysis_filter(x[10:], a, history=hist)
+        back = lpc.synthesis_filter(res, a, history=hist)
+        assert np.allclose(back, x[10:], atol=1e-9)
+
+    def test_reflection_lpc_roundtrip(self):
+        k = np.array([0.5, -0.3, 0.2])
+        a = lpc.reflection_to_lpc(k)
+        # Re-derive reflections through Levinson on the implied process: use
+        # analysis filter equivalence instead — synthesize AR noise & re-fit.
+        rng = np.random.default_rng(5)
+        e = rng.normal(size=50000)
+        x = lpc.synthesis_filter(e, a)
+        _, k2, _ = lpc.levinson_durbin(lpc.autocorrelation(x, 3))
+        assert np.allclose(k2, k, atol=0.05)
+
+    def test_lar_roundtrip(self):
+        k = np.array([0.8, -0.5, 0.0, 0.3])
+        back = lpc.reflection_from_lar(lpc.lar_from_reflection(k))
+        assert np.allclose(back, k, atol=1e-9)
+
+    def test_lar_quantization_roundtrip(self):
+        lar = np.array([-1.5, -0.2, 0.0, 0.4, 1.2])
+        idx = lpc.quantize_lar(lar)
+        back = lpc.dequantize_lar(idx)
+        assert np.max(np.abs(back - lar)) < 0.06
+
+    def test_silent_frame_zero_predictor(self):
+        a, k, err = lpc.levinson_durbin(np.zeros(9))
+        assert np.allclose(a, 0)
+        assert err == 0.0
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            lpc.autocorrelation(np.zeros(4), 4)
+
+
+class TestVoicedUnvoiced:
+    def test_voiced_more_predictable_than_unvoiced(self):
+        # The paper's two sound classes: periodic voiced speech is far more
+        # linearly predictable than noise-like unvoiced speech.
+        v = lpc_residual_energy_ratio(voiced_speech(seed=1))
+        u = lpc_residual_energy_ratio(unvoiced_speech(seed=1))
+        assert v < u
+
+    def test_voiced_ltp_finds_pitch(self):
+        pitch = 100.0  # 8 kHz / 100 Hz = lag 80
+        x = voiced_speech(duration=0.3, pitch_hz=pitch, seed=6)
+        enc = RpeLtpEncoder().encode(x)
+        lags = [lag for info in enc.frame_info[1:] for lag in info.lags]
+        period = 8000.0 / pitch
+        near = [
+            abs(lag - period) < 4 or abs(lag - 2 * period) < 4 for lag in lags
+        ]
+        # The LTP locks to the pitch (or its octave) in a clear plurality of
+        # subframes; transitions and the first frame can wander.
+        assert np.mean(near) >= 0.4
+
+
+class TestRpeLtpCodec:
+    def test_rate_is_gsm_like(self):
+        x = speech_like(duration=0.5, seed=7)
+        enc = RpeLtpEncoder().encode(x)
+        rate = enc.bitrate()
+        assert 10_000 < rate < 18_000  # GSM FR is 13 kbit/s
+
+    def test_frame_bits_constant(self):
+        assert 200 < frame_bits() < 320
+
+    def test_roundtrip_intelligible(self):
+        x = speech_like(duration=0.5, seed=8)
+        enc = RpeLtpEncoder().encode(x)
+        dec = RpeLtpDecoder().decode(enc.data)
+        assert dec.size == x.size
+        assert segmental_snr_db(x, dec) > 4.0
+
+    def test_voiced_codes_better_than_noise(self):
+        v = voiced_speech(duration=0.4, seed=9)
+        rng = np.random.default_rng(9)
+        n = rng.normal(0, 0.2, v.size)
+        enc_v = RpeLtpEncoder().encode(v)
+        enc_n = RpeLtpEncoder().encode(n)
+        snr_v = snr_db(v, RpeLtpDecoder().decode(enc_v.data))
+        snr_n = snr_db(n, RpeLtpDecoder().decode(enc_n.data))
+        assert snr_v > snr_n
+
+    def test_silence_roundtrip(self):
+        x = np.zeros(FRAME_SIZE * 2)
+        enc = RpeLtpEncoder().encode(x)
+        dec = RpeLtpDecoder().decode(enc.data)
+        assert float(np.max(np.abs(dec))) < 0.02
+
+    def test_partial_frame_padded(self):
+        x = speech_like(duration=0.13, seed=10)
+        enc = RpeLtpEncoder().encode(x)
+        dec = RpeLtpDecoder().decode(enc.data)
+        assert dec.size == x.size
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            RpeLtpDecoder().decode(b"\xff" * 16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RpeLtpEncoder().encode(np.array([]))
+
+    def test_deterministic(self):
+        x = speech_like(duration=0.2, seed=11)
+        assert RpeLtpEncoder().encode(x).data == RpeLtpEncoder().encode(x).data

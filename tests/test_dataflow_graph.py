@@ -1,0 +1,177 @@
+"""Tests for SDF graph construction and static analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    DeadlockError,
+    InconsistentGraphError,
+    SDFGraph,
+    check_deadlock,
+    is_consistent,
+    is_live,
+    repetition_vector,
+)
+
+
+def pipeline(rates):
+    """a -> b -> c ... with given (prod, cons) per hop."""
+    g = SDFGraph("pipeline")
+    names = [chr(ord("a") + i) for i in range(len(rates) + 1)]
+    for n in names:
+        g.add_actor(n)
+    for i, (p, c) in enumerate(rates):
+        g.add_channel(names[i], names[i + 1], p, c)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_actor_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        with pytest.raises(ValueError):
+            g.add_actor("a")
+
+    def test_unknown_endpoint_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        with pytest.raises(KeyError):
+            g.add_channel("a", "ghost")
+
+    def test_bad_rates_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        with pytest.raises(ValueError):
+            g.add_channel("a", "b", 0, 1)
+
+    def test_negative_execution_time_rejected(self):
+        with pytest.raises(ValueError):
+            SDFGraph().add_actor("a", execution_time=-1.0)
+
+    def test_sources_and_sinks(self):
+        g = pipeline([(1, 1), (1, 1)])
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_copy_is_deep(self):
+        g = pipeline([(2, 3)])
+        h = g.copy()
+        h.add_actor("extra")
+        assert "extra" not in g.actors
+
+
+class TestRepetitionVector:
+    def test_single_rate_pipeline(self):
+        g = pipeline([(1, 1), (1, 1)])
+        assert repetition_vector(g) == {"a": 1, "b": 1, "c": 1}
+
+    def test_multirate_pipeline(self):
+        # a -(2:3)-> b: 3 a-firings produce 6 tokens = 2 b-firings consume.
+        g = pipeline([(2, 3)])
+        assert repetition_vector(g) == {"a": 3, "b": 2}
+
+    def test_classic_sdf_example(self):
+        # Lee & Messerschmitt-style: a -(1:2)-> b -(3:2)-> c
+        g = pipeline([(1, 2), (3, 2)])
+        reps = repetition_vector(g)
+        assert reps["a"] * 1 == reps["b"] * 2
+        assert reps["b"] * 3 == reps["c"] * 2
+        # Smallest integers
+        from math import gcd
+
+        assert gcd(gcd(reps["a"], reps["b"]), reps["c"]) == 1
+
+    def test_downsampler_chain(self):
+        # Video chain: capture(4) -> blocks(1) with 4:1 decimation.
+        g = pipeline([(4, 1)])
+        assert repetition_vector(g) == {"a": 1, "b": 4}
+
+    def test_inconsistent_cycle_detected(self):
+        g = SDFGraph()
+        for n in "abc":
+            g.add_actor(n)
+        g.add_channel("a", "b", 1, 1)
+        g.add_channel("b", "c", 2, 1)
+        g.add_channel("c", "a", 1, 1)  # forces q[c]=2*q[a] but also q[c]=q[a]
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(g)
+        assert not is_consistent(g)
+
+    def test_disconnected_components(self):
+        g = SDFGraph()
+        for n in "abcd":
+            g.add_actor(n)
+        g.add_channel("a", "b", 2, 1)
+        g.add_channel("c", "d", 1, 3)
+        reps = repetition_vector(g)
+        assert reps["a"] * 2 == reps["b"]
+        assert reps["c"] == reps["d"] * 3
+
+    def test_empty_graph(self):
+        assert repetition_vector(SDFGraph()) == {}
+
+    def test_self_loop(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_channel("a", "a", 1, 1, initial_tokens=1)
+        assert repetition_vector(g) == {"a": 1}
+
+
+class TestDeadlock:
+    def test_acyclic_always_live(self):
+        g = pipeline([(1, 2), (3, 1)])
+        assert is_live(g)
+
+    def test_cycle_without_tokens_deadlocks(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 1, 1)
+        g.add_channel("b", "a", 1, 1)  # no initial tokens
+        with pytest.raises(DeadlockError):
+            check_deadlock(g)
+        assert not is_live(g)
+
+    def test_cycle_with_tokens_lives(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 1, 1)
+        g.add_channel("b", "a", 1, 1, initial_tokens=1)
+        assert is_live(g)
+
+    def test_feedback_needs_enough_tokens(self):
+        # a consumes 2 from the feedback per firing; one initial token is
+        # not enough to get started (consistent graph, q = {a:1, b:1}).
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 2, 2)
+        g.add_channel("b", "a", 2, 2, initial_tokens=1)
+        assert not is_live(g)
+        # Two tokens satisfy a's first firing: the graph becomes live.
+        h = SDFGraph()
+        h.add_actor("a")
+        h.add_actor("b")
+        h.add_channel("a", "b", 2, 2)
+        h.add_channel("b", "a", 2, 2, initial_tokens=2)
+        assert is_live(h)
+
+    def test_firing_order_is_valid_schedule(self):
+        g = pipeline([(2, 1)])
+        order = check_deadlock(g)
+        # a fires once, then b twice (in some interleaving); first must be a.
+        assert order[0] == "a"
+        assert sorted(order) == ["a", "b", "b"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+def test_repetition_vector_balances_every_channel(p1, c1, p2, c2):
+    g = pipeline([(p1, c1), (p2, c2)])
+    reps = repetition_vector(g)
+    for ch in g.channels.values():
+        assert reps[ch.src] * ch.production == reps[ch.dst] * ch.consumption
+    assert all(r >= 1 for r in reps.values())

@@ -1,0 +1,223 @@
+"""Tests for self-timed simulation, throughput, HSDF, and buffer sizing."""
+
+import math
+
+import pytest
+
+from repro.dataflow import (
+    SDFGraph,
+    max_cycle_ratio,
+    merge_actors,
+    minimum_feasible_uniform_bound,
+    repetition_vector,
+    self_timed_bounds,
+    sequential_bounds,
+    sequential_schedule_length,
+    simulate_self_timed,
+    throughput_bound,
+    to_hsdf,
+)
+from repro.dataflow.analysis import DeadlockError
+
+
+def three_stage(times=(2.0, 3.0, 1.0)):
+    g = SDFGraph("stage3")
+    for name, t in zip("abc", times):
+        g.add_actor(name, execution_time=t)
+    g.add_channel("a", "b")
+    g.add_channel("b", "c")
+    return g
+
+
+class TestSelfTimed:
+    def test_pipeline_period_is_bottleneck(self):
+        g = three_stage((2.0, 3.0, 1.0))
+        trace = simulate_self_timed(g, iterations=12)
+        # Steady state: the 3-time-unit stage paces the pipeline.
+        assert trace.period() == pytest.approx(3.0, rel=0.05)
+
+    def test_first_iteration_latency(self):
+        g = three_stage((2.0, 3.0, 1.0))
+        trace = simulate_self_timed(g, iterations=4)
+        assert trace.iteration_finish_times[0] == pytest.approx(6.0)
+
+    def test_multirate_iteration(self):
+        g = SDFGraph()
+        g.add_actor("src", 1.0)
+        g.add_actor("dct", 2.0)
+        g.add_channel("src", "dct", 4, 1)  # 1 src firing feeds 4 dct firings
+        trace = simulate_self_timed(g, iterations=6)
+        reps = repetition_vector(g)
+        assert reps == {"src": 1, "dct": 4}
+        # dct serializes: period = 4 * 2.0
+        assert trace.period() == pytest.approx(8.0, rel=0.05)
+
+    def test_feedback_cycle_period_equals_mcr(self):
+        g = SDFGraph()
+        g.add_actor("a", 2.0)
+        g.add_actor("b", 3.0)
+        g.add_channel("a", "b")
+        g.add_channel("b", "a", initial_tokens=1)
+        trace = simulate_self_timed(g, iterations=12)
+        assert trace.period() == pytest.approx(5.0, rel=0.05)
+        assert max_cycle_ratio(g) == pytest.approx(5.0, abs=1e-6)
+
+    def test_two_tokens_halve_the_cycle_period(self):
+        g = SDFGraph()
+        g.add_actor("a", 2.0)
+        g.add_actor("b", 3.0)
+        g.add_channel("a", "b")
+        g.add_channel("b", "a", initial_tokens=2)
+        assert max_cycle_ratio(g) == pytest.approx(2.5, abs=1e-6)
+        trace = simulate_self_timed(g, iterations=16)
+        assert trace.period() >= 2.99  # serialized actors still pace at 3
+    def test_deadlocked_graph_raises(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b")
+        g.add_channel("b", "a")
+        with pytest.raises(DeadlockError):
+            simulate_self_timed(g, iterations=2)
+
+    def test_utilisation_of_bottleneck_near_one(self):
+        g = three_stage((1.0, 3.0, 1.0))
+        trace = simulate_self_timed(g, iterations=20)
+        assert trace.actor_utilisation("b") > 0.85
+        assert trace.actor_utilisation("a") < 0.5
+
+    def test_sequential_length(self):
+        g = SDFGraph()
+        g.add_actor("a", 2.0)
+        g.add_actor("b", 1.0)
+        g.add_channel("a", "b", 1, 2)
+        # q = {a:2, b:1}: 2*2.0 + 1*1.0
+        assert sequential_schedule_length(g) == pytest.approx(5.0)
+
+    def test_execution_time_override(self):
+        g = three_stage((1.0, 1.0, 1.0))
+        trace = simulate_self_timed(
+            g, iterations=10, execution_times={"a": 1.0, "b": 5.0, "c": 1.0}
+        )
+        assert trace.period() == pytest.approx(5.0, rel=0.05)
+
+
+class TestMaxCycleRatio:
+    def test_acyclic_graph_zero(self):
+        assert max_cycle_ratio(three_stage()) == 0.0
+        assert throughput_bound(three_stage()) == math.inf
+
+    def test_tokenless_cycle_infinite(self):
+        g = SDFGraph()
+        g.add_actor("a", 1.0)
+        g.add_channel("a", "a", 1, 1, initial_tokens=0)
+        assert max_cycle_ratio(g) == math.inf
+
+    def test_self_loop_ratio(self):
+        g = SDFGraph()
+        g.add_actor("a", 4.0)
+        g.add_channel("a", "a", initial_tokens=2)
+        assert max_cycle_ratio(g) == pytest.approx(2.0, abs=1e-6)
+
+    def test_worst_cycle_wins(self):
+        g = SDFGraph()
+        for n, t in (("a", 1.0), ("b", 1.0), ("c", 10.0)):
+            g.add_actor(n, t)
+        g.add_channel("a", "b")
+        g.add_channel("b", "a", initial_tokens=1)  # cycle ratio 2
+        g.add_channel("a", "c")
+        g.add_channel("c", "a", initial_tokens=1)  # cycle ratio 11
+        assert max_cycle_ratio(g) == pytest.approx(11.0, abs=1e-5)
+
+    def test_multirate_rejected(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 2, 1)
+        with pytest.raises(ValueError):
+            max_cycle_ratio(g)
+
+
+class TestHsdf:
+    def test_single_rate_passthrough_shape(self):
+        g = three_stage()
+        h = to_hsdf(g)
+        assert h.num_actors == 3
+
+    def test_multirate_expansion_counts(self):
+        g = SDFGraph()
+        g.add_actor("a", 1.0)
+        g.add_actor("b", 1.0)
+        g.add_channel("a", "b", 2, 3)
+        reps = repetition_vector(g)  # a:3, b:2
+        h = to_hsdf(g)
+        assert h.num_actors == reps["a"] + reps["b"]
+
+    def test_expansion_preserves_period(self):
+        g = SDFGraph()
+        g.add_actor("src", 1.0)
+        g.add_actor("worker", 2.0)
+        g.add_channel("src", "worker", 2, 1)
+        trace_sdf = simulate_self_timed(g, iterations=10)
+        h = to_hsdf(g)
+        trace_hsdf = simulate_self_timed(h, iterations=10)
+        assert trace_hsdf.period() == pytest.approx(
+            trace_sdf.period(), rel=0.05
+        )
+
+    def test_expanded_graph_mcr_matches_simulation(self):
+        g = SDFGraph()
+        g.add_actor("a", 2.0)
+        g.add_actor("b", 1.0)
+        g.add_channel("a", "b", 1, 2)
+        g.add_channel("b", "a", 2, 1, initial_tokens=2)
+        h = to_hsdf(g)
+        mcr = max_cycle_ratio(h)
+        trace = simulate_self_timed(g, iterations=16)
+        assert trace.period() == pytest.approx(mcr, rel=0.05)
+
+    def test_merge_actors(self):
+        g = three_stage((2.0, 3.0, 1.0))
+        merged = merge_actors(g, ["a", "b"], "ab")
+        assert merged.num_actors == 2
+        assert merged.actor("ab").execution_time == pytest.approx(5.0)
+        assert sequential_schedule_length(merged) == pytest.approx(6.0)
+
+    def test_merge_rejects_unbalanced_group(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 2, 1)
+        with pytest.raises(ValueError):
+            merge_actors(g, ["a", "b"], "ab")
+
+
+class TestBuffers:
+    def test_sequential_bounds_simple(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        ch = g.add_channel("a", "b", 4, 1)
+        bounds = sequential_bounds(g)
+        assert bounds[ch.name] == 4
+
+    def test_self_timed_bounds_at_least_rates(self):
+        g = three_stage()
+        bounds = self_timed_bounds(g)
+        assert all(v >= 1 for v in bounds.values())
+
+    def test_initial_tokens_counted(self):
+        g = SDFGraph()
+        g.add_actor("a", 1.0)
+        g.add_actor("b", 5.0)
+        ch = g.add_channel("a", "b", 1, 1, initial_tokens=3)
+        bounds = self_timed_bounds(g, iterations=6)
+        assert bounds[ch.name] >= 3
+
+    def test_uniform_bound_feasible(self):
+        g = SDFGraph()
+        g.add_actor("a")
+        g.add_actor("b")
+        g.add_channel("a", "b", 3, 2)
+        bound = minimum_feasible_uniform_bound(g)
+        assert bound >= 3

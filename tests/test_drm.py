@@ -1,0 +1,250 @@
+"""Tests for the DRM substrate: cipher, rights, licences, playback path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drm import (
+    Denial,
+    LicenseError,
+    LicenseServer,
+    OutputKind,
+    PlaybackDevice,
+    RightsGrant,
+    RightsStore,
+    cbc_mac,
+    constant_time_equal,
+    ctr_crypt,
+    decrypt_block,
+    encrypt_block,
+    encrypt_title,
+    issue_license,
+    verify_license,
+)
+
+KEY = bytes(range(16))
+
+
+class TestXtea:
+    def test_block_roundtrip(self):
+        block = b"\x01\x23\x45\x67\x89\xab\xcd\xef"
+        assert decrypt_block(encrypt_block(block, KEY), KEY) == block
+
+    def test_known_vector(self):
+        # Standard XTEA test vector: all-zero key and plaintext.
+        out = encrypt_block(b"\x00" * 8, b"\x00" * 16)
+        assert out == bytes.fromhex("dee9d4d8f7131ed9")
+
+    def test_known_vector_2(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        out = encrypt_block(bytes.fromhex("4142434445464748"), key)
+        assert out == bytes.fromhex("497df3d072612cb5")
+
+    def test_different_keys_different_ciphertext(self):
+        block = b"same-blk"
+        assert encrypt_block(block, KEY) != encrypt_block(block, bytes(16))
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            encrypt_block(b"short", KEY)
+        with pytest.raises(ValueError):
+            encrypt_block(b"x" * 8, b"shortkey")
+
+    def test_ctr_roundtrip_any_length(self):
+        for n in (0, 1, 7, 8, 9, 100):
+            data = bytes(range(n % 256)) * (n // max(1, n % 256) + 1)
+            data = data[:n]
+            enc = ctr_crypt(data, KEY, b"nonc")
+            assert ctr_crypt(enc, KEY, b"nonc") == data
+
+    def test_ctr_differs_by_nonce(self):
+        data = b"A" * 32
+        assert ctr_crypt(data, KEY, b"aaaa") != ctr_crypt(data, KEY, b"bbbb")
+
+    def test_cbc_mac_detects_tampering(self):
+        mac = cbc_mac(b"hello world", KEY)
+        assert cbc_mac(b"hello worle", KEY) != mac
+
+    def test_cbc_mac_length_prefix(self):
+        # Without the length prefix, m and m||0-pad would collide.
+        assert cbc_mac(b"ab", KEY) != cbc_mac(b"ab\x00", KEY)
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+        assert not constant_time_equal(b"abc", b"abcd")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=0, max_size=256))
+def test_ctr_roundtrip_property(data):
+    assert ctr_crypt(ctr_crypt(data, KEY, b"prop"), KEY, b"prop") == data
+
+
+class TestRights:
+    def test_all_four_rights_forms(self):
+        # 1. ability to play certain titles
+        store = RightsStore()
+        store.add(RightsGrant("t1"))
+        assert store.check("t1", "dev", now=0.0) is None
+        assert store.check("t2", "dev", now=0.0) == Denial.NOT_LICENSED
+        # 2. number of plays
+        g = RightsGrant("t3", plays_remaining=1)
+        assert g.check("dev", 0.0) is None
+        g.consume_play()
+        assert g.check("dev", 0.0) == Denial.PLAYS_EXHAUSTED
+        # 3. device binding
+        g = RightsGrant("t4", device_ids=("a", "b"))
+        assert g.check("a", 0.0) is None
+        assert g.check("c", 0.0) == Denial.WRONG_DEVICE
+        # 4. time window
+        g = RightsGrant("t5", not_before=10.0, not_after=20.0)
+        assert g.check("dev", 5.0) == Denial.EXPIRED
+        assert g.check("dev", 15.0) is None
+        assert g.check("dev", 25.0) == Denial.EXPIRED
+
+    def test_serialization_roundtrip(self):
+        g = RightsGrant(
+            "movie-1",
+            plays_remaining=3,
+            device_ids=("d1", "d2"),
+            not_before=100.0,
+            not_after=200.0,
+        )
+        back = RightsGrant.from_bytes(g.to_bytes())
+        assert back == g
+
+    def test_unlimited_roundtrip(self):
+        g = RightsGrant("movie-2")
+        assert RightsGrant.from_bytes(g.to_bytes()) == g
+
+    def test_invalid_grants_rejected(self):
+        with pytest.raises(ValueError):
+            RightsGrant("")
+        with pytest.raises(ValueError):
+            RightsGrant("t", plays_remaining=-1)
+        with pytest.raises(ValueError):
+            RightsGrant("t", not_before=10.0, not_after=5.0)
+
+
+class TestLicense:
+    def test_issue_verify_roundtrip(self):
+        grant = RightsGrant("m", plays_remaining=5)
+        lic = issue_license(grant, b"k" * 16, KEY)
+        back, content_key = verify_license(lic, KEY)
+        assert back == grant
+        assert content_key == b"k" * 16
+
+    def test_tampered_payload_rejected(self):
+        lic = issue_license(RightsGrant("m"), b"k" * 16, KEY)
+        bad = type(lic)(payload=lic.payload[:-1] + b"\x00", mac=lic.mac)
+        with pytest.raises(LicenseError):
+            verify_license(bad, KEY)
+
+    def test_wrong_key_rejected(self):
+        lic = issue_license(RightsGrant("m"), b"k" * 16, KEY)
+        with pytest.raises(LicenseError):
+            verify_license(lic, bytes(16))
+
+    def test_serialization(self):
+        from repro.drm import License
+
+        lic = issue_license(RightsGrant("m"), b"k" * 16, KEY)
+        assert License.from_bytes(lic.to_bytes()) == lic
+
+
+class TestPlaybackPath:
+    def make_setup(self, analog_only=True):
+        server = LicenseServer(master_secret=b"studio")
+        device_key = server.register_device("dev-1")
+        content_key = server.register_title("movie")
+        device = PlaybackDevice(
+            device_id="dev-1", license_key=device_key, analog_only=analog_only
+        )
+        encrypted = encrypt_title(b"FRAMEDATA" * 50, "movie", content_key)
+        return server, device, encrypted
+
+    def test_full_authorized_playback(self):
+        server, device, encrypted = self.make_setup()
+        lic = server.request_license(
+            "dev-1", RightsGrant("movie", plays_remaining=2, device_ids=("dev-1",))
+        )
+        device.install_license(lic)
+        result = device.play("movie", encrypted, now=0.0)
+        assert result.authorized
+        assert result.output.kind == OutputKind.ANALOG
+
+    def test_play_count_enforced_across_plays(self):
+        server, device, encrypted = self.make_setup()
+        lic = server.request_license(
+            "dev-1", RightsGrant("movie", plays_remaining=2)
+        )
+        device.install_license(lic)
+        assert device.play("movie", encrypted, 0.0).authorized
+        assert device.play("movie", encrypted, 1.0).authorized
+        third = device.play("movie", encrypted, 2.0)
+        assert not third.authorized
+        assert third.denial == Denial.PLAYS_EXHAUSTED
+
+    def test_analog_only_device_never_outputs_digital(self):
+        server, device, encrypted = self.make_setup(analog_only=True)
+        lic = server.request_license("dev-1", RightsGrant("movie"))
+        device.install_license(lic)
+        result = device.play("movie", encrypted, 0.0, request_digital=True)
+        assert result.output.kind == OutputKind.ANALOG
+
+    def test_digital_capable_device_can(self):
+        server, device, encrypted = self.make_setup(analog_only=False)
+        lic = server.request_license("dev-1", RightsGrant("movie"))
+        device.install_license(lic)
+        result = device.play("movie", encrypted, 0.0, request_digital=True)
+        assert result.output.kind == OutputKind.DIGITAL
+        assert result.output.data == b"FRAMEDATA" * 50
+
+    def test_wrong_device_licence_install_fails(self):
+        server = LicenseServer(master_secret=b"studio")
+        key1 = server.register_device("dev-1")
+        server.register_device("dev-2")
+        server.register_title("movie")
+        lic_for_2 = server.request_license("dev-2", RightsGrant("movie"))
+        device1 = PlaybackDevice(device_id="dev-1", license_key=key1)
+        # Licence MAC'd under dev-2's key cannot install on dev-1.
+        with pytest.raises(LicenseError):
+            device1.install_license(lic_for_2)
+
+    def test_unregistered_device_cannot_get_license(self):
+        server = LicenseServer(master_secret=b"studio")
+        server.register_title("movie")
+        with pytest.raises(PermissionError):
+            server.request_license("ghost", RightsGrant("movie"))
+
+    def test_revoked_device_refused(self):
+        server = LicenseServer(master_secret=b"studio")
+        server.register_device("dev-1")
+        server.register_title("movie")
+        server.revoke_device("dev-1")
+        with pytest.raises(PermissionError):
+            server.request_license("dev-1", RightsGrant("movie"))
+
+    def test_renewal_restores_plays(self):
+        server, device, encrypted = self.make_setup()
+        lic = server.request_license(
+            "dev-1", RightsGrant("movie", plays_remaining=1)
+        )
+        device.install_license(lic)
+        device.play("movie", encrypted, 0.0)
+        assert not device.play("movie", encrypted, 1.0).authorized
+        renewed = server.renew_license("dev-1", "movie", extra_plays=3)
+        device.install_license(renewed)
+        assert device.play("movie", encrypted, 2.0).authorized
+
+    def test_time_window_enforced(self):
+        server, device, encrypted = self.make_setup()
+        lic = server.request_license(
+            "dev-1", RightsGrant("movie", not_before=100.0, not_after=200.0)
+        )
+        device.install_license(lic)
+        early = device.play("movie", encrypted, now=50.0)
+        assert early.denial == Denial.EXPIRED
+        ok = device.play("movie", encrypted, now=150.0)
+        assert ok.authorized

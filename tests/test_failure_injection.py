@@ -1,0 +1,184 @@
+"""Failure injection: corrupted inputs must fail loudly, never hang or
+silently return garbage.
+
+A consumer device meets hostile inputs constantly (scratched discs,
+truncated downloads, tampered licences); every parser in the library is
+exercised against random corruption here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio import AudioDecoder, AudioEncoder, AudioEncoderConfig
+from repro.audio.rpeltp import RpeLtpDecoder, RpeLtpEncoder
+from repro.drm import (
+    License,
+    LicenseError,
+    LicenseServer,
+    PlaybackDevice,
+    RightsGrant,
+)
+from repro.image import JpegLikeCodec, WaveletCodec
+from repro.support.ipstack import IPv4Packet, Segment, UdpDatagram
+from repro.video import EncoderConfig, VideoDecoder, VideoEncoder
+from repro.workloads.audio_gen import multitone, speech_like
+from repro.workloads.image_gen import natural_like
+from repro.workloads.video_gen import moving_blocks_sequence
+
+
+def flip_bit(data: bytes, bit_index: int) -> bytes:
+    out = bytearray(data)
+    out[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(out)
+
+
+class TestVideoStreamCorruption:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        frames = moving_blocks_sequence(num_frames=3, height=32, width=32, seed=0)
+        return VideoEncoder(EncoderConfig(code_chroma=False)).encode(frames).data
+
+    def test_truncations_raise(self, stream):
+        decoder = VideoDecoder()
+        for frac in (0.1, 0.5, 0.9):
+            cut = stream[: int(len(stream) * frac)]
+            with pytest.raises((EOFError, ValueError)):
+                decoder.decode(cut)
+
+    def test_random_bitflips_never_hang_or_crash_uncontrolled(self, stream):
+        rng = np.random.default_rng(1)
+        decoder = VideoDecoder()
+        outcomes = {"ok": 0, "rejected": 0}
+        for _ in range(25):
+            corrupted = flip_bit(stream, int(rng.integers(len(stream) * 8)))
+            try:
+                decoded = decoder.decode(corrupted)
+                # Corruption may land in padding / magnitudes: stream still
+                # parses.  Dimensions must remain sane.
+                assert decoded.frames[0].y.shape == (32, 32)
+                outcomes["ok"] += 1
+            except (ValueError, EOFError, KeyError):
+                outcomes["rejected"] += 1
+        assert outcomes["ok"] + outcomes["rejected"] == 25
+
+    def test_header_corruption_rejected(self, stream):
+        with pytest.raises(ValueError):
+            VideoDecoder().decode(flip_bit(stream, 3))  # magic bits
+
+
+class TestAudioStreamCorruption:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return AudioEncoder(AudioEncoderConfig(bitrate=96_000)).encode(
+            multitone(duration=0.2)
+        ).data
+
+    def test_truncations_raise(self, stream):
+        for frac in (0.05, 0.5):
+            with pytest.raises((EOFError, ValueError)):
+                AudioDecoder().decode(stream[: int(len(stream) * frac)])
+
+    def test_bitflips_bounded_behaviour(self, stream):
+        rng = np.random.default_rng(2)
+        for _ in range(15):
+            corrupted = flip_bit(stream, int(rng.integers(len(stream) * 8)))
+            try:
+                decoded = AudioDecoder().decode(corrupted)
+                assert np.all(np.isfinite(decoded.pcm))
+            except (ValueError, EOFError):
+                pass
+
+
+class TestSpeechStreamCorruption:
+    def test_bitflips(self):
+        stream = RpeLtpEncoder().encode(speech_like(duration=0.2, seed=3)).data
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            corrupted = flip_bit(stream, int(rng.integers(len(stream) * 8)))
+            try:
+                out = RpeLtpDecoder().decode(corrupted)
+                assert np.all(np.isfinite(out))
+            except (ValueError, EOFError):
+                pass
+
+
+class TestImageCorruption:
+    def test_jpeg_like(self):
+        img = natural_like(32, 32, seed=4)
+        data = JpegLikeCodec().encode(img, quality=70).data
+        rng = np.random.default_rng(4)
+        for _ in range(15):
+            corrupted = flip_bit(data, int(rng.integers(len(data) * 8)))
+            try:
+                out = JpegLikeCodec().decode(corrupted)
+                assert np.all(np.isfinite(out))
+            except (ValueError, EOFError, KeyError):
+                pass
+
+    def test_wavelet(self):
+        img = natural_like(32, 32, seed=5)
+        data = WaveletCodec().encode(img, step=4.0).data
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            corrupted = flip_bit(data, int(rng.integers(len(data) * 8)))
+            try:
+                out = WaveletCodec().decode(corrupted)
+                assert np.all(np.isfinite(out))
+            except (ValueError, EOFError):
+                pass
+
+
+class TestLicenseTampering:
+    def test_every_single_bitflip_detected(self):
+        """MAC coverage: flipping ANY payload bit must invalidate the
+        licence — no partial acceptance."""
+        server = LicenseServer(master_secret=b"fi-studio")
+        key = server.register_device("dev")
+        server.register_title("t")
+        licence = server.request_license(
+            "dev", RightsGrant("t", plays_remaining=3)
+        )
+        device = PlaybackDevice(device_id="dev", license_key=key)
+        raw = licence.to_bytes()
+        # Flip every byte once (full sweep is cheap at licence sizes).
+        for i in range(4, len(raw)):  # skip the length prefix (framing)
+            corrupted = bytearray(raw)
+            corrupted[i] ^= 0xFF
+            with pytest.raises(LicenseError):
+                device.install_license(License.from_bytes(bytes(corrupted)))
+
+    def test_length_field_tampering(self):
+        server = LicenseServer(master_secret=b"fi2")
+        server.register_device("dev")
+        server.register_title("t")
+        licence = server.request_license("dev", RightsGrant("t"))
+        raw = bytearray(licence.to_bytes())
+        raw[3] ^= 0x01
+        with pytest.raises(LicenseError):
+            License.from_bytes(bytes(raw))
+
+
+class TestPacketCorruption:
+    def test_ipv4_single_bitflips_detected_or_len_mismatch(self):
+        packet = IPv4Packet(src=1, dst=2, protocol=17, payload=b"payload")
+        raw = packet.to_bytes()
+        for bit in range(0, IPv4Packet.HEADER_LEN * 8):
+            with pytest.raises(ValueError):
+                IPv4Packet.from_bytes(flip_bit(raw, bit))
+
+    def test_udp_payload_corruption_detected(self):
+        datagram = UdpDatagram(5, 6, b"license-data")
+        raw = datagram.to_bytes()
+        detected = 0
+        for bit in range(64, len(raw) * 8):
+            try:
+                UdpDatagram.from_bytes(flip_bit(raw, bit))
+            except ValueError:
+                detected += 1
+        # Ones-complement checksums catch all single-bit errors.
+        assert detected == len(raw) * 8 - 64
+
+    def test_segment_truncation(self):
+        seg = Segment(flags=8, seq=0, ack=0, payload=b"x")
+        with pytest.raises(ValueError):
+            Segment.from_bytes(seg.to_bytes()[:4])

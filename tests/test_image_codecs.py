@@ -1,0 +1,161 @@
+"""Tests for the still-image codecs and the wavelet/DCT artifact claim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.image import (
+    JpegLikeCodec,
+    WaveletCodec,
+    compare_codecs,
+    decompose,
+    dwt2,
+    idwt2,
+    reconstruct,
+)
+from repro.video.metrics import psnr
+from repro.workloads.image_gen import (
+    checkerboard,
+    natural_like,
+    smooth_gradient,
+    texture,
+)
+
+
+class TestJpegLike:
+    def test_roundtrip_quality(self):
+        img = natural_like(64, 64, seed=0)
+        codec = JpegLikeCodec()
+        dec = codec.decode(codec.encode(img, quality=90))
+        assert psnr(img, dec) > 30.0
+
+    def test_higher_quality_more_bits_better_psnr(self):
+        img = natural_like(64, 64, seed=1)
+        codec = JpegLikeCodec()
+        lo = codec.encode(img, quality=20)
+        hi = codec.encode(img, quality=90)
+        assert hi.total_bits > lo.total_bits
+        assert psnr(img, codec.decode(hi)) > psnr(img, codec.decode(lo))
+
+    def test_non_multiple_of_8_dimensions(self):
+        img = natural_like(50, 70, seed=2)
+        codec = JpegLikeCodec()
+        dec = codec.decode(codec.encode(img, quality=80))
+        assert dec.shape == (50, 70)
+
+    def test_smooth_image_cheap(self):
+        smooth = smooth_gradient(64, 64)
+        tex = texture(64, 64, seed=3)
+        codec = JpegLikeCodec()
+        assert (
+            codec.encode(smooth, 75).total_bits
+            < codec.encode(tex, 75).total_bits
+        )
+
+    def test_bad_inputs_rejected(self):
+        codec = JpegLikeCodec()
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((4, 4, 3)))
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((8, 8)), quality=0)
+        with pytest.raises(ValueError, match="magic"):
+            codec.decode(b"\x00\x00\x00\x00\x00\x00\x00\x00\x00")
+
+
+class TestLifting:
+    def test_dwt_idwt_identity(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0, 255, (32, 48))
+        ll, lh, hl, hh = dwt2(img)
+        back = idwt2(ll, lh, hl, hh, img.shape)
+        assert np.allclose(back, img, atol=1e-10)
+
+    def test_odd_dimensions(self):
+        rng = np.random.default_rng(1)
+        img = rng.uniform(0, 255, (31, 45))
+        ll, lh, hl, hh = dwt2(img)
+        back = idwt2(ll, lh, hl, hh, img.shape)
+        assert np.allclose(back, img, atol=1e-10)
+
+    def test_multilevel_identity(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(0, 255, (64, 64))
+        assert np.allclose(reconstruct(decompose(img, 4)), img, atol=1e-9)
+
+    def test_constant_image_energy_in_ll(self):
+        img = np.full((32, 32), 100.0)
+        ll, lh, hl, hh = dwt2(img)
+        assert np.allclose(lh, 0.0, atol=1e-10)
+        assert np.allclose(hl, 0.0, atol=1e-10)
+        assert np.allclose(hh, 0.0, atol=1e-10)
+        assert np.allclose(ll, 100.0, atol=1e-10)
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError):
+            decompose(np.zeros((8, 8)), 0)
+
+
+class TestWaveletCodec:
+    def test_roundtrip_quality(self):
+        img = natural_like(64, 64, seed=4)
+        codec = WaveletCodec()
+        dec = codec.decode(codec.encode(img, step=2.0))
+        assert psnr(img, dec) > 30.0
+
+    def test_smaller_step_better_quality(self):
+        img = natural_like(64, 64, seed=5)
+        codec = WaveletCodec()
+        fine = codec.encode(img, step=1.0)
+        coarse = codec.encode(img, step=16.0)
+        assert fine.total_bits > coarse.total_bits
+        assert psnr(img, codec.decode(fine)) > psnr(img, codec.decode(coarse))
+
+    def test_odd_dimensions(self):
+        img = natural_like(51, 67, seed=6)
+        codec = WaveletCodec()
+        dec = codec.decode(codec.encode(img, step=4.0))
+        assert dec.shape == (51, 67)
+
+    def test_bad_inputs_rejected(self):
+        codec = WaveletCodec()
+        with pytest.raises(ValueError):
+            codec.encode(np.zeros((8, 8)), step=0.0)
+        with pytest.raises(ValueError, match="magic"):
+            codec.decode(b"\xff" * 12)
+
+
+class TestArtifactClaim:
+    def test_wavelet_has_less_blocking_at_low_rate(self):
+        # Paper Section 3: wavelets "do not suffer from the edge artifacts
+        # common to DCT-based encoding".
+        img = natural_like(64, 64, seed=7)
+        cmp = compare_codecs(img, target_bpp=0.6)
+        assert cmp.wavelet_blockiness < cmp.jpeg_blockiness
+
+    def test_rates_actually_matched(self):
+        img = natural_like(64, 64, seed=8)
+        cmp = compare_codecs(img, target_bpp=0.8)
+        assert cmp.jpeg_bpp == pytest.approx(0.8, rel=0.5)
+        assert cmp.wavelet_bpp == pytest.approx(0.8, rel=0.5)
+
+    def test_checkerboard_blocking(self):
+        # Cell-aligned checkerboard is pathological for the DCT grid; the
+        # wavelet should still show no worse blocking.
+        img = checkerboard(64, 64, cell=4)
+        cmp = compare_codecs(img, target_bpp=0.5)
+        assert cmp.wavelet_blockiness <= cmp.jpeg_blockiness * 1.5
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (16, 16),
+        elements=st.floats(0, 255, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_dwt_roundtrip_property(img):
+    ll, lh, hl, hh = dwt2(img)
+    assert np.allclose(idwt2(ll, lh, hl, hh, img.shape), img, atol=1e-8)

@@ -1,0 +1,229 @@
+"""Tests for the mapping stack: simulator semantics, mappers, DSE."""
+
+import pytest
+
+from repro.dataflow import SDFGraph
+from repro.mapping import (
+    MappingProblem,
+    anneal_mapping,
+    evaluate_mapping,
+    genetic_mapping,
+    greedy_load_balance,
+    heft_mapping,
+    pareto_front,
+    random_mapping,
+    round_robin_mapping,
+    run_mapper,
+    simulate_mapping,
+    single_pe_mapping,
+    uniform_wcet_problem,
+)
+from repro.mapping.annealing import AnnealingConfig
+from repro.mapping.dse import DesignPoint, explore
+from repro.mapping.genetic import GeneticConfig
+from repro.mpsoc import (
+    DSP,
+    ME_ACCEL,
+    RISC_CPU,
+    Platform,
+    Processor,
+    SharedBus,
+    symmetric_multicore,
+)
+from repro.mpsoc.interconnect import InterconnectSpec
+
+
+def chain(times, token_size=1000.0):
+    g = SDFGraph("chain")
+    names = [f"s{i}" for i in range(len(times))]
+    for n, t in zip(names, times):
+        g.add_actor(n, t)
+    for a, b in zip(names, names[1:]):
+        g.add_channel(a, b, token_size=token_size)
+    return g
+
+
+@pytest.fixture
+def pipeline_problem():
+    return uniform_wcet_problem(
+        chain([1e-3, 3e-3, 1e-3, 2e-3]), symmetric_multicore(4)
+    )
+
+
+class TestSimulatorSemantics:
+    def test_single_pe_period_is_total_work(self):
+        g = chain([1.0, 1.0])
+        problem = uniform_wcet_problem(g, symmetric_multicore(1))
+        trace = simulate_mapping(problem, {"s0": 0, "s1": 0}, iterations=6)
+        assert trace.period() == pytest.approx(2.0, rel=0.05)
+
+    def test_pipelined_period_is_bottleneck(self, pipeline_problem):
+        mapping = {"s0": 0, "s1": 1, "s2": 2, "s3": 3}
+        trace = simulate_mapping(pipeline_problem, mapping, iterations=10)
+        assert trace.period() == pytest.approx(3e-3, rel=0.05)
+
+    def test_latency_includes_all_stages(self, pipeline_problem):
+        mapping = {"s0": 0, "s1": 1, "s2": 2, "s3": 3}
+        trace = simulate_mapping(pipeline_problem, mapping, iterations=4)
+        assert trace.latency >= 7e-3
+
+    def test_communication_counted_only_across_pes(self):
+        g = chain([1e-3, 1e-3], token_size=4000.0)
+        problem = uniform_wcet_problem(g, symmetric_multicore(2))
+        same = simulate_mapping(problem, {"s0": 0, "s1": 0}, iterations=4)
+        cross = simulate_mapping(problem, {"s0": 0, "s1": 1}, iterations=4)
+        assert same.comm_bytes == 0.0
+        assert cross.comm_bytes > 0.0
+        assert cross.comm_energy_j > 0.0
+
+    def test_slow_bus_hurts_crossings(self):
+        g = chain([1e-4, 1e-4], token_size=100_000.0)
+        slow_bus = SharedBus(InterconnectSpec(bandwidth_bytes_per_s=1e6))
+        platform = Platform(
+            name="slowbus",
+            processors=[Processor(0, DSP), Processor(1, DSP)],
+            interconnect=slow_bus,
+        )
+        problem = uniform_wcet_problem(g, platform)
+        split = evaluate_mapping(problem, {"s0": 0, "s1": 1}, iterations=4)
+        together = evaluate_mapping(problem, {"s0": 0, "s1": 0}, iterations=4)
+        assert split.period_s > together.period_s
+
+    def test_busy_time_tracked_per_pe(self, pipeline_problem):
+        mapping = {"s0": 0, "s1": 1, "s2": 2, "s3": 3}
+        trace = simulate_mapping(pipeline_problem, mapping, iterations=6)
+        assert trace.busy_time[1] > trace.busy_time[0]
+
+    def test_affinity_violation_rejected(self):
+        g = chain([1e-3, 1e-3])
+        platform = Platform(
+            name="acc",
+            processors=[Processor(0, RISC_CPU), Processor(1, ME_ACCEL)],
+        )
+        problem = uniform_wcet_problem(g, platform)
+        with pytest.raises(ValueError):
+            simulate_mapping(problem, {"s0": 0, "s1": 1}, iterations=2)
+
+    def test_incomplete_mapping_rejected(self, pipeline_problem):
+        with pytest.raises(ValueError):
+            simulate_mapping(pipeline_problem, {"s0": 0}, iterations=2)
+
+    def test_multirate_simulation(self):
+        g = SDFGraph("mr")
+        g.add_actor("src", 1e-3)
+        g.add_actor("work", 1e-3)
+        g.add_channel("src", "work", 4, 1)
+        problem = uniform_wcet_problem(g, symmetric_multicore(2))
+        trace = simulate_mapping(problem, {"src": 0, "work": 1}, iterations=6)
+        # Period: work fires 4x per iteration = 4 ms (bottleneck).
+        assert trace.period() == pytest.approx(4e-3, rel=0.1)
+
+
+class TestBaselineMappers:
+    def test_round_robin_spreads(self, pipeline_problem):
+        result = round_robin_mapping(pipeline_problem)
+        assert len(set(result.mapping.values())) == 4
+
+    def test_greedy_respects_affinity(self):
+        g = SDFGraph("aff")
+        g.add_actor("me", 1e-3, kind="motion_estimation")
+        g.add_actor("other", 5e-3, kind="generic")
+        g.add_channel("me", "other")
+        platform = Platform(
+            name="p",
+            processors=[Processor(0, RISC_CPU), Processor(1, ME_ACCEL)],
+        )
+        problem = MappingProblem(
+            graph=g,
+            platform=platform,
+            wcet=lambda a, pe: 1e-4 if pe == 1 else 1e-3,
+        )
+        result = greedy_load_balance(problem)
+        problem.validate_mapping(result.mapping)
+        assert result.mapping["other"] == 0  # accelerator can't run it
+
+    def test_random_mapping_valid(self, pipeline_problem):
+        for seed in range(5):
+            result = random_mapping(pipeline_problem, seed=seed)
+            pipeline_problem.validate_mapping(result.mapping)
+
+    def test_single_pe(self, pipeline_problem):
+        result = single_pe_mapping(pipeline_problem)
+        assert len(set(result.mapping.values())) == 1
+
+
+class TestSearchMappers:
+    def test_heft_produces_valid_mapping(self, pipeline_problem):
+        result = heft_mapping(pipeline_problem)
+        pipeline_problem.validate_mapping(result.mapping)
+
+    def test_annealing_beats_or_matches_round_robin(self, pipeline_problem):
+        rr = evaluate_mapping(
+            pipeline_problem, round_robin_mapping(pipeline_problem).mapping
+        )
+        sa_result = anneal_mapping(
+            pipeline_problem,
+            AnnealingConfig(iterations=60),
+            seed=0,
+        )
+        sa = evaluate_mapping(pipeline_problem, sa_result.mapping)
+        assert sa.period_s <= rr.period_s * 1.01
+
+    def test_annealing_finds_pipelined_mapping(self, pipeline_problem):
+        result = anneal_mapping(
+            pipeline_problem, AnnealingConfig(iterations=80), seed=1
+        )
+        ev = evaluate_mapping(pipeline_problem, result.mapping, iterations=10)
+        # Optimal period = bottleneck stage (3 ms) + epsilon for comm.
+        assert ev.period_s < 4.5e-3
+
+    def test_genetic_valid_and_competitive(self, pipeline_problem):
+        result = genetic_mapping(
+            pipeline_problem,
+            GeneticConfig(population=8, generations=5),
+            seed=0,
+        )
+        pipeline_problem.validate_mapping(result.mapping)
+        ev = evaluate_mapping(pipeline_problem, result.mapping)
+        assert ev.period_s < 7.1e-3  # at least no worse than single PE
+
+    def test_search_is_deterministic_given_seed(self, pipeline_problem):
+        a = anneal_mapping(pipeline_problem, AnnealingConfig(iterations=30), seed=7)
+        b = anneal_mapping(pipeline_problem, AnnealingConfig(iterations=30), seed=7)
+        assert a.mapping == b.mapping
+
+    def test_unknown_mapper_rejected(self, pipeline_problem):
+        with pytest.raises(ValueError):
+            run_mapper(pipeline_problem, "oracle")
+
+
+class TestDse:
+    def test_explore_and_pareto(self):
+        g = chain([1e-3, 2e-3, 1e-3])
+        platforms = [symmetric_multicore(n) for n in (1, 2, 4)]
+        points = explore(
+            lambda p: uniform_wcet_problem(g, p),
+            platforms,
+            algorithms=["greedy"],
+        )
+        assert len(points) == 3
+        front = pareto_front(points, axes=("cost", "period_s"))
+        assert 1 <= len(front) <= 3
+        # The cheapest platform is never dominated on the cost axis.
+        cheapest = min(points, key=lambda p: p.cost)
+        assert cheapest in front
+
+    def test_pareto_removes_dominated(self):
+        g = chain([1e-3, 1e-3])
+        p2 = symmetric_multicore(2)
+        problem = uniform_wcet_problem(g, p2)
+        good = evaluate_mapping(problem, {"s0": 0, "s1": 1})
+        bad = evaluate_mapping(problem, {"s0": 0, "s1": 0})
+        from repro.mapping import MappingResult
+
+        points = [
+            DesignPoint(p2, "a", MappingResult({}, "a"), good),
+            DesignPoint(p2, "b", MappingResult({}, "b"), bad),
+        ]
+        front = pareto_front(points, axes=("period_s",))
+        assert len(front) == 1

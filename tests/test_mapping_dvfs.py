@@ -1,0 +1,124 @@
+"""Tests for DVFS slack reclamation and buffer-memory accounting."""
+
+import pytest
+
+from repro.dataflow import SDFGraph
+from repro.mapping import (
+    evaluate_mapping,
+    reclaim_slack,
+    scaled_platform,
+    scaled_problem,
+    simulate_mapping,
+    uniform_wcet_problem,
+)
+from repro.mpsoc import DSP, Platform, Processor, symmetric_multicore
+
+
+def chain(times, token_size=1000.0):
+    g = SDFGraph("chain")
+    names = [f"s{i}" for i in range(len(times))]
+    for n, t in zip(names, times):
+        g.add_actor(n, t)
+    for a, b in zip(names, names[1:]):
+        g.add_channel(a, b, token_size=token_size)
+    return g
+
+
+@pytest.fixture
+def problem():
+    return uniform_wcet_problem(chain([1e-3, 2e-3]), symmetric_multicore(2))
+
+
+MAPPING = {"s0": 0, "s1": 1}
+
+
+class TestScaledPlatform:
+    def test_clock_and_power_scale(self):
+        p = symmetric_multicore(2)
+        slow = scaled_platform(p, 0.5)
+        assert slow.processors[0].ptype.clock_mhz == pytest.approx(
+            p.processors[0].ptype.clock_mhz * 0.5
+        )
+        assert slow.processors[0].ptype.active_power_mw == pytest.approx(
+            p.processors[0].ptype.active_power_mw / 8.0
+        )
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_platform(symmetric_multicore(1), 0.0)
+
+    def test_scaled_problem_wcet(self, problem):
+        half = scaled_problem(problem, 0.5)
+        assert half.wcet("s0", 0) == pytest.approx(2.0 * problem.wcet("s0", 0))
+
+
+class TestReclaimSlack:
+    def test_slack_converted_to_energy(self, problem):
+        nominal = evaluate_mapping(problem, MAPPING)
+        deadline = nominal.period_s * 3.0  # generous slack
+        result = reclaim_slack(problem, MAPPING, deadline)
+        assert result.meets_deadline
+        assert result.factor < 0.75
+        assert result.energy_saving_fraction > 0.3
+
+    def test_tight_deadline_keeps_nominal(self, problem):
+        nominal = evaluate_mapping(problem, MAPPING)
+        result = reclaim_slack(problem, MAPPING, nominal.period_s * 1.01)
+        assert result.factor > 0.9
+
+    def test_infeasible_deadline_reports_nominal(self, problem):
+        nominal = evaluate_mapping(problem, MAPPING)
+        result = reclaim_slack(problem, MAPPING, nominal.period_s * 0.5)
+        assert result.factor == 1.0
+        assert not result.meets_deadline
+
+    def test_invalid_deadline_rejected(self, problem):
+        with pytest.raises(ValueError):
+            reclaim_slack(problem, MAPPING, 0.0)
+
+    def test_scaled_period_matches_factor_for_compute_bound(self, problem):
+        result = reclaim_slack(
+            problem, MAPPING, evaluate_mapping(problem, MAPPING).period_s * 2.0
+        )
+        # Communication is negligible here, so period ~ nominal / factor.
+        assert result.scaled.period_s == pytest.approx(
+            result.nominal.period_s / result.factor, rel=0.1
+        )
+
+
+class TestBufferAccounting:
+    def test_peak_tokens_tracked(self, problem):
+        trace = simulate_mapping(problem, MAPPING, iterations=6)
+        assert trace.channel_peak_tokens
+        assert all(v >= 1 for v in trace.channel_peak_tokens.values())
+
+    def test_buffer_bytes_in_evaluation(self, problem):
+        ev = evaluate_mapping(problem, MAPPING)
+        assert ev.buffer_bytes >= 1000.0  # at least one 1000-byte token
+        assert ev.memory_feasible
+
+    def test_memory_infeasibility_detected(self):
+        # Huge tokens against a tiny memory budget.
+        g = chain([1e-3, 5e-3], token_size=300_000.0)
+        platform = Platform(
+            name="tiny",
+            processors=[Processor(0, DSP), Processor(1, DSP)],
+            memory_kb=64.0,
+        )
+        problem = uniform_wcet_problem(g, platform)
+        ev = evaluate_mapping(problem, {"s0": 0, "s1": 1})
+        assert not ev.memory_feasible
+
+    def test_slower_consumer_needs_more_buffer(self):
+        # A fast producer in front of a slow consumer piles tokens up.
+        fast = uniform_wcet_problem(
+            chain([1e-3, 1e-3]), symmetric_multicore(2)
+        )
+        slow = uniform_wcet_problem(
+            chain([1e-3, 8e-3]), symmetric_multicore(2)
+        )
+        t_fast = simulate_mapping(fast, MAPPING, iterations=8)
+        t_slow = simulate_mapping(slow, MAPPING, iterations=8)
+        assert max(t_slow.channel_peak_tokens.values()) > max(
+            t_fast.channel_peak_tokens.values()
+        )

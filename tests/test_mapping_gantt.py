@@ -1,0 +1,103 @@
+"""Tests for the text Gantt renderer and remaining thin spots."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow import SDFGraph
+from repro.mapping import simulate_mapping, uniform_wcet_problem
+from repro.mapping.gantt import render_gantt, utilisation_summary
+from repro.mpsoc import symmetric_multicore
+from repro.video import codec_tables as tables
+from repro.video.bitstream import BitReader, BitWriter
+
+
+@pytest.fixture
+def trace():
+    g = SDFGraph("g")
+    g.add_actor("alpha", 1.0)
+    g.add_actor("beta", 2.0)
+    g.add_channel("alpha", "beta")
+    problem = uniform_wcet_problem(g, symmetric_multicore(2))
+    return simulate_mapping(problem, {"alpha": 0, "beta": 1}, iterations=4)
+
+
+class TestGantt:
+    def test_renders_all_pes(self, trace):
+        text = render_gantt(trace)
+        assert "pe0" in text and "pe1" in text
+
+    def test_legend_names_actors(self, trace):
+        text = render_gantt(trace)
+        assert "alpha" in text and "beta" in text
+
+    def test_busy_marks_present(self, trace):
+        text = render_gantt(trace, width=40)
+        rows = [l for l in text.splitlines() if l.startswith("pe")]
+        assert any("a" in row for row in rows)
+        assert any("b" in row for row in rows)
+
+    def test_bottleneck_pe_busier(self, trace):
+        text = render_gantt(trace, width=60)
+        rows = [l for l in text.splitlines() if l.startswith("pe")]
+        idle0 = rows[0].count(".")
+        idle1 = rows[1].count(".")
+        assert idle1 < idle0  # beta (2.0) keeps pe1 busier
+
+    def test_utilisation_summary(self, trace):
+        text = utilisation_summary(trace)
+        assert "pe0" in text and "%" in text
+
+    def test_empty_trace(self):
+        from repro.mapping.simulate import MappedTrace
+
+        empty = MappedTrace(
+            firings=[],
+            iteration_finish_times=[],
+            busy_time={},
+            comm_bytes=0.0,
+            comm_energy_j=0.0,
+            comm_busy_time=0.0,
+        )
+        assert "empty" in render_gantt(empty)
+
+    def test_horizon_clamp(self, trace):
+        text = render_gantt(trace, width=30, max_time=trace.makespan / 2)
+        assert "|" in text
+
+
+class TestCodecTables:
+    def test_ac_alphabet_covers_all_runs_and_categories(self):
+        codec = tables.default_ac_codec(8)
+        for run in (0, 1, 31, 63):
+            for cat in (1, 6, 12):
+                codec.code_for(tables.pack_ac(run, cat))
+
+    def test_eob_symbol_is_distinct(self):
+        # One symbol past the (run, category) grid: 64 runs x 16 categories.
+        assert tables.eob_symbol(8) == 8 * 8 * 16
+        assert tables.unpack_ac(tables.eob_symbol(8) - 1) == (63, 15)
+
+    def test_pack_unpack_roundtrip(self):
+        for run in (0, 5, 63):
+            for cat in (1, 9, 15):
+                assert tables.unpack_ac(tables.pack_ac(run, cat)) == (run, cat)
+
+    def test_magnitude_category(self):
+        assert tables.magnitude_category(0) == 0
+        assert tables.magnitude_category(1) == 1
+        assert tables.magnitude_category(-1) == 1
+        assert tables.magnitude_category(255) == 8
+        assert tables.magnitude_category(-256) == 9
+
+    def test_magnitude_roundtrip(self):
+        for value in (-2040, -17, -1, 1, 3, 500, 2040):
+            w = BitWriter()
+            tables.encode_magnitude(value, w)
+            r = BitReader(w.getvalue())
+            cat = tables.magnitude_category(value)
+            assert tables.decode_magnitude(cat, r) == value
+
+    def test_dc_codec_deterministic(self):
+        a = tables.default_dc_codec(8)
+        b = tables.default_dc_codec(8)
+        assert a.lengths == b.lengths

@@ -1,0 +1,120 @@
+"""Tests for the RM/EDF real-time analysis (paper Sections 7-8)."""
+
+import math
+
+import pytest
+
+from repro.mpsoc import (
+    PeriodicTask,
+    edf_schedulable,
+    liu_layland_bound,
+    rm_response_time,
+    rm_schedulable,
+    simulate_fixed_priority,
+    total_utilization,
+)
+from repro.mpsoc.rtos import rm_priority_order
+
+
+class TestTaskModel:
+    def test_invalid_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("t", period=0.0, wcet=1.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("t", period=1.0, wcet=2.0)
+
+    def test_utilization(self):
+        t = PeriodicTask("t", period=10.0, wcet=2.5)
+        assert t.utilization == pytest.approx(0.25)
+
+
+class TestLiuLayland:
+    def test_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+
+    def test_converges_to_ln2(self):
+        assert liu_layland_bound(1000) == pytest.approx(math.log(2), abs=1e-3)
+
+
+class TestRmAnalysis:
+    def test_classic_schedulable_set(self):
+        tasks = [
+            PeriodicTask("servo", period=5.0, wcet=1.0),
+            PeriodicTask("audio", period=10.0, wcet=2.0),
+            PeriodicTask("video", period=20.0, wcet=4.0),
+        ]
+        assert total_utilization(tasks) == pytest.approx(0.6)
+        assert rm_schedulable(tasks)
+
+    def test_overloaded_set_fails(self):
+        tasks = [
+            PeriodicTask("a", period=2.0, wcet=1.5),
+            PeriodicTask("b", period=3.0, wcet=1.5),
+        ]
+        assert total_utilization(tasks) > 1.0
+        assert not rm_schedulable(tasks)
+
+    def test_rm_weaker_than_edf(self):
+        # U = 1.0 harmonic-free set: EDF fits (U <= 1), RM misses.
+        tasks = [
+            PeriodicTask("a", period=2.0, wcet=1.0),
+            PeriodicTask("b", period=5.0, wcet=2.5),
+        ]
+        assert edf_schedulable(tasks)
+        assert not rm_schedulable(tasks)
+
+    def test_response_time_exact(self):
+        # R(b) = C_b + ceil(R/T_a) C_a: 2 + 2*1 = 4 (two preemptions? ->
+        # R=2+1=3 -> ceil(3/5)*1=1 -> R=3 stable).
+        tasks = [
+            PeriodicTask("a", period=5.0, wcet=1.0),
+            PeriodicTask("b", period=20.0, wcet=2.0),
+        ]
+        ordered = rm_priority_order(tasks)
+        assert rm_response_time(ordered, 0) == pytest.approx(1.0)
+        assert rm_response_time(ordered, 1) == pytest.approx(3.0)
+
+    def test_harmonic_tasks_full_utilization(self):
+        tasks = [
+            PeriodicTask("a", period=2.0, wcet=1.0),
+            PeriodicTask("b", period=4.0, wcet=2.0),
+        ]
+        assert total_utilization(tasks) == pytest.approx(1.0)
+        assert rm_schedulable(tasks)  # harmonic periods beat the LL bound
+
+
+class TestEdf:
+    def test_empty_set(self):
+        assert edf_schedulable([])
+        assert rm_schedulable([])
+
+    def test_utilization_boundary(self):
+        tasks = [PeriodicTask("a", period=1.0, wcet=1.0)]
+        assert edf_schedulable(tasks)
+
+    def test_constrained_deadline_demand_check(self):
+        # Same task set, tighter deadline: demand criterion must catch it.
+        ok = [PeriodicTask("a", period=10.0, wcet=5.0, deadline=10.0)]
+        tight = [PeriodicTask("a", period=10.0, wcet=5.0, deadline=4.0)]
+        assert edf_schedulable(ok)
+        assert not edf_schedulable(tight)
+
+
+class TestSimulation:
+    def test_schedulable_set_meets_deadlines(self):
+        tasks = [
+            PeriodicTask("fast", period=0.01, wcet=0.002),
+            PeriodicTask("slow", period=0.05, wcet=0.01),
+        ]
+        jobs = simulate_fixed_priority(tasks, duration=0.5, time_step=0.001)
+        assert jobs
+        assert all(j.met_deadline for j in jobs)
+
+    def test_overload_misses_deadlines(self):
+        tasks = [
+            PeriodicTask("hog", period=0.01, wcet=0.009),
+            PeriodicTask("victim", period=0.02, wcet=0.009),
+        ]
+        jobs = simulate_fixed_priority(tasks, duration=0.3, time_step=0.001)
+        assert any(not j.met_deadline for j in jobs if j.task == "victim")

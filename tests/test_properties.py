@@ -1,0 +1,223 @@
+"""Cross-module property-based tests: the invariants the library's
+correctness arguments rest on, fuzzed with hypothesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow import (
+    SDFGraph,
+    is_live,
+    max_cycle_ratio,
+    repetition_vector,
+    simulate_self_timed,
+    to_hsdf,
+)
+from repro.drm import cbc_mac, ctr_crypt, encrypt_block
+from repro.image import JpegLikeCodec, WaveletCodec
+from repro.mapping import simulate_mapping, uniform_wcet_problem
+from repro.mpsoc import PeriodicTask, rm_schedulable, symmetric_multicore
+from repro.support import FatFileSystem
+from repro.video import EncoderConfig, VideoDecoder, VideoEncoder
+
+
+# --------------------------------------------------------------- dataflow
+
+@st.composite
+def random_chain_graph(draw):
+    """Random multirate chain with random execution times."""
+    n = draw(st.integers(2, 5))
+    g = SDFGraph("prop")
+    for i in range(n):
+        g.add_actor(f"a{i}", draw(st.floats(0.1, 5.0)))
+    for i in range(n - 1):
+        g.add_channel(
+            f"a{i}",
+            f"a{i + 1}",
+            draw(st.integers(1, 4)),
+            draw(st.integers(1, 4)),
+        )
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_chain_graph())
+def test_chains_are_always_consistent_and_live(g):
+    reps = repetition_vector(g)
+    for c in g.channels.values():
+        assert reps[c.src] * c.production == reps[c.dst] * c.consumption
+    assert is_live(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_chain_graph())
+def test_hsdf_expansion_preserves_self_timed_period(g):
+    trace = simulate_self_timed(g, iterations=8)
+    h = to_hsdf(g)
+    trace_h = simulate_self_timed(h, iterations=8)
+    assert trace_h.period() == pytest.approx(trace.period(), rel=0.1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.floats(0.5, 5.0),
+    st.floats(0.5, 5.0),
+    st.integers(1, 4),
+)
+def test_cycle_period_is_sum_over_tokens(t1, t2, tokens):
+    g = SDFGraph()
+    g.add_actor("a", t1)
+    g.add_actor("b", t2)
+    g.add_channel("a", "b")
+    g.add_channel("b", "a", initial_tokens=tokens)
+    mcr = max_cycle_ratio(g)
+    assert mcr == pytest.approx((t1 + t2) / tokens, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(random_chain_graph(), st.integers(1, 4))
+def test_mapped_period_never_beats_bottleneck_work(g, pes):
+    """No mapping can run faster than the heaviest actor's work rate."""
+    problem = uniform_wcet_problem(g, symmetric_multicore(pes))
+    mapping = {
+        a: i % pes for i, a in enumerate(g.actors)
+    }
+    trace = simulate_mapping(problem, mapping, iterations=5)
+    reps = repetition_vector(g)
+    bottleneck = max(
+        reps[a] * g.actor(a).execution_time for a in g.actors
+    )
+    assert trace.period() >= bottleneck - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_chain_graph())
+def test_single_pe_period_equals_total_work(g):
+    problem = uniform_wcet_problem(g, symmetric_multicore(1))
+    mapping = dict.fromkeys(g.actors, 0)
+    trace = simulate_mapping(problem, mapping, iterations=5)
+    reps = repetition_vector(g)
+    total = sum(reps[a] * g.actor(a).execution_time for a in g.actors)
+    assert trace.period() == pytest.approx(total, rel=0.05)
+
+
+# ------------------------------------------------------------------ codecs
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1), st.integers(30, 95))
+def test_video_codec_total_roundtrip_parses(seed, quality):
+    rng = np.random.default_rng(seed)
+    frames = [
+        np.clip(rng.normal(128, 40, (16, 16)), 0, 255) for _ in range(2)
+    ]
+    cfg = EncoderConfig(quality=quality, code_chroma=False)
+    encoded = VideoEncoder(cfg).encode(frames)
+    decoded = VideoDecoder().decode(encoded.data)
+    assert len(decoded.frames) == 2
+    for f in decoded.frames:
+        assert np.all(f.y >= 0.0) and np.all(f.y <= 255.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_image_codecs_bounded_output(seed):
+    rng = np.random.default_rng(seed)
+    img = np.clip(rng.normal(128, 50, (24, 24)), 0, 255)
+    out_j = JpegLikeCodec().decode(JpegLikeCodec().encode(img, 60))
+    out_w = WaveletCodec().decode(WaveletCodec().encode(img, 6.0))
+    for out in (out_j, out_w):
+        assert out.shape == img.shape
+        assert np.all(out >= 0.0) and np.all(out <= 255.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(20, 90), st.integers(0, 1000))
+def test_quality_monotone_in_bits(quality, seed):
+    rng = np.random.default_rng(seed)
+    img = np.clip(rng.normal(128, 40, (24, 24)), 0, 255)
+    lo = JpegLikeCodec().encode(img, quality)
+    hi = JpegLikeCodec().encode(img, min(100, quality + 10))
+    assert hi.total_bits >= lo.total_bits * 0.9  # monotone up to noise
+
+
+# -------------------------------------------------------------------- drm
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=8, max_size=8))
+def test_xtea_is_a_permutation(key, block):
+    from repro.drm import decrypt_block
+
+    assert decrypt_block(encrypt_block(block, key), key) == block
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.binary(min_size=0, max_size=128),
+    st.binary(min_size=0, max_size=128),
+)
+def test_cbc_mac_collision_resistance_on_distinct_messages(a, b):
+    key = bytes(range(16))
+    if a != b:
+        assert cbc_mac(a, key) != cbc_mac(b, key)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=1, max_size=200), st.integers(0, 2 ** 32 - 1))
+def test_ctr_crypt_involution(data, nonce_int):
+    key = b"0123456789abcdef"
+    nonce = nonce_int.to_bytes(4, "big")
+    assert ctr_crypt(ctr_crypt(data, key, nonce), key, nonce) == data
+
+
+# -------------------------------------------------------------- filesystem
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["write", "delete", "overwrite"]),
+            st.integers(0, 5),
+            st.binary(min_size=0, max_size=1200),
+        ),
+        max_size=25,
+    )
+)
+def test_filesystem_random_ops_model_check(ops):
+    """Random op sequences against a dict reference model."""
+    fs = FatFileSystem()
+    model: dict[str, bytes] = {}
+    for op, slot, data in ops:
+        path = f"/f{slot}"
+        if op in ("write", "overwrite"):
+            fs.write_file(path, data)
+            model[path] = data
+        elif op == "delete" and path in model:
+            fs.delete(path)
+            del model[path]
+    for path, expected in model.items():
+        assert fs.read_file(path) == expected
+    assert sorted(fs.tree()) == sorted(model)
+    # Conservation: free + used == total.
+    used = sum(len(fs.chain_of(p)) for p in model)
+    assert fs.free_blocks() + used == fs.device.num_blocks
+
+
+# -------------------------------------------------------------------- rtos
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0.01, 0.2), st.floats(0.1, 1.0)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_rm_never_admits_overload(task_specs):
+    tasks = []
+    for i, (wcet_frac, period) in enumerate(task_specs):
+        wcet = max(1e-6, min(wcet_frac * period, period))
+        tasks.append(PeriodicTask(f"t{i}", period=period, wcet=wcet))
+    total_u = sum(t.utilization for t in tasks)
+    if total_u > 1.0:
+        assert not rm_schedulable(tasks)

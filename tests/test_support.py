@@ -1,0 +1,311 @@
+"""Tests for support substrates: file system, IP stack, transcode, servo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.support import (
+    BlockDevice,
+    FatFileSystem,
+    FsError,
+    IPv4Packet,
+    LossyLink,
+    PointToPointNetwork,
+    UdpDatagram,
+    adaptation_matrix,
+    ones_complement_checksum,
+    quality_is_monotone_nonincreasing,
+    rate_sweep,
+    run_servo,
+    udp_transaction,
+    video_transcode_generations,
+)
+from repro.support.servo import Mechanism, tuned_pid
+from repro.support.transcode import image_transcode_generations
+from repro.workloads.image_gen import natural_like
+from repro.workloads.video_gen import moving_blocks_sequence
+
+
+class TestBlockDevice:
+    def test_unwritten_blocks_read_zero(self):
+        dev = BlockDevice(num_blocks=8)
+        assert dev.read_block(3) == b"\x00" * dev.block_size
+
+    def test_write_read_roundtrip(self):
+        dev = BlockDevice()
+        dev.write_block(5, b"hello")
+        assert dev.read_block(5).rstrip(b"\x00") == b"hello"
+
+    def test_out_of_range_rejected(self):
+        dev = BlockDevice(num_blocks=4)
+        with pytest.raises(IndexError):
+            dev.read_block(4)
+
+    def test_oversized_write_rejected(self):
+        dev = BlockDevice(block_size=64)
+        with pytest.raises(ValueError):
+            dev.write_block(0, b"x" * 65)
+
+    def test_seek_accounting(self):
+        dev = BlockDevice()
+        dev.write_block(0, b"a")
+        dev.write_block(100, b"b")
+        assert dev.stats.total_seek_distance == 100
+
+
+class TestFatFileSystem:
+    def test_write_read_roundtrip(self):
+        fs = FatFileSystem()
+        data = bytes(range(256)) * 10
+        fs.write_file("/file.bin", data)
+        assert fs.read_file("/file.bin") == data
+
+    def test_large_file_spans_blocks(self):
+        fs = FatFileSystem()
+        data = b"v" * 5000
+        fs.write_file("/video.rec", data)
+        assert len(fs.chain_of("/video.rec")) >= 10
+        assert fs.read_file("/video.rec") == data
+
+    def test_long_file_names(self):
+        fs = FatFileSystem()
+        name = "/an extremely long recording name with spaces (2005-06-10) take 42.mpg"
+        fs.write_file(name, b"x")
+        assert fs.exists(name)
+
+    def test_directories(self):
+        fs = FatFileSystem()
+        fs.makedirs("/music/artist/album")
+        fs.write_file("/music/artist/album/t1.mp3", b"a")
+        assert fs.listdir("/music") == ["artist"]
+        assert fs.tree() == ["/music/artist/album/t1.mp3"]
+
+    def test_delete_frees_blocks(self):
+        fs = FatFileSystem()
+        before = fs.free_blocks()
+        fs.write_file("/tmp.bin", b"x" * 4000)
+        assert fs.free_blocks() < before
+        fs.delete("/tmp.bin")
+        assert fs.free_blocks() == before
+
+    def test_nonsequential_allocation_after_churn(self):
+        # Write/delete churn fragments the free list; a later large file
+        # gets a non-sequential chain (the paper's FS characteristic).
+        fs = FatFileSystem(BlockDevice(num_blocks=64))
+        for i in range(8):
+            fs.write_file(f"/a{i}", b"x" * 1500)
+        for i in range(0, 8, 2):
+            fs.delete(f"/a{i}")
+        fs.write_file("/big", b"y" * 5000)
+        assert fs.fragmentation("/big") > 0.0
+        assert fs.read_file("/big") == b"y" * 5000
+
+    def test_disk_full(self):
+        fs = FatFileSystem(BlockDevice(num_blocks=4, block_size=512))
+        with pytest.raises(FsError):
+            fs.write_file("/huge", b"z" * 4096)
+
+    def test_overwrite_replaces(self):
+        fs = FatFileSystem()
+        fs.write_file("/f", b"old")
+        fs.write_file("/f", b"new data")
+        assert fs.read_file("/f") == b"new data"
+
+    def test_append(self):
+        fs = FatFileSystem()
+        fs.append_file("/rec", b"aaa")
+        fs.append_file("/rec", b"bbb")
+        assert fs.read_file("/rec") == b"aaabbb"
+
+    def test_delete_nonempty_dir_rejected(self):
+        fs = FatFileSystem()
+        fs.makedirs("/d")
+        fs.write_file("/d/f", b"x")
+        with pytest.raises(FsError):
+            fs.delete("/d")
+
+    def test_missing_path_rejected(self):
+        fs = FatFileSystem()
+        with pytest.raises(FsError):
+            fs.read_file("/ghost")
+
+    def test_import_foreign_tree(self):
+        # The CD/MP3 player case: weird names, nesting, collisions.
+        fs = FatFileSystem()
+        tree = {
+            "Album One": {
+                "01 - Track.mp3": b"t1",
+                "02/Track.mp3": b"t2",  # path separator in a name
+                "x" * 100: b"t3",  # over-long name
+            },
+            "playlist.m3u": b"list",
+        }
+        imported = fs.import_foreign_tree(tree)
+        assert len(imported) == 4
+        for path in imported:
+            assert fs.read_file(path)
+
+    def test_foreign_name_collision_suffixed(self):
+        fs = FatFileSystem()
+        fs.import_foreign_tree({"a/b": b"one"})
+        fs.import_foreign_tree({"a_b": b"two"})
+        files = fs.tree()
+        assert len(files) == 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=3000))
+def test_fs_roundtrip_property(data):
+    fs = FatFileSystem()
+    fs.write_file("/blob", data)
+    assert fs.read_file("/blob") == data
+
+
+class TestIpStack:
+    def test_checksum_detects_corruption(self):
+        packet = IPv4Packet(src=1, dst=2, protocol=17, payload=b"hi")
+        raw = bytearray(packet.to_bytes())
+        raw[5] ^= 0xFF
+        with pytest.raises(ValueError):
+            IPv4Packet.from_bytes(bytes(raw))
+
+    def test_ipv4_roundtrip(self):
+        p = IPv4Packet(src=0x0A000001, dst=0x0A000002, protocol=6, payload=b"data")
+        back = IPv4Packet.from_bytes(p.to_bytes())
+        assert back == p
+
+    def test_udp_roundtrip(self):
+        d = UdpDatagram(src_port=1000, dst_port=80, payload=b"req")
+        assert UdpDatagram.from_bytes(d.to_bytes()) == d
+
+    def test_udp_checksum(self):
+        raw = bytearray(UdpDatagram(1, 2, b"xyz").to_bytes())
+        raw[-1] ^= 0x01
+        with pytest.raises(ValueError):
+            UdpDatagram.from_bytes(bytes(raw))
+
+    def test_ttl_expiry(self):
+        p = IPv4Packet(src=1, dst=2, protocol=17, payload=b"", ttl=1)
+        with pytest.raises(ValueError):
+            p.hop()
+
+    def test_checksum_rfc1071_zero_for_complement(self):
+        data = b"\x00\x01\xf2\x03"
+        checksum = ones_complement_checksum(data)
+        # Appending the checksum makes the total sum validate to 0.
+        total = ones_complement_checksum(data + checksum.to_bytes(2, "big"))
+        assert total == 0
+
+    def test_lossless_link_delivers_in_order(self):
+        link = LossyLink(loss_rate=0.0, latency_ticks=2)
+        link.send(b"a", 0)
+        link.send(b"b", 1)
+        assert link.deliver(1) == []
+        assert link.deliver(2) == [b"a"]
+        assert link.deliver(3) == [b"b"]
+
+    def test_tcp_transfer_lossless(self):
+        net = PointToPointNetwork(loss_rate=0.0)
+        net.client.connect()
+        net.client.send(b"HELLO" * 100)
+        net.client.close()
+        net.run()
+        assert net.server.received == b"HELLO" * 100
+
+    @pytest.mark.parametrize("loss", [0.05, 0.15, 0.3])
+    def test_tcp_reliable_despite_loss(self, loss):
+        net = PointToPointNetwork(loss_rate=loss, seed=int(loss * 100))
+        payload = bytes(range(256)) * 4
+        net.client.connect()
+        net.client.send(payload)
+        net.client.close()
+        stats = net.run(max_ticks=20000)
+        assert net.server.received == payload
+        if loss >= 0.15:
+            assert stats.client_retransmissions > 0
+
+    def test_loss_increases_latency(self):
+        def ticks(loss, seed):
+            net = PointToPointNetwork(loss_rate=loss, seed=seed)
+            net.client.connect()
+            net.client.send(b"D" * 1000)
+            net.client.close()
+            return net.run(max_ticks=50000).ticks
+
+        clean = np.mean([ticks(0.0, s) for s in range(3)])
+        lossy = np.mean([ticks(0.25, s) for s in range(3)])
+        assert lossy > clean
+
+    def test_udp_transaction_with_retry(self):
+        response, sent = udp_transaction(
+            b"license-request", b"license-grant", loss_rate=0.3, seed=7
+        )
+        assert response == b"license-grant"
+        assert sent >= 2
+
+    def test_udp_transaction_clean_needs_two_packets(self):
+        _, sent = udp_transaction(b"q", b"a", loss_rate=0.0)
+        assert sent == 2
+
+
+class TestTranscode:
+    def test_video_generations_lose_quality(self):
+        frames = moving_blocks_sequence(num_frames=4, height=32, width=32, seed=0)
+        results = video_transcode_generations(frames, generations=4)
+        assert quality_is_monotone_nonincreasing(results)
+        assert results[-1].psnr_db < results[0].psnr_db
+
+    def test_image_generations_lose_quality(self):
+        img = natural_like(48, 48, seed=1)
+        results = image_transcode_generations(img, generations=4)
+        assert quality_is_monotone_nonincreasing(results)
+
+    def test_first_generation_dominates_loss(self):
+        frames = moving_blocks_sequence(num_frames=3, height=32, width=32, seed=2)
+        results = video_transcode_generations(frames, generations=3)
+        first_drop = 60.0 - results[0].psnr_db  # vs near-lossless
+        later_drop = results[0].psnr_db - results[-1].psnr_db
+        assert first_drop > later_drop  # re-quantization converges
+
+    def test_zero_generations_rejected(self):
+        with pytest.raises(ValueError):
+            video_transcode_generations([np.zeros((16, 16))], generations=0)
+
+
+class TestServo:
+    def test_high_rate_tracks(self):
+        m = Mechanism("drive_a")
+        result = run_servo(m, sample_rate=20_000.0)
+        assert result.stable
+        assert result.rms_error_um < 0.05 * m.eccentricity_um
+
+    def test_low_rate_unstable(self):
+        m = Mechanism("drive_a")
+        sweep = rate_sweep(m, [1_500.0, 3_000.0, 20_000.0])
+        assert not sweep[1_500.0].stable
+        assert not sweep[3_000.0].stable
+        assert sweep[20_000.0].stable
+
+    def test_adaptation_to_mechanism(self):
+        strong = Mechanism("strong", actuator_gain=1.0)
+        weak = Mechanism("weak", actuator_gain=0.2)
+        matrix = adaptation_matrix([strong, weak])
+        matched = matrix[("weak", "weak")].rms_error_um
+        mismatched = matrix[("strong", "weak")].rms_error_um
+        assert mismatched > 3.0 * matched
+
+    def test_tuned_pid_normalises_gain(self):
+        weak = Mechanism("weak", actuator_gain=0.25)
+        pid = tuned_pid(weak)
+        base = tuned_pid(Mechanism("ref", actuator_gain=1.0))
+        assert pid.kp == pytest.approx(base.kp * 4.0)
+
+    def test_notch_keeps_loop_stable(self):
+        m = Mechanism("drive_a")
+        result = run_servo(m, notch_hz=m.resonance_hz)
+        assert result.stable
+
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            Mechanism("bad", actuator_gain=0.0)

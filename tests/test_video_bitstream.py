@@ -1,0 +1,141 @@
+"""Unit and property tests for the bit-level I/O layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits_pack_msb_first(self):
+        w = BitWriter()
+        for bit in [1, 0, 1, 0, 1, 0, 1, 0]:
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b10101010])
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        w.write_bits(0x3FF, 10)
+        assert len(w) == 10
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+
+    def test_signed_roundtrip_bounds(self):
+        w = BitWriter()
+        w.write_signed(-8, 4)
+        w.write_signed(7, 4)
+        r = BitReader(w.getvalue())
+        assert r.read_signed(4) == -8
+        assert r.read_signed(4) == 7
+
+    def test_signed_overflow_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_signed(8, 4)
+
+    def test_align_pads_to_byte(self):
+        w = BitWriter()
+        w.write_bits(1, 3)
+        w.align()
+        assert len(w) == 8
+
+
+class TestBitReader:
+    def test_eof_raises(self):
+        r = BitReader(b"\xff")
+        r.read_bits(8)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read_bits(3)
+        assert r.bits_remaining == 13
+
+    def test_align_skips_to_byte(self):
+        r = BitReader(bytes([0b10000000, 0b01000000]))
+        assert r.read_bit() == 1
+        r.align()
+        assert r.read_bits(2) == 0b01
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize("value,expected_bits", [(0, 1), (1, 3), (2, 3), (3, 5)])
+    def test_ue_code_lengths(self, value, expected_bits):
+        w = BitWriter()
+        w.write_ue(value)
+        assert len(w) == expected_bits
+
+    def test_ue_known_codewords(self):
+        w = BitWriter()
+        w.write_ue(0)  # '1'
+        w.write_ue(1)  # '010'
+        w.write_ue(2)  # '011'
+        assert w.getvalue() == bytes([0b10100110])
+
+    def test_negative_ue_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_ue(-1)
+
+
+class TestUnary:
+    def test_roundtrip(self):
+        w = BitWriter()
+        for v in (0, 1, 5):
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(3)] == [0, 1, 5]
+
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 16 - 1), st.just(16)), max_size=64))
+def test_fixed_width_roundtrip(fields):
+    w = BitWriter()
+    for value, width in fields:
+        w.write_bits(value, width)
+    r = BitReader(w.getvalue())
+    for value, width in fields:
+        assert r.read_bits(width) == value
+
+
+@given(st.lists(st.integers(0, 10_000), max_size=64))
+def test_ue_roundtrip(values):
+    w = BitWriter()
+    for v in values:
+        w.write_ue(v)
+    r = BitReader(w.getvalue())
+    for v in values:
+        assert r.read_ue() == v
+
+
+@given(st.lists(st.integers(-5_000, 5_000), max_size=64))
+def test_se_roundtrip(values):
+    w = BitWriter()
+    for v in values:
+        w.write_se(v)
+    r = BitReader(w.getvalue())
+    for v in values:
+        assert r.read_se() == v
+
+
+@given(st.lists(st.integers(-128, 127), max_size=32))
+def test_signed_roundtrip(values):
+    w = BitWriter()
+    for v in values:
+        w.write_signed(v, 8)
+    r = BitReader(w.getvalue())
+    for v in values:
+        assert r.read_signed(8) == v

@@ -1,0 +1,126 @@
+"""Tests for the DCT kernels and the separability claim (experiment C3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.video.dct import (
+    blockwise,
+    dct_1d,
+    dct_2d,
+    dct_2d_direct,
+    dct_matrix,
+    direct_mul_count,
+    idct_1d,
+    idct_2d,
+    separable_mul_count,
+)
+
+
+class TestDctMatrix:
+    def test_orthogonality(self):
+        c = dct_matrix(8)
+        assert np.allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_is_dc(self):
+        c = dct_matrix(8)
+        assert np.allclose(c[0], 1.0 / np.sqrt(8))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            dct_matrix(0)
+
+
+class TestDct1d:
+    def test_constant_signal_has_only_dc(self):
+        x = np.full(8, 5.0)
+        coeffs = dct_1d(x)
+        assert coeffs[0] == pytest.approx(5.0 * np.sqrt(8))
+        assert np.allclose(coeffs[1:], 0.0, atol=1e-12)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=16)
+        assert np.allclose(idct_1d(dct_1d(x)), x, atol=1e-10)
+
+    def test_parseval_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=8)
+        assert np.sum(x ** 2) == pytest.approx(np.sum(dct_1d(x) ** 2))
+
+
+class TestDct2d:
+    def test_separable_matches_direct(self):
+        rng = np.random.default_rng(3)
+        block = rng.uniform(-128, 127, size=(8, 8))
+        assert np.allclose(dct_2d(block), dct_2d_direct(block), atol=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(4)
+        block = rng.uniform(0, 255, size=(8, 8))
+        assert np.allclose(idct_2d(dct_2d(block)), block, atol=1e-9)
+
+    def test_dc_of_constant_block(self):
+        block = np.full((8, 8), 100.0)
+        coeffs = dct_2d(block)
+        assert coeffs[0, 0] == pytest.approx(100.0 * 8)
+        coeffs[0, 0] = 0.0
+        assert np.allclose(coeffs, 0.0, atol=1e-10)
+
+    def test_non_square_supported(self):
+        rng = np.random.default_rng(5)
+        block = rng.normal(size=(4, 8))
+        assert np.allclose(idct_2d(dct_2d(block)), block, atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            dct_2d(np.zeros(8))
+
+    def test_mul_counts_favor_separable(self):
+        assert separable_mul_count(8) == 1024
+        assert direct_mul_count(8) == 4096
+        assert separable_mul_count(16) * 8 == direct_mul_count(16)
+
+
+class TestBlockwise:
+    def test_identity(self):
+        rng = np.random.default_rng(6)
+        img = rng.normal(size=(16, 24))
+        assert np.allclose(blockwise(img, 8, lambda b: b), img)
+
+    def test_roundtrip_through_dct(self):
+        rng = np.random.default_rng(7)
+        img = rng.uniform(0, 255, size=(16, 16))
+        coeffs = blockwise(img, 8, dct_2d)
+        back = blockwise(coeffs, 8, idct_2d)
+        assert np.allclose(back, img, atol=1e-9)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            blockwise(np.zeros((10, 16)), 8, lambda b: b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (8, 8),
+        elements=st.floats(-255, 255, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_dct2d_roundtrip_property(block):
+    assert np.allclose(idct_2d(dct_2d(block)), block, atol=1e-8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (8,),
+        elements=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+    )
+)
+def test_dct1d_linearity(x):
+    assert np.allclose(dct_1d(2.5 * x), 2.5 * dct_1d(x), atol=1e-8)

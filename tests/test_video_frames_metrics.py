@@ -1,0 +1,181 @@
+"""Tests for frame containers, colour conversion, and metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.video.frames import (
+    Frame,
+    pad_to_multiple,
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+from repro.video.metrics import (
+    bitrate_bps,
+    bits_per_pixel,
+    blockiness,
+    mse,
+    psnr,
+    sequence_psnr,
+)
+from repro.video.ratecontrol import RateController
+
+
+class TestColourConversion:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        rgb = rng.uniform(0, 255, size=(8, 8, 3))
+        back = ycbcr_to_rgb(rgb_to_ycbcr(rgb))
+        assert np.allclose(back, rgb, atol=1e-6)
+
+    def test_grey_has_neutral_chroma(self):
+        grey = np.full((4, 4, 3), 100.0)
+        ycc = rgb_to_ycbcr(grey)
+        assert np.allclose(ycc[..., 0], 100.0)
+        assert np.allclose(ycc[..., 1:], 128.0)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((4, 4)))
+
+
+class TestSubsampling:
+    def test_constant_plane_unchanged(self):
+        plane = np.full((8, 8), 77.0)
+        assert np.allclose(subsample_420(plane), 77.0)
+
+    def test_up_down_identity_on_constant_blocks(self):
+        plane = np.repeat(np.repeat(np.arange(16.0).reshape(4, 4), 2, 0), 2, 1)
+        assert np.allclose(upsample_420(subsample_420(plane)), plane)
+
+    def test_odd_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            subsample_420(np.zeros((7, 8)))
+
+
+class TestPadding:
+    def test_already_aligned_untouched(self):
+        plane = np.ones((16, 16))
+        assert pad_to_multiple(plane, 8) is plane
+
+    def test_pads_with_edge_values(self):
+        plane = np.arange(6.0).reshape(2, 3)
+        padded = pad_to_multiple(plane, 4)
+        assert padded.shape == (4, 4)
+        assert padded[3, 3] == plane[1, 2]
+
+
+class TestFrame:
+    def test_default_neutral_chroma(self):
+        f = Frame(y=np.zeros((4, 6)))
+        assert f.cb.shape == (2, 3)
+        assert np.all(f.cb == 128.0)
+
+    def test_rgb_roundtrip_tolerable_on_smooth_content(self):
+        # 4:2:0 only preserves chroma that is smooth at the 2x2 scale, which
+        # is what natural content looks like (per-pixel random chroma is the
+        # pathological case the subsampling deliberately discards).
+        ramps = np.linspace(0, 255, 16)
+        rgb = np.stack(
+            [
+                np.outer(ramps, np.ones(16)),
+                np.outer(np.ones(16), ramps),
+                np.full((16, 16), 90.0),
+            ],
+            axis=-1,
+        )
+        frame = Frame.from_rgb(rgb)
+        back = frame.to_rgb()
+        assert np.mean(np.abs(back - rgb)) < 6.0
+
+    def test_odd_luma_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(y=np.zeros((5, 4)))
+
+    def test_wrong_chroma_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(y=np.zeros((4, 4)), cb=np.zeros((4, 4)), cr=np.zeros((2, 2)))
+
+    def test_copy_is_independent(self):
+        f = Frame(y=np.zeros((4, 4)))
+        g = f.copy()
+        g.y[0, 0] = 9.0
+        assert f.y[0, 0] == 0.0
+
+
+class TestMetrics:
+    def test_psnr_identical_is_inf(self):
+        x = np.ones((4, 4))
+        assert math.isinf(psnr(x, x))
+
+    def test_psnr_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_sequence_psnr_averages(self):
+        a = [np.zeros((4, 4)), np.zeros((4, 4))]
+        b = [np.full((4, 4), 16.0), np.full((4, 4), 16.0)]
+        single = psnr(a[0], b[0])
+        assert sequence_psnr(a, b) == pytest.approx(single)
+
+    def test_bits_per_pixel(self):
+        assert bits_per_pixel(1000, 10, 10, 1) == pytest.approx(10.0)
+
+    def test_bitrate(self):
+        assert bitrate_bps(30_000, 30, 30.0) == pytest.approx(30_000.0)
+
+    def test_blockiness_of_smooth_image_near_one(self):
+        x = np.outer(np.linspace(0, 255, 32), np.ones(32))
+        assert blockiness(x, 8) == pytest.approx(1.0, abs=0.2)
+
+    def test_blockiness_of_blocky_image_high(self):
+        tile = np.repeat(np.repeat(np.array([[0.0, 255.0]]), 8, 0), 8, 1)
+        img = np.tile(tile, (2, 2))
+        assert blockiness(img, 8) > 5.0
+
+
+class TestRateController:
+    def test_disabled_controller_keeps_base_step(self):
+        rc = RateController(bits_per_frame=None, base_step=12.0)
+        assert rc.quant_step() == 12.0
+        rc.frame_coded(10_000)
+        assert rc.quant_step() == 12.0
+
+    def test_step_rises_when_overshooting(self):
+        rc = RateController(bits_per_frame=1000.0)
+        initial = rc.quant_step()
+        for _ in range(3):
+            rc.frame_coded(3000.0)
+        assert rc.quant_step() > initial
+
+    def test_step_falls_when_undershooting(self):
+        rc = RateController(bits_per_frame=1000.0)
+        initial = rc.quant_step()
+        for _ in range(3):
+            rc.frame_coded(100.0)
+        assert rc.quant_step() < initial
+
+    def test_overflow_events_counted(self):
+        rc = RateController(bits_per_frame=100.0, buffer_frames=2.0)
+        rc.frame_coded(10_000.0)
+        assert rc.overflow_events == 1
+
+    def test_step_clamped(self):
+        rc = RateController(bits_per_frame=100.0, min_step=2.0, max_step=40.0)
+        for _ in range(50):
+            rc.frame_coded(10_000.0)
+        assert rc.quant_step() == 40.0
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            RateController(bits_per_frame=-5.0)
+        with pytest.raises(ValueError):
+            RateController(base_step=1.0, min_step=2.0, max_step=40.0)
