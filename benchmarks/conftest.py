@@ -2,8 +2,10 @@
 
 Every benchmark prints the table/figure it regenerates (run with ``-s`` to
 see them) and *asserts the shape* of the paper's claim, so
-``pytest benchmarks/ --benchmark-only`` doubles as a claims regression
-suite.
+``pytest benchmarks/bench_*.py`` doubles as a claims regression suite.
+(The ``bench_`` prefix keeps these out of the tier-1 ``pytest`` run, so
+the files must be named explicitly; see DESIGN.md for the experiment
+matrix they implement.)
 """
 
 import pytest

@@ -10,6 +10,7 @@ with skips -> score against ground truth; then map the DVR workload onto
 its NoC-based SoC.
 
 Run:  python examples/dvr_commercial_skip.py
+Also registered as a streaming workload:  python -m repro.runtime.run dvr
 """
 
 import numpy as np

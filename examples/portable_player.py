@@ -6,6 +6,7 @@ the store's server, and play — with play counts, device binding, and the
 analog-only output path enforced.
 
 Run:  python examples/portable_player.py
+Also registered as a streaming workload:  python -m repro.runtime.run portable_player
 """
 
 from repro.audio import AudioDecoder, AudioEncoder, AudioEncoderConfig

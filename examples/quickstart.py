@@ -7,6 +7,7 @@ Runs the three core flows of the library in under a minute:
 3. the video encoder's task graph mapped onto a 4-PE camera SoC.
 
 Run:  python examples/quickstart.py
+Also registered as a streaming workload:  python -m repro.runtime.run quickstart
 """
 
 from repro.audio import AudioDecoder, AudioEncoder, AudioEncoderConfig, snr_db

@@ -9,6 +9,7 @@ only decodes — plus the Section-7 duties: program guide UI, pay-per-view
 authorization over the small IP stack, and conditional-access DRM.
 
 Run:  python examples/set_top_box.py
+Also registered as a streaming workload:  python -m repro.runtime.run set_top_box
 """
 
 from repro.core import MultimediaSystem, render_table, set_top_box_scenario

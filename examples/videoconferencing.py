@@ -11,6 +11,7 @@ against the broadcast (decode-only) workload to show the symmetric
 terminal's extra compute.
 
 Run:  python examples/videoconferencing.py
+Also registered as a streaming workload:  python -m repro.runtime.run videoconferencing
 """
 
 import numpy as np

@@ -9,10 +9,13 @@ Reproduction of Wolf, DATE 2005.  Subpackages:
 - :mod:`repro.core` — applications, systems, and the five device scenarios;
 - :mod:`repro.analysis`, :mod:`repro.drm`, :mod:`repro.support` — the
   surrounding duties of Sections 5-7;
-- :mod:`repro.workloads` — synthetic content generators.
+- :mod:`repro.workloads` — synthetic content generators;
+- :mod:`repro.runtime` — the streaming engine: many concurrent media
+  sessions, a shared segment cache, and the scenario registry behind
+  ``python -m repro.runtime.run``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -23,6 +26,7 @@ __all__ = [
     "image",
     "mapping",
     "mpsoc",
+    "runtime",
     "support",
     "video",
     "workloads",

@@ -121,7 +121,8 @@ def flat_allocation(
 ) -> Allocation:
     """Masking-blind baseline: spread the pool uniformly over all bands.
 
-    This is the comparison arm of experiment C7 — what an encoder without a
+    This is the comparison arm of experiment C7 in DESIGN.md — what an
+    encoder without a
     psychoacoustic model would do with the same bit budget.
     """
     if num_bands <= 0:

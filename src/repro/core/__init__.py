@@ -10,6 +10,7 @@ from .application import ApplicationModel, merge_applications
 from .metrics import CostPerfPowerPoint, render_table
 from .scenarios import (
     ALL_SCENARIOS,
+    EXTENDED_SCENARIOS,
     DeviceScenario,
     analysis_application,
     audio_player_scenario,
@@ -21,12 +22,16 @@ from .scenarios import (
     network_application,
     servo_application,
     set_top_box_scenario,
+    surveillance_scenario,
+    transcode_farm_scenario,
     ui_application,
+    video_wall_scenario,
 )
 from .system import ApplicationReport, MultimediaSystem, SystemReport
 
 __all__ = [
     "ALL_SCENARIOS",
+    "EXTENDED_SCENARIOS",
     "ApplicationModel",
     "ApplicationReport",
     "CostPerfPowerPoint",
@@ -45,5 +50,8 @@ __all__ = [
     "render_table",
     "servo_application",
     "set_top_box_scenario",
+    "surveillance_scenario",
+    "transcode_farm_scenario",
     "ui_application",
+    "video_wall_scenario",
 ]

@@ -6,7 +6,14 @@ set-top boxes; digital video recorders; digital video cameras."*
 
 Each scenario pairs the device's application mix (built from the codec
 task graphs plus the support functions of Section 7) with its platform
-preset.  Experiment C2 maps all five and tabulates the resulting points.
+preset.  Experiment C2 in DESIGN.md maps all five and tabulates the
+resulting points.
+
+Beyond the paper's five, :data:`EXTENDED_SCENARIOS` adds three
+streaming-era devices (surveillance hub, video wall, transcoding-farm
+blade) that the streaming runtime (:mod:`repro.runtime`) exercises as
+multi-session workloads; they are kept out of :data:`ALL_SCENARIOS` so the
+C2 experiment keeps reproducing exactly the paper's device list.
 """
 
 from __future__ import annotations
@@ -25,6 +32,9 @@ from ..mpsoc.presets import (
     cell_phone_soc,
     dvr_soc,
     set_top_box_soc,
+    surveillance_hub_soc,
+    transcode_farm_soc,
+    video_wall_soc,
 )
 from ..video.taskgraph import VideoWorkload
 from ..video.taskgraph import decoder_taskgraph as video_decoder_graph
@@ -233,10 +243,105 @@ def camera_scenario() -> DeviceScenario:
     )
 
 
+def surveillance_scenario(num_cameras: int = 4) -> DeviceScenario:
+    """Surveillance hub: N concurrent camera encodes + live analysis.
+
+    The streaming-era version of the camcorder: every camera is its own
+    encode pipeline, analysis watches the live feeds, and the recorder's
+    file system takes the aggregate.  This is the device the runtime's
+    segment cache helps most — co-located cameras often stare at the same
+    unchanging scene.
+    """
+    if num_cameras < 1:
+        raise ValueError("a surveillance hub needs at least one camera")
+    cam_cfg = VideoWorkload(
+        width=176, height=144, frame_rate=15.0, search_algorithm="three_step"
+    )
+    apps = [
+        ApplicationModel(
+            f"cam{i}_enc", video_encoder_graph(cam_cfg), cam_cfg.frame_rate
+        )
+        for i in range(num_cameras)
+    ]
+    apps.append(analysis_application(rate_hz=15.0))
+    apps.append(filesystem_application(rate_hz=15.0))
+    return DeviceScenario(
+        name="surveillance",
+        application=merge_applications(apps, "surveillance_app"),
+        platform=surveillance_hub_soc(),
+        description=f"{num_cameras}-camera surveillance hub with analysis",
+    )
+
+
+def video_wall_scenario(num_tiles: int = 4) -> DeviceScenario:
+    """Video wall: many synchronized decode tiles plus UI overlay."""
+    if num_tiles < 1:
+        raise ValueError("a video wall needs at least one tile")
+    tile_cfg = VideoWorkload(width=352, height=288, frame_rate=30.0)
+    apps = [
+        ApplicationModel(
+            f"tile{i}_dec", video_decoder_graph(tile_cfg), tile_cfg.frame_rate
+        )
+        for i in range(num_tiles)
+    ]
+    apps.append(ui_application(rate_hz=10.0))
+    apps.append(network_application(rate_hz=30.0))
+    return DeviceScenario(
+        name="video_wall",
+        application=merge_applications(apps, "video_wall_app"),
+        platform=video_wall_soc(),
+        description=f"{num_tiles}-tile video wall, decode-dominated",
+    )
+
+
+def transcode_farm_scenario(num_channels: int = 2) -> DeviceScenario:
+    """Transcoding-farm blade: decode + re-encode several channels at once.
+
+    The cross-standard recoding duty of Section 3 run as a service: each
+    channel is a decode pipeline chained to an encode pipeline at a
+    different operating point.
+    """
+    if num_channels < 1:
+        raise ValueError("a transcode blade needs at least one channel")
+    in_cfg = VideoWorkload(width=352, height=288, frame_rate=30.0)
+    out_cfg = VideoWorkload(
+        width=352, height=288, frame_rate=30.0, search_algorithm="diamond"
+    )
+    apps = []
+    for i in range(num_channels):
+        apps.append(
+            ApplicationModel(
+                f"ch{i}_dec", video_decoder_graph(in_cfg), in_cfg.frame_rate
+            )
+        )
+        apps.append(
+            ApplicationModel(
+                f"ch{i}_enc", video_encoder_graph(out_cfg), out_cfg.frame_rate
+            )
+        )
+    apps.append(network_application(rate_hz=30.0))
+    return DeviceScenario(
+        name="transcode_farm",
+        application=merge_applications(apps, "transcode_farm_app"),
+        platform=transcode_farm_soc(),
+        description=f"{num_channels}-channel live transcoding blade",
+    )
+
+
+#: The paper's five consumer devices (Section 2) — experiment C2 maps
+#: exactly these, so this dict must stay the paper's list.
 ALL_SCENARIOS = {
     "cell_phone": cell_phone_scenario,
     "audio_player": audio_player_scenario,
     "set_top_box": set_top_box_scenario,
     "dvr": dvr_scenario,
     "camera": camera_scenario,
+}
+
+#: Streaming-era devices added by the runtime subsystem; mapped by the
+#: runtime CLI (``python -m repro.runtime.run``) and its tests.
+EXTENDED_SCENARIOS = {
+    "surveillance": surveillance_scenario,
+    "video_wall": video_wall_scenario,
+    "transcode_farm": transcode_farm_scenario,
 }

@@ -1,6 +1,7 @@
 """Artifact comparison harness: DCT blocking vs wavelet smoothness.
 
-Implements experiment C5: encode the same image with the JPEG-style codec
+Implements experiment C5 in DESIGN.md: encode the same image with the
+JPEG-style codec
 and the wavelet codec at (approximately) the same bits/pixel and compare
 blocking-artifact scores and PSNR.
 """

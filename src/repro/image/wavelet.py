@@ -7,7 +7,8 @@ incorporated into JPEG2000 for image encoding."*
 The transform is the LeGall 5/3 integer lifting wavelet (the JPEG2000
 lossless filter, used lossily here via subband quantization).  Whole-image
 transforms have no block grid, which is precisely why the decoded output
-has no blocking artifacts (experiment C5).  Coefficients are coded with a
+has no blocking artifacts (experiment C5 in DESIGN.md).  Coefficients are
+coded with a
 zero-run / Exp-Golomb scheme — simpler than EBCOT but rate-competitive
 enough for shape-level comparisons.
 """

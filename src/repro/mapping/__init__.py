@@ -11,7 +11,12 @@ from .binding import MappingProblem, MappingResult, uniform_wcet_problem
 from .dse import MAPPERS, DesignPoint, explore, pareto_front, run_mapper
 from .dvfs import DvfsResult, reclaim_slack, scaled_platform, scaled_problem
 from .gantt import render_gantt, utilisation_summary
-from .evaluate import MappingEvaluation, evaluate_mapping, evaluation_from_trace
+from .evaluate import (
+    MappingEvaluation,
+    evaluate_mapping,
+    evaluation_from_trace,
+    sustainable_streams,
+)
 from .genetic import GeneticConfig, genetic_mapping
 from .list_scheduler import heft_mapping, upward_ranks
 from .simulate import MappedFiring, MappedTrace, simulate_mapping
@@ -45,6 +50,7 @@ __all__ = [
     "utilisation_summary",
     "simulate_mapping",
     "single_pe_mapping",
+    "sustainable_streams",
     "uniform_wcet_problem",
     "upward_ranks",
 ]

@@ -52,6 +52,24 @@ class MappingEvaluation:
         raise ValueError(f"unknown objective {kind!r}")
 
 
+def sustainable_streams(
+    evaluation: MappingEvaluation, required_rate_hz: float
+) -> int:
+    """How many concurrent copies of this application the mapping sustains.
+
+    The streaming-runtime question made quantitative: one stream needs an
+    iteration every ``1 / required_rate_hz`` seconds and the mapped graph
+    delivers one every ``period_s``, so the platform keeps up with
+    ``floor(deadline / period)`` interleaved streams before the first one
+    misses its rate.  Zero means even a single stream is infeasible.
+    """
+    if required_rate_hz <= 0:
+        raise ValueError("required rate must be positive")
+    if evaluation.period_s <= 0:
+        return 0
+    return int((1.0 / required_rate_hz) / evaluation.period_s)
+
+
 def evaluate_mapping(
     problem: MappingProblem,
     mapping: dict[str, int],

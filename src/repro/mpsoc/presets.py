@@ -174,6 +174,69 @@ def camera_soc() -> Platform:
     )
 
 
+def surveillance_hub_soc() -> Platform:
+    """Multi-camera surveillance hub: encode-dominated, duplicated ME/DCT.
+
+    A DVR scaled for many simultaneous encode streams: the streaming
+    runtime's surveillance scenario feeds it N cameras, so the hot ME/DCT
+    stages get two accelerators each instead of the DVR's one.
+    """
+    noc = MeshNoC(2, 3, InterconnectSpec(bandwidth_bytes_per_s=1200e6))
+    platform = Platform(
+        name="surveillance_hub",
+        processors=[
+            Processor(0, RISC_CPU, position=(0, 0)),
+            Processor(1, VLIW_MEDIA, position=(1, 0)),
+            Processor(2, ME_ACCEL, position=(0, 1)),
+            Processor(3, ME_ACCEL, position=(1, 1)),
+            Processor(4, DCT_ACCEL, position=(0, 2)),
+            Processor(5, DCT_ACCEL, position=(1, 2)),
+        ],
+        interconnect=noc,
+        memory_kb=8192.0,
+    )
+    for p in platform.processors:
+        noc.place(p.pe_id, *p.position)
+    return platform
+
+
+def video_wall_soc() -> Platform:
+    """Video wall driver: decode-only but many tiles, so wide and symmetric."""
+    return Platform(
+        name="video_wall",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, VLIW_MEDIA),
+            Processor(2, VLIW_MEDIA),
+            Processor(3, VLIW_MEDIA),
+            Processor(4, VLIW_MEDIA),
+        ],
+        interconnect=Crossbar(InterconnectSpec(bandwidth_bytes_per_s=1600e6)),
+        memory_kb=8192.0,
+    )
+
+
+def transcode_farm_soc() -> Platform:
+    """One transcoding-farm blade: decode + re-encode several channels."""
+    noc = MeshNoC(2, 3, InterconnectSpec(bandwidth_bytes_per_s=1600e6))
+    platform = Platform(
+        name="transcode_farm",
+        processors=[
+            Processor(0, RISC_CPU, position=(0, 0)),
+            Processor(1, VLIW_MEDIA, position=(1, 0)),
+            Processor(2, VLIW_MEDIA, position=(0, 1)),
+            Processor(3, VLIW_MEDIA, position=(1, 1)),
+            Processor(4, ME_ACCEL, position=(0, 2)),
+            Processor(5, DCT_ACCEL, position=(1, 2)),
+        ],
+        interconnect=noc,
+        memory_kb=16384.0,
+    )
+    for p in platform.processors:
+        noc.place(p.pe_id, *p.position)
+    return platform
+
+
 def symmetric_multicore(count: int = 4, ptype: ProcessorType = DSP) -> Platform:
     """Homogeneous baseline for mapper comparisons."""
     return homogeneous(f"smp{count}x{ptype.name}", ptype, count)
@@ -185,4 +248,7 @@ DEVICE_PRESETS = {
     "set_top_box": set_top_box_soc,
     "dvr": dvr_soc,
     "camera": camera_soc,
+    "surveillance_hub": surveillance_hub_soc,
+    "video_wall": video_wall_soc,
+    "transcode_farm": transcode_farm_soc,
 }

@@ -1,0 +1,60 @@
+"""Streaming runtime: many concurrent media sessions on one engine.
+
+The paper's devices are *systems of concurrent streams* — a DVR encodes
+while it analyses, a phone encodes while it decodes, a hub serves many
+cameras at once.  This package runs exactly that shape in software:
+
+* :mod:`~repro.runtime.session` — frame-batched pipelines (video/audio
+  encode, decode, transcode, analysis) over the existing codecs, advancing
+  in pure GOP-aligned segments with measured per-stage op counts;
+* :mod:`~repro.runtime.cache` — the engine-wide LRU segment cache that
+  encodes identical (config, content) segments once across sessions;
+* :mod:`~repro.runtime.engine` — the round-robin scheduler, its report,
+  and :func:`~repro.runtime.engine.measured_application` which feeds
+  measured session profiles back to the mapping/DSE models;
+* :mod:`~repro.runtime.scenarios` — the :data:`~repro.runtime.scenarios.
+  REGISTRY` of parameterized device workloads behind
+  ``python -m repro.runtime.run``.
+"""
+
+from .cache import CacheStats, SegmentCache, segment_key
+from .engine import (
+    EngineReport,
+    SessionSummary,
+    StreamEngine,
+    measured_application,
+)
+from .scenarios import REGISTRY, Scenario, ScenarioRegistry
+from .session import (
+    AnalysisSession,
+    AudioEncodeSession,
+    MediaSession,
+    SegmentResult,
+    TranscodeSession,
+    VideoDecodeSession,
+    VideoEncodeSession,
+    config_fingerprint,
+    frames_payload,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "AudioEncodeSession",
+    "CacheStats",
+    "EngineReport",
+    "MediaSession",
+    "REGISTRY",
+    "Scenario",
+    "ScenarioRegistry",
+    "SegmentCache",
+    "SegmentResult",
+    "SessionSummary",
+    "StreamEngine",
+    "TranscodeSession",
+    "VideoDecodeSession",
+    "VideoEncodeSession",
+    "config_fingerprint",
+    "frames_payload",
+    "measured_application",
+    "segment_key",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.runtime`` == ``python -m repro.runtime.run``."""
+
+from .run import main
+
+raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""LRU segment cache: encode identical GOP segments once, serve the rest.
+
+The streaming engine's sessions work in *segments* — GOP-aligned batches
+whose coded output depends only on the segment's own frames and the codec
+configuration (each segment opens with an I-frame and, absent closed-loop
+rate control, carries no state across segment boundaries).  That makes a
+segment a pure function of ``(kind, config, payload)`` and therefore
+cacheable: when a surveillance installation fans one camera out to many
+recorders, or a transcoding farm re-serves the same popular clip at the
+same quality, the expensive encode runs once and every other session gets
+the identical bitstream for the price of a hash.
+
+Keys are BLAKE2b digests of the configuration fingerprint plus the raw
+payload bytes, so two sessions hit the same entry only when their output
+would be bit-identical anyway — caching can never change results, only
+skip work (the determinism tests in ``tests/test_runtime.py`` pin this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def segment_key(kind: str, config_fingerprint: str, payload: bytes) -> str:
+    """Digest identifying one unit of cacheable work.
+
+    ``kind`` separates namespaces (a video encode and a transcode of the
+    same bytes must not collide); ``config_fingerprint`` captures every
+    knob that affects the output; ``payload`` is the raw input bytes.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(kind.encode())
+    h.update(b"\x00")
+    h.update(config_fingerprint.encode())
+    h.update(b"\x00")
+    h.update(payload)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Aggregate accounting the engine reports per run."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Estimated work skipped thanks to hits, by operation class (the same
+    #: ``stage_ops`` currency the task-graph models use).
+    ops_saved: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SegmentCache:
+    """Bounded LRU mapping segment keys to finished segment results.
+
+    ``capacity`` counts entries, not bytes: segments are GOP-sized and the
+    engine controls how many distinct (config, content) pairs are live, so
+    an entry bound is both predictable and sufficient.  ``capacity=0``
+    disables caching entirely (every lookup misses) which the benchmarks
+    use as the no-cache baseline.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity cannot be negative")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """Return the cached value or ``None``; counts the lookup."""
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def credit(self, ops: dict[str, float]) -> None:
+        """Record the work a hit skipped (the segment's measured profile)."""
+        for cls, count in ops.items():
+            self.stats.ops_saved[cls] = (
+                self.stats.ops_saved.get(cls, 0.0) + count
+            )
+
+    def put(self, key: str, value) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1

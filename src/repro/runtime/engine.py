@@ -1,0 +1,228 @@
+"""The streaming engine: many concurrent sessions, one shared cache.
+
+``StreamEngine`` is the software analogue of the paper's MPSoC runtime: a
+set of concurrent media pipelines advanced in an interleaved schedule, with
+cross-session sharing where streams carry identical work.  Sessions are
+pure segment pipelines (:mod:`repro.runtime.session`), so the engine's
+schedule — round-robin, one segment per turn — affects only *when* work
+happens, never *what* is produced; N concurrent sessions emit bitstreams
+identical to N sequential runs (``tests/test_runtime.py`` pins this).
+
+The engine also closes the loop back to the mapping models: every session
+accumulates measured per-stage operation counts, and
+:func:`measured_application` lifts those into an
+:class:`~repro.core.application.ApplicationModel` so the existing
+mapper/DSE stack can answer "which SoC sustains this many streams?" with
+measured rather than analytic numbers (see
+:func:`repro.mapping.evaluate.sustainable_streams`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.application import ApplicationModel
+from ..core.metrics import render_table
+from ..dataflow.graph import SDFGraph
+from .cache import CacheStats, SegmentCache
+from .session import MediaSession
+
+#: Actor kind + operation class for the measured stage profiles the codecs
+#: emit; anything unknown becomes a generic alu actor.  Declaration order
+#: is canonical pipeline order (audio front-end, then the video encode
+#: chain, then the decode chain, then entropy/packing) — the measured
+#: application chain is sorted by it, since a session's first segment may
+#: be an I-frame whose stats lack ME and would otherwise scramble the
+#: insertion order.
+_STAGE_CLASSES = {
+    "filterbank": ("dsp_filter", "mac"),
+    "psychoacoustic": ("dsp_filter", "mac"),
+    "motion_estimation": ("motion_estimation", "mac"),
+    "dct": ("dct", "mac"),
+    "quantize": ("quantizer", "alu"),
+    "vld": ("vld", "bit"),
+    "dequantize": ("quantizer", "alu"),
+    "inverse_dct": ("idct", "mac"),
+    "motion_compensation": ("predictor", "mem"),
+    "vlc": ("vlc", "bit"),
+    "frame_pack": ("vlc", "bit"),
+}
+_STAGE_ORDER = list(_STAGE_CLASSES)
+
+
+@dataclass
+class SessionSummary:
+    """Per-session scorecard in the engine report."""
+
+    name: str
+    kind: str
+    segments: int
+    frames: int
+    bits: int
+    computed: int
+    from_cache: int
+
+    @property
+    def cache_share(self) -> float:
+        return self.from_cache / self.segments if self.segments else 0.0
+
+
+@dataclass
+class EngineReport:
+    """What one engine run did, and what it cost."""
+
+    sessions: list[SessionSummary]
+    cache: CacheStats
+    elapsed_s: float
+    steps: int
+    stage_totals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(s.frames for s in self.sessions)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.bits for s in self.sessions)
+
+    @property
+    def frames_per_second(self) -> float:
+        return self.total_frames / self.elapsed_s if self.elapsed_s else 0.0
+
+    def render(self) -> str:
+        rows = [
+            [
+                s.name,
+                s.kind,
+                s.segments,
+                s.frames,
+                s.bits,
+                s.computed,
+                s.from_cache,
+                f"{100.0 * s.cache_share:.0f}%",
+            ]
+            for s in self.sessions
+        ]
+        table = render_table(
+            ["session", "kind", "segs", "frames", "bits", "encoded",
+             "cached", "cache%"],
+            rows,
+            title=(
+                f"{len(self.sessions)} sessions, "
+                f"{self.total_frames} frames in {self.elapsed_s * 1e3:.0f} ms "
+                f"({self.frames_per_second:.0f} frames/s)"
+            ),
+        )
+        saved = sum(self.cache.ops_saved.values())
+        footer = (
+            f"cache: {self.cache.hits} hits / {self.cache.lookups} lookups "
+            f"({100.0 * self.cache.hit_rate:.0f}%), "
+            f"{self.cache.evictions} evictions, "
+            f"~{saved:.3g} ops skipped"
+        )
+        return table + "\n" + footer
+
+
+class StreamEngine:
+    """Round-robin scheduler over media sessions with a shared cache."""
+
+    def __init__(
+        self,
+        sessions: list[MediaSession],
+        cache: SegmentCache | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        if not sessions:
+            raise ValueError("an engine needs at least one session")
+        names = [s.name for s in sessions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"session names must be unique, got {names}")
+        self.sessions = list(sessions)
+        # A fresh cache has len() == 0 and would be falsy — test identity,
+        # not truthiness, or a caller-supplied cache gets silently dropped.
+        if not use_cache:
+            self.cache = None
+        else:
+            self.cache = cache if cache is not None else SegmentCache()
+
+    def run(self) -> EngineReport:
+        """Advance all sessions to completion, one segment per turn.
+
+        Round-robin at segment granularity mirrors the frame-level
+        interleaving a shared accelerator sees on a real MPSoC: no stream
+        starves, and the cache observes segments in arrival order so a
+        leading stream warms the cache for its followers.
+        """
+        started = time.perf_counter()
+        steps = 0
+        pending = list(self.sessions)
+        while pending:
+            still = []
+            for session in pending:
+                if session.step(self.cache) is not None:
+                    steps += 1
+                if not session.finished:
+                    still.append(session)
+            pending = still
+        elapsed = time.perf_counter() - started
+
+        totals: dict[str, float] = {}
+        for session in self.sessions:
+            for cls, count in session.stage_totals().items():
+                totals[cls] = totals.get(cls, 0.0) + count
+        return EngineReport(
+            sessions=[
+                SessionSummary(
+                    name=s.name,
+                    kind=s.kind,
+                    segments=len(s.segments),
+                    frames=s.frames_done,
+                    bits=s.total_bits,
+                    computed=s.segments_computed,
+                    from_cache=s.segments_from_cache,
+                )
+                for s in self.sessions
+            ],
+            cache=self.cache.stats if self.cache is not None else CacheStats(),
+            elapsed_s=elapsed,
+            steps=steps,
+            stage_totals=totals,
+        )
+
+
+def measured_application(
+    session: MediaSession, rate_hz: float
+) -> ApplicationModel:
+    """Lift a finished session's measured op counts into a mappable model.
+
+    The session's per-frame ``stage_ops`` become a chain of actors (in
+    codec pipeline order) whose profiles carry *measured* counts — the
+    runtime's answer to the analytic :class:`repro.video.taskgraph.
+    VideoWorkload` numbers.  Feed the result to
+    :class:`repro.core.MultimediaSystem` or the DSE stack like any other
+    application.
+    """
+    per_frame = session.ops_per_frame()
+    if not per_frame:
+        raise ValueError(
+            f"session {session.name!r} has no finished frames to profile"
+        )
+    g = SDFGraph(f"{session.name}_measured")
+    previous = None
+    stages = sorted(
+        per_frame,
+        key=lambda s: (
+            _STAGE_ORDER.index(s) if s in _STAGE_ORDER else len(_STAGE_ORDER),
+            s,
+        ),
+    )
+    for stage in stages:
+        kind, op_class = _STAGE_CLASSES.get(stage, (stage, "alu"))
+        g.add_actor(stage, kind=kind, ops={op_class: per_frame[stage]})
+        if previous is not None:
+            g.add_channel(previous, stage, token_size=256.0)
+        previous = stage
+    return ApplicationModel(
+        name=f"{session.name}_measured", graph=g, required_rate_hz=rate_hz
+    )

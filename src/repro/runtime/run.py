@@ -1,0 +1,182 @@
+"""CLI: run a registered streaming scenario.
+
+::
+
+    python -m repro.runtime.run --list
+    python -m repro.runtime.run surveillance
+    python -m repro.runtime.run surveillance --set cameras=8 --set frames=24
+    python -m repro.runtime.run transcode_farm --no-cache
+    python -m repro.runtime.run videoconferencing --map
+
+``--set key=value`` overrides a scenario parameter (ints stay ints);
+``--no-cache`` disables the shared segment cache to expose its benefit;
+``--map`` additionally binds the scenario's device task graphs onto the
+device's SoC preset and reports how many concurrent streams the mapping
+sustains (:func:`repro.mapping.evaluate.sustainable_streams`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core import ALL_SCENARIOS, EXTENDED_SCENARIOS, MultimediaSystem
+from ..core.metrics import render_table
+from ..mapping import evaluate_mapping, run_mapper, sustainable_streams
+from .cache import SegmentCache
+from .engine import StreamEngine, measured_application
+from .scenarios import REGISTRY, Scenario
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _overrides(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        out[key.strip()] = _parse_value(value.strip())
+    return out
+
+
+def list_scenarios() -> str:
+    rows = [
+        [
+            sc.name,
+            ", ".join(f"{k}={v}" for k, v in sc.defaults.items()) or "-",
+            sc.device or "-",
+            sc.description,
+        ]
+        for sc in sorted(REGISTRY, key=lambda s: s.name)
+    ]
+    return render_table(
+        ["scenario", "parameters", "device", "description"],
+        rows,
+        title=f"{len(REGISTRY)} registered scenarios",
+    )
+
+
+def run_scenario(
+    name: str,
+    overrides: dict | None = None,
+    use_cache: bool = True,
+    cache_capacity: int = 256,
+    do_map: bool = False,
+    out=sys.stdout,
+):
+    """Build, run, and report one scenario; returns the engine report."""
+    scenario: Scenario = REGISTRY.get(name)
+    sessions = scenario.sessions(**(overrides or {}))
+    engine = StreamEngine(
+        sessions,
+        cache=SegmentCache(capacity=cache_capacity),
+        use_cache=use_cache,
+    )
+    report = engine.run()
+    print(f"scenario: {scenario.name} — {scenario.description}", file=out)
+    print(report.render(), file=out)
+
+    if do_map and scenario.device:
+        factories = {**ALL_SCENARIOS, **EXTENDED_SCENARIOS}
+        device = factories[scenario.device]()
+        system = MultimediaSystem(
+            device.name, [device.application], device.platform
+        )
+        mapped = system.map(algorithm="greedy", iterations=3)
+        print(file=out)
+        print(mapped.summary(), file=out)
+        rows = []
+        for session in sessions:
+            if not session.frames_done or not session.ops_per_frame():
+                continue
+            app = measured_application(session, rate_hz=15.0)
+            problem = app.problem(device.platform)
+            result = run_mapper(problem, "greedy")
+            ev = evaluate_mapping(problem, result.mapping, iterations=3)
+            rows.append([
+                session.name,
+                session.kind,
+                f"{ev.period_s * 1e3:.3f}",
+                sustainable_streams(ev, 15.0),
+            ])
+        if rows:
+            print(file=out)
+            print(render_table(
+                ["session", "kind", "period (ms)", "streams @15Hz"],
+                rows,
+                title=(
+                    f"measured session profiles mapped on "
+                    f"{device.platform.name}"
+                ),
+            ), file=out)
+    elif do_map:
+        print(f"(scenario {name!r} has no mappable device)", file=out)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.run",
+        description="Run a registered multi-stream scenario.",
+    )
+    parser.add_argument("scenario", nargs="?", help="scenario name")
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared segment cache",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        help="segment cache entries (default 256)",
+    )
+    parser.add_argument(
+        "--map",
+        dest="do_map",
+        action="store_true",
+        help="also map the device's task graphs onto its SoC preset",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenario:
+        print(list_scenarios())
+        return 0
+    try:
+        run_scenario(
+            args.scenario,
+            overrides=_overrides(args.overrides),
+            use_cache=not args.no_cache,
+            cache_capacity=args.cache_capacity,
+            do_map=args.do_map,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        # Bad scenario name or parameter (unknown key, wrong type like
+        # --set cameras=2.5): a usage error, not a crash.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,327 @@
+"""ScenarioRegistry: the device examples as registered streaming workloads.
+
+Each registered scenario is a parameterized factory that builds the list
+of :mod:`~repro.runtime.session` objects one device runs concurrently —
+the ``examples/*.py`` scripts' workloads (quickstart, videoconferencing,
+portable player, set-top box, DVR) plus three streaming-era devices
+(surveillance hub, video wall, live transcoding farm).  All of them run
+from one entry point::
+
+    python -m repro.runtime.run --list
+    python -m repro.runtime.run surveillance --set cameras=8
+
+Adding a scenario is one decorated function returning sessions — see
+``docs/scenarios.md`` for the 20-line recipe.  Scenarios that correspond
+to a mappable device name their :class:`~repro.core.DeviceScenario` via
+``device=...`` so the CLI's ``--map`` flag can bind the device's task
+graphs onto its SoC preset and report sustainable stream counts.
+
+Everything is seeded and synthetic (no media files), so two builds with
+the same parameters produce bit-identical workloads — the property the
+determinism tests lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..audio.encoder import AudioEncoderConfig
+from ..video.encoder import EncoderConfig, VideoEncoder
+from ..workloads.audio_gen import music_like, speech_like
+from ..workloads.video_gen import (
+    gradient_pan_sequence,
+    moving_blocks_sequence,
+    static_sequence,
+)
+from .session import (
+    AnalysisSession,
+    AudioEncodeSession,
+    MediaSession,
+    TranscodeSession,
+    VideoDecodeSession,
+    VideoEncodeSession,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered, parameterized streaming workload."""
+
+    name: str
+    description: str
+    build: Callable[..., list[MediaSession]]
+    defaults: dict = field(default_factory=dict)
+    #: Key into ``ALL_SCENARIOS``/``EXTENDED_SCENARIOS`` for ``--map``.
+    device: str | None = None
+
+    def sessions(self, **overrides) -> list[MediaSession]:
+        params = dict(self.defaults)
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} has no parameters {sorted(unknown)}; "
+                f"available: {sorted(params)}"
+            )
+        params.update(overrides)
+        return self.build(**params)
+
+
+class ScenarioRegistry:
+    """Name -> :class:`Scenario`; the runtime CLI's catalogue."""
+
+    def __init__(self) -> None:
+        self._scenarios: dict[str, Scenario] = {}
+
+    def add(self, scenario: Scenario) -> None:
+        if scenario.name in self._scenarios:
+            raise ValueError(f"scenario {scenario.name!r} already registered")
+        self._scenarios[scenario.name] = scenario
+
+    def register(
+        self,
+        name: str,
+        description: str,
+        device: str | None = None,
+        **defaults,
+    ):
+        """Decorator form: the function's kwargs become the parameters."""
+
+        def wrap(fn: Callable[..., list[MediaSession]]):
+            self.add(
+                Scenario(
+                    name=name,
+                    description=description,
+                    build=fn,
+                    defaults=defaults,
+                    device=device,
+                )
+            )
+            return fn
+
+        return wrap
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._scenarios)
+
+    def __iter__(self):
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+
+#: The process-wide registry the CLI and tests use.
+REGISTRY = ScenarioRegistry()
+
+
+def qcif_like(frames: int, seed: int, width: int = 64, height: int = 48):
+    """Small integer-valued test feed (dimensions are block multiples)."""
+    seq = moving_blocks_sequence(
+        num_frames=frames, height=height, width=width, seed=seed
+    )
+    return [np.floor(f) for f in seq]
+
+
+def precoded_segments(
+    frames: list[np.ndarray], config: EncoderConfig, gop: int
+) -> list[bytes]:
+    """Encode a feed into standalone GOP segments (a 'broadcast' source)."""
+    return [
+        VideoEncoder(config).encode(frames[i:i + gop]).data
+        for i in range(0, len(frames), gop)
+    ]
+
+
+@REGISTRY.register(
+    "quickstart",
+    "one video encode + one audio encode (examples/quickstart.py)",
+    frames=16,
+    seed=0,
+)
+def _quickstart(frames: int, seed: int) -> list[MediaSession]:
+    video = qcif_like(frames, seed)
+    pcm = music_like(duration=0.5, seed=seed)
+    return [
+        VideoEncodeSession(
+            "video", video, EncoderConfig(search_algorithm="full", gop_size=8)
+        ),
+        AudioEncodeSession("audio", pcm, AudioEncoderConfig(bitrate=128_000)),
+    ]
+
+
+@REGISTRY.register(
+    "videoconferencing",
+    "two-party call: encode own feed, decode the peer's, code speech "
+    "(examples/videoconferencing.py)",
+    device="cell_phone",
+    frames=16,
+    seed=0,
+)
+def _videoconferencing(frames: int, seed: int) -> list[MediaSession]:
+    cfg = EncoderConfig(search_algorithm="three_step", gop_size=8, quality=60)
+    own = qcif_like(frames, seed)
+    peer = qcif_like(frames, seed + 1)
+    peer_coded = precoded_segments(peer, cfg, cfg.gop_size)
+    speech = speech_like(duration=0.4, seed=seed)
+    return [
+        VideoEncodeSession("uplink", own, cfg),
+        VideoDecodeSession("downlink", peer_coded),
+        AudioEncodeSession(
+            "speech", speech, AudioEncoderConfig(bitrate=64_000)
+        ),
+    ]
+
+
+@REGISTRY.register(
+    "portable_player",
+    "rip two tracks into the player library (examples/portable_player.py)",
+    device="audio_player",
+    seed=0,
+)
+def _portable_player(seed: int) -> list[MediaSession]:
+    cfg = AudioEncoderConfig(bitrate=96_000)
+    return [
+        AudioEncodeSession(
+            "track_a", music_like(duration=0.5, seed=seed + 11), cfg
+        ),
+        AudioEncodeSession(
+            "track_b", music_like(duration=0.5, seed=seed + 12), cfg
+        ),
+    ]
+
+
+@REGISTRY.register(
+    "set_top_box",
+    "broadcast receiver: main picture + picture-in-picture decode "
+    "(examples/set_top_box.py)",
+    device="set_top_box",
+    frames=16,
+    seed=0,
+)
+def _set_top_box(frames: int, seed: int) -> list[MediaSession]:
+    cfg = EncoderConfig(gop_size=8, quality=70)
+    main = precoded_segments(
+        gradient_pan_sequence(num_frames=frames, height=48, width=64, seed=seed),
+        cfg,
+        cfg.gop_size,
+    )
+    pip = precoded_segments(qcif_like(frames, seed + 1), cfg, cfg.gop_size)
+    return [
+        VideoDecodeSession("main_picture", main),
+        VideoDecodeSession("pip", pip),
+    ]
+
+
+@REGISTRY.register(
+    "dvr",
+    "record the broadcast while analysing it for commercials "
+    "(examples/dvr_commercial_skip.py)",
+    device="dvr",
+    frames=24,
+    seed=0,
+)
+def _dvr(frames: int, seed: int) -> list[MediaSession]:
+    feed = qcif_like(frames, seed)
+    return [
+        VideoEncodeSession(
+            "record",
+            feed,
+            EncoderConfig(search_algorithm="three_step", gop_size=8, quality=60),
+        ),
+        # Analysis watches the same frames object — no copies, the way a
+        # DVR taps its own capture buffer.
+        AnalysisSession("commercials", feed, segment_frames=8),
+    ]
+
+
+@REGISTRY.register(
+    "surveillance",
+    "N cameras into one hub; co-located cameras repeat scenes, so the "
+    "segment cache collapses duplicate encodes",
+    device="surveillance",
+    cameras=6,
+    unique_feeds=2,
+    frames=16,
+    seed=0,
+)
+def _surveillance(
+    cameras: int, unique_feeds: int, frames: int, seed: int
+) -> list[MediaSession]:
+    if cameras < 1 or unique_feeds < 1:
+        raise ValueError("need at least one camera and one feed")
+    unique_feeds = min(unique_feeds, cameras)
+    cfg = EncoderConfig(search_algorithm="full", gop_size=8, quality=55)
+    # A quiet site: most cameras stare at one of a few static-ish scenes.
+    feeds = [
+        [np.floor(f) for f in static_sequence(
+            num_frames=frames, height=48, width=64, seed=seed + i
+        )]
+        for i in range(unique_feeds)
+    ]
+    sessions: list[MediaSession] = [
+        VideoEncodeSession(f"cam{i}", feeds[i % unique_feeds], cfg)
+        for i in range(cameras)
+    ]
+    sessions.append(AnalysisSession("watch", feeds[0], segment_frames=8))
+    return sessions
+
+
+@REGISTRY.register(
+    "video_wall",
+    "one broadcast decoded onto N tiles; every tile after the first is a "
+    "cache hit",
+    device="video_wall",
+    tiles=6,
+    frames=16,
+    seed=0,
+)
+def _video_wall(tiles: int, frames: int, seed: int) -> list[MediaSession]:
+    if tiles < 1:
+        raise ValueError("need at least one tile")
+    cfg = EncoderConfig(gop_size=8, quality=70)
+    coded = precoded_segments(qcif_like(frames, seed), cfg, cfg.gop_size)
+    return [
+        VideoDecodeSession(f"tile{i}", coded) for i in range(tiles)
+    ]
+
+
+@REGISTRY.register(
+    "transcode_farm",
+    "a farm re-encoding popular clips; identical (clip, quality) jobs are "
+    "served from cache",
+    device="transcode_farm",
+    workers=4,
+    clips=2,
+    frames=16,
+    seed=0,
+)
+def _transcode_farm(
+    workers: int, clips: int, frames: int, seed: int
+) -> list[MediaSession]:
+    if workers < 1 or clips < 1:
+        raise ValueError("need at least one worker and one clip")
+    in_cfg = EncoderConfig(gop_size=8, quality=80)
+    out_cfg = EncoderConfig(
+        search_algorithm="diamond", gop_size=8, quality=45
+    )
+    library = [
+        precoded_segments(qcif_like(frames, seed + c), in_cfg, in_cfg.gop_size)
+        for c in range(clips)
+    ]
+    # Popularity is skewed: workers round-robin over a small catalogue, so
+    # several workers pull the same clip at the same output point.
+    return [
+        TranscodeSession(f"worker{i}", library[i % clips], out_cfg)
+        for i in range(workers)
+    ]

@@ -1,0 +1,419 @@
+"""Media sessions: frame-batched pipelines over the existing codecs.
+
+A session is one live stream inside a device — a camera being encoded, a
+tuner feed being decoded, a clip being transcoded, an analysis pass over a
+recording.  Wolf's framing (Section 2) is that the *device* is the unit of
+design and it runs many of these concurrently; the
+:class:`~repro.runtime.engine.StreamEngine` interleaves sessions
+segment-by-segment the way an RTOS interleaves their task graphs.
+
+Every session advances in *segments*: GOP-aligned frame batches whose coded
+output depends only on the segment's own input and the codec configuration.
+Segment granularity is what makes the runtime compose:
+
+* interleaving is free — any schedule of ``step()`` calls over any number
+  of sessions yields bit-identical per-session output (pinned by
+  ``tests/test_runtime.py``);
+* identical work is shareable — segments are pure functions, so the
+  engine-wide :class:`~repro.runtime.cache.SegmentCache` can serve repeat
+  (config, content) pairs without re-encoding;
+* cost is observable — each segment carries the measured ``stage_ops``
+  profile that the task-graph/DSE models consume (see
+  :func:`~repro.runtime.engine.measured_application`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+from ..analysis.detectors import BlackFrameDetector, ShotBoundaryDetector
+from ..audio.encoder import AudioEncoder, AudioEncoderConfig
+from ..video.decoder import VideoDecoder
+from ..video.encoder import EncoderConfig, VideoEncoder
+from .cache import SegmentCache, segment_key
+
+
+@dataclass
+class SegmentResult:
+    """One finished unit of session work (also the cache value type)."""
+
+    data: bytes
+    frames: int
+    bits: int
+    stage_ops: dict[str, float] = field(default_factory=dict)
+    me_evaluations: int = 0
+    #: Side products (decoded luma planes, detector verdicts, ...).
+    extras: dict = field(default_factory=dict)
+
+
+def config_fingerprint(config) -> str:
+    """Canonical string for a dataclass config: every field, in order."""
+    pairs = [
+        f"{f.name}={getattr(config, f.name)!r}" for f in fields(config)
+    ]
+    return type(config).__name__ + "(" + ", ".join(pairs) + ")"
+
+
+def merge_ops(into: dict[str, float], extra: dict[str, float]) -> dict[str, float]:
+    """Accumulate one stage-ops profile into another, in place."""
+    for cls, count in extra.items():
+        into[cls] = into.get(cls, 0.0) + count
+    return into
+
+
+def frames_payload(frames) -> bytes:
+    """Raw bytes identifying a frame batch (shape-prefixed, row-major)."""
+    parts = []
+    for f in frames:
+        a = np.ascontiguousarray(f, dtype=np.float64)
+        parts.append(np.asarray(a.shape, dtype=np.int64).tobytes())
+        parts.append(a.tobytes())
+    return b"".join(parts)
+
+
+class MediaSession:
+    """Base session: segment iteration, caching, and accounting."""
+
+    kind = "media"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.segments: list[SegmentResult] = []
+        self.segments_computed = 0
+        self.segments_from_cache = 0
+
+    # -- subclass surface --------------------------------------------------
+
+    def _next_batch(self):
+        """The next unit of input, or ``None`` when the stream is drained."""
+        raise NotImplementedError
+
+    def _payload(self, batch) -> bytes:
+        """Bytes identifying ``batch`` for the cache key."""
+        raise NotImplementedError
+
+    def _fingerprint(self) -> str:
+        """Configuration half of the cache key."""
+        raise NotImplementedError
+
+    def _process(self, batch) -> SegmentResult:
+        """Do the real work for one segment."""
+        raise NotImplementedError
+
+    # -- driver surface ----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._peek_done()
+
+    def _peek_done(self) -> bool:
+        raise NotImplementedError
+
+    def step(self, cache: SegmentCache | None = None) -> SegmentResult | None:
+        """Advance by one segment; returns ``None`` once drained."""
+        batch = self._next_batch()
+        if batch is None:
+            return None
+        result = None
+        key = None
+        if cache is not None:
+            key = segment_key(self.kind, self._fingerprint(), self._payload(batch))
+            result = cache.get(key)
+        if result is None:
+            result = self._process(batch)
+            self.segments_computed += 1
+            if cache is not None:
+                cache.put(key, result)
+        else:
+            self.segments_from_cache += 1
+            cache.credit(result.stage_ops)
+        self.segments.append(result)
+        return result
+
+    def run_to_completion(self, cache: SegmentCache | None = None) -> "MediaSession":
+        while self.step(cache) is not None:
+            pass
+        return self
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def frames_done(self) -> int:
+        return sum(s.frames for s in self.segments)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(s.bits for s in self.segments)
+
+    def output_bytes(self) -> bytes:
+        """Concatenated segment bitstreams (self-delimiting per segment)."""
+        return b"".join(s.data for s in self.segments)
+
+    def stage_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for s in self.segments:
+            merge_ops(totals, s.stage_ops)
+        return totals
+
+    def ops_per_frame(self) -> dict[str, float]:
+        n = self.frames_done
+        if not n:
+            return {}
+        return {cls: v / n for cls, v in self.stage_totals().items()}
+
+
+class _FrameFedSession(MediaSession):
+    """Shared plumbing for sessions that consume a list of luma frames."""
+
+    def __init__(self, name: str, frames, segment_frames: int) -> None:
+        super().__init__(name)
+        if segment_frames < 1:
+            raise ValueError("segment must cover at least one frame")
+        self.frames = list(frames)
+        self.segment_frames = segment_frames
+        self._cursor = 0
+
+    def _peek_done(self) -> bool:
+        return self._cursor >= len(self.frames)
+
+    def _next_batch(self):
+        if self._peek_done():
+            return None
+        batch = self.frames[self._cursor:self._cursor + self.segment_frames]
+        self._cursor += len(batch)
+        return batch
+
+    def _payload(self, batch) -> bytes:
+        return frames_payload(batch)
+
+
+class VideoEncodeSession(_FrameFedSession):
+    """Encode a frame feed GOP-by-GOP through the Figure-1 encoder.
+
+    Each segment is a standalone bitstream opening with an I-frame, so the
+    concatenation equals a sequential encode with per-GOP headers, and two
+    sessions fed identical frames + config produce identical segments —
+    the property the shared :class:`SegmentCache` exploits.  Closed-loop
+    rate control (``target_bitrate``) carries quantizer state *within* a
+    segment only, preserving segment purity.
+    """
+
+    kind = "video_encode"
+
+    def __init__(
+        self,
+        name: str,
+        frames,
+        config: EncoderConfig | None = None,
+        segment_frames: int | None = None,
+    ) -> None:
+        self.config = config or EncoderConfig()
+        if segment_frames is None:
+            segment_frames = self.config.gop_size
+        super().__init__(name, frames, segment_frames)
+
+    def _fingerprint(self) -> str:
+        return config_fingerprint(self.config)
+
+    def _process(self, batch) -> SegmentResult:
+        encoded = VideoEncoder(self.config).encode(batch)
+        ops: dict[str, float] = {}
+        me = 0
+        for fs in encoded.frame_stats:
+            me += fs.me_evaluations
+            merge_ops(ops, fs.stage_ops)
+        return SegmentResult(
+            data=encoded.data,
+            frames=len(batch),
+            bits=encoded.total_bits,
+            stage_ops=ops,
+            me_evaluations=me,
+        )
+
+
+class VideoDecodeSession(MediaSession):
+    """Decode a list of standalone segments (tuner/playback workload)."""
+
+    kind = "video_decode"
+
+    def __init__(self, name: str, coded_segments: list[bytes]) -> None:
+        super().__init__(name)
+        self.coded_segments = list(coded_segments)
+        self._cursor = 0
+
+    def _peek_done(self) -> bool:
+        return self._cursor >= len(self.coded_segments)
+
+    def _next_batch(self):
+        if self._peek_done():
+            return None
+        seg = self.coded_segments[self._cursor]
+        self._cursor += 1
+        return seg
+
+    def _payload(self, batch) -> bytes:
+        return batch
+
+    def _fingerprint(self) -> str:
+        return "VideoDecoder()"
+
+    def _process(self, batch) -> SegmentResult:
+        decoded = VideoDecoder().decode(batch)
+        ops: dict[str, float] = {}
+        for frame_ops in decoded.stage_ops:
+            merge_ops(ops, frame_ops)
+        return SegmentResult(
+            data=b"",
+            frames=len(decoded.frames),
+            bits=len(batch) * 8,
+            stage_ops=ops,
+            extras={"luma": [f.y for f in decoded.frames]},
+        )
+
+
+class AudioEncodeSession(MediaSession):
+    """Encode PCM through the Figure-2 subband encoder, a batch at a time."""
+
+    kind = "audio_encode"
+
+    def __init__(
+        self,
+        name: str,
+        pcm: np.ndarray,
+        config: AudioEncoderConfig | None = None,
+        segment_audio_frames: int = 8,
+    ) -> None:
+        super().__init__(name)
+        if segment_audio_frames < 1:
+            raise ValueError("segment must cover at least one audio frame")
+        self.config = config or AudioEncoderConfig()
+        self.pcm = np.asarray(pcm, dtype=np.float64)
+        self.segment_samples = (
+            segment_audio_frames * self.config.samples_per_frame
+        )
+        self._cursor = 0
+
+    def _peek_done(self) -> bool:
+        return self._cursor >= self.pcm.size
+
+    def _next_batch(self):
+        if self._peek_done():
+            return None
+        batch = self.pcm[self._cursor:self._cursor + self.segment_samples]
+        self._cursor += batch.size
+        return batch
+
+    def _payload(self, batch) -> bytes:
+        return np.ascontiguousarray(batch).tobytes()
+
+    def _fingerprint(self) -> str:
+        return config_fingerprint(self.config)
+
+    def _process(self, batch) -> SegmentResult:
+        encoded = AudioEncoder(self.config).encode(batch)
+        ops: dict[str, float] = {}
+        for fs in encoded.frame_stats:
+            merge_ops(ops, fs.stage_ops)
+        return SegmentResult(
+            data=encoded.data,
+            frames=len(encoded.frame_stats),
+            bits=encoded.total_bits,
+            stage_ops=ops,
+        )
+
+
+class TranscodeSession(MediaSession):
+    """Decode coded segments and re-encode them at a different operating
+    point — the farm workload of the paper's Section 3 transcoding
+    discussion (each generation is lossy; see experiment C6 in DESIGN.md).
+    """
+
+    kind = "transcode"
+
+    def __init__(
+        self,
+        name: str,
+        coded_segments: list[bytes],
+        out_config: EncoderConfig | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.coded_segments = list(coded_segments)
+        self.out_config = out_config or EncoderConfig(quality=50)
+        self._cursor = 0
+
+    def _peek_done(self) -> bool:
+        return self._cursor >= len(self.coded_segments)
+
+    def _next_batch(self):
+        if self._peek_done():
+            return None
+        seg = self.coded_segments[self._cursor]
+        self._cursor += 1
+        return seg
+
+    def _payload(self, batch) -> bytes:
+        return batch
+
+    def _fingerprint(self) -> str:
+        return config_fingerprint(self.out_config)
+
+    def _process(self, batch) -> SegmentResult:
+        decoded = VideoDecoder().decode(batch)
+        ops: dict[str, float] = {}
+        for frame_ops in decoded.stage_ops:
+            merge_ops(ops, frame_ops)
+        luma = [f.y for f in decoded.frames]
+        encoded = VideoEncoder(self.out_config).encode(luma)
+        me = 0
+        for fs in encoded.frame_stats:
+            me += fs.me_evaluations
+            merge_ops(ops, fs.stage_ops)
+        return SegmentResult(
+            data=encoded.data,
+            frames=len(luma),
+            bits=encoded.total_bits,
+            stage_ops=ops,
+            me_evaluations=me,
+        )
+
+
+class AnalysisSession(_FrameFedSession):
+    """Content analysis over a frame feed (Section 5: commercial cues).
+
+    Runs the black-frame and shot-boundary detectors per segment and
+    reports per-pixel feature cost, the live-analysis duty a DVR carries
+    alongside its codecs.
+    """
+
+    kind = "analysis"
+
+    def __init__(
+        self,
+        name: str,
+        frames,
+        segment_frames: int = 8,
+        black_threshold: float = 35.0,
+    ) -> None:
+        super().__init__(name, frames, segment_frames)
+        self.black = BlackFrameDetector(luma_threshold=black_threshold)
+        self.shots = ShotBoundaryDetector()
+
+    def _fingerprint(self) -> str:
+        return f"analysis(black={self.black.luma_threshold!r})"
+
+    def _process(self, batch) -> SegmentResult:
+        verdicts = self.black.detect(batch)
+        cuts = self.shots.boundaries(batch)
+        px = float(sum(np.asarray(f).size for f in batch))
+        # Feature extraction is a few passes over every pixel (means,
+        # histogram, frame differencing) — alu-dominated, memory-heavy.
+        ops = {"alu": 4.0 * px, "mem": 2.0 * px, "control": 64.0 * len(batch)}
+        return SegmentResult(
+            data=b"",
+            frames=len(batch),
+            bits=0,
+            stage_ops=ops,
+            extras={"black": verdicts, "cuts": cuts},
+        )

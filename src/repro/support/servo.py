@@ -14,7 +14,8 @@ derivative and an optional notch filter.
 Two paper claims become measurable:
 
 * **high rates** — under-sampling the structural mode destabilises the
-  loop: tracking collapses below a few kHz (experiment C14, rate sweep);
+  loop: tracking collapses below a few kHz (experiment C14 in DESIGN.md,
+  rate sweep);
 * **adapted to the mechanism** — PID gains tuned for one mechanism's
   actuator gain track badly on another's (C14, adaptation sweep);
   :func:`tuned_pid` performs the adaptation.

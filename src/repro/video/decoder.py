@@ -3,7 +3,7 @@
 The decoder is deliberately much simpler than the encoder — no motion
 *estimation*, only compensation — which is exactly the encode/decode
 asymmetry the paper's Section 2 builds its broadcast argument on
-(experiment C1 measures it).
+(experiment C1 in DESIGN.md measures it).
 """
 
 from __future__ import annotations

@@ -69,7 +69,7 @@ def blockiness(image: np.ndarray, block_size: int = 8) -> float:
     boundaries divided by the mean gradient *inside* blocks.  A ratio of 1
     means boundaries are statistically invisible; DCT codecs at low rates
     push it well above 1 while wavelet codecs stay near 1 (paper Section 3,
-    experiment C5).
+    experiment C5 in DESIGN.md).
     """
     image = np.asarray(image, dtype=np.float64)
     h, w = image.shape

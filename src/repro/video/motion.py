@@ -8,10 +8,13 @@ greatly reduce the number of bits required to represent the video
 sequence."*
 
 Three block-matching searches are provided, spanning the compute/quality
-trade-off that drives MPSoC provisioning (experiment C4):
+trade-off that drives MPSoC provisioning (experiment C4 in DESIGN.md):
 
 * :func:`full_search` — exhaustive over a +/- R window; the quality anchor
-  and by far the heaviest stage of the encoder.
+  and by far the heaviest stage of the encoder.  The default implementation
+  evaluates whole displacement planes with NumPy; the block-at-a-time loop
+  it replaced is kept as :func:`full_search_reference` and the two are
+  asserted equivalent in tests and in ``benchmarks/bench_runtime_streams.py``.
 * :func:`three_step_search` — the classic logarithmic refinement.
 * :func:`diamond_search` — small/large diamond pattern search, the cheapest.
 
@@ -77,9 +80,74 @@ def full_search(
     block_size: int = 8,
     search_range: int = 7,
 ) -> tuple[MotionField, int]:
-    """Exhaustive block matching over a (2R+1)^2 window.
+    """Exhaustive block matching over a (2R+1)^2 window, vectorized.
+
+    Instead of visiting blocks one at a time (see
+    :func:`full_search_reference`), each candidate displacement ``(oy, ox)``
+    is scored for *every* block at once: one shifted absolute-difference
+    plane plus a block-wise reshape-sum.  The Python-level work drops from
+    ``blocks * (2R+1)^2`` SAD calls to ``(2R+1)^2`` plane passes.
+
+    Selection reproduces the reference exactly: displacements are scored in
+    the same row-major ``(oy, ox)`` order, the first displacement achieving
+    the minimum wins, and an exact tie with the zero vector prefers the
+    zero vector (cheaper to encode).  Evaluation counts are identical too —
+    out-of-frame candidates are never scored.  For integer-valued frames
+    (any real 8-bit video) the SAD sums are exact in either implementation,
+    so the motion fields agree bit-for-bit.
 
     Returns the motion field and the number of SAD evaluations performed.
+    """
+    n = block_size
+    by, bx = _block_grid(current, n)
+    h, w = reference.shape
+    displacements = [
+        (oy, ox)
+        for oy in range(-search_range, search_range + 1)
+        for ox in range(-search_range, search_range + 1)
+    ]
+    costs = np.full((len(displacements), by, bx), np.inf)
+    evaluations = 0
+    for d, (oy, ox) in enumerate(displacements):
+        # Block rows i with 0 <= i*n + oy and i*n + oy + n <= h, ditto cols.
+        i_lo = (-oy + n - 1) // n if oy < 0 else 0
+        i_hi = min(by - 1, (h - n - oy) // n)
+        j_lo = (-ox + n - 1) // n if ox < 0 else 0
+        j_hi = min(bx - 1, (w - n - ox) // n)
+        if i_lo > i_hi or j_lo > j_hi:
+            continue
+        ys, ye = i_lo * n, (i_hi + 1) * n
+        xs, xe = j_lo * n, (j_hi + 1) * n
+        diff = np.abs(
+            current[ys:ye, xs:xe]
+            - reference[ys + oy:ye + oy, xs + ox:xe + ox]
+        )
+        nr, nc = i_hi - i_lo + 1, j_hi - j_lo + 1
+        costs[d, i_lo:i_hi + 1, j_lo:j_hi + 1] = (
+            diff.reshape(nr, n, nc, n).sum(axis=(1, 3))
+        )
+        evaluations += nr * nc
+    best = np.argmin(costs, axis=0)  # first index on ties, like the loop
+    zero = search_range * (2 * search_range + 1) + search_range
+    minima = np.take_along_axis(costs, best[None], axis=0)[0]
+    best = np.where(costs[zero] == minima, zero, best)
+    offsets = np.asarray(displacements, dtype=np.int32)
+    dy = offsets[best, 0]
+    dx = offsets[best, 1]
+    return MotionField(dy=dy, dx=dx, block_size=n), evaluations
+
+
+def full_search_reference(
+    current: np.ndarray,
+    reference: np.ndarray,
+    block_size: int = 8,
+    search_range: int = 7,
+) -> tuple[MotionField, int]:
+    """Block-at-a-time full search: the readable reference implementation.
+
+    Kept as the equivalence oracle for the vectorized :func:`full_search`
+    and as the honest "pure software" baseline the speed claims in
+    ``benchmarks/bench_runtime_streams.py`` are measured against.
     """
     by, bx = _block_grid(current, block_size)
     dy = np.zeros((by, bx), dtype=np.int32)
@@ -209,8 +277,11 @@ def diamond_search(
 
 
 #: Registry used by the encoder configuration and the benchmarks.
+#: ``full_reference`` is the scalar loop the vectorized ``full`` replaced;
+#: it stays selectable so the speedup benchmark encodes through both paths.
 SEARCH_ALGORITHMS = {
     "full": full_search,
+    "full_reference": full_search_reference,
     "three_step": three_step_search,
     "diamond": diamond_search,
 }

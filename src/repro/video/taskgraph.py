@@ -47,7 +47,10 @@ class VideoWorkload:
     def me_macs(self) -> float:
         """MACs per frame for the configured motion-estimation search."""
         full = self.blocks * (2 * self.search_range + 1) ** 2 * self.block_size ** 2
-        if self.search_algorithm == "full":
+        # The analytic MAC count is the same whether the software runs the
+        # scalar reference loop or the vectorized kernel — vectorization
+        # changes constant factors, not the arithmetic the model counts.
+        if self.search_algorithm in ("full", "full_reference"):
             return float(full)
         # Fast searches visit ~tens of candidates instead of (2R+1)^2.
         candidates = {"three_step": 25, "diamond": 16}[self.search_algorithm]

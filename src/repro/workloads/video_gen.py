@@ -30,7 +30,8 @@ def moving_blocks_sequence(
     """Bright rectangles translating over a textured background.
 
     Translational motion is the case motion estimation captures perfectly,
-    so this sequence maximises the ME-on vs ME-off contrast (experiment C4).
+    so this sequence maximises the ME-on vs ME-off contrast (experiment C4
+    in DESIGN.md).
     """
     rng = _rng(seed)
     background = rng.uniform(40.0, 90.0, size=(height, width))

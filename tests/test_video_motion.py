@@ -4,10 +4,12 @@ import numpy as np
 import pytest
 
 from repro.video.motion import (
+    SEARCH_ALGORITHMS,
     MotionField,
     diamond_search,
     full_search,
     full_search_op_count,
+    full_search_reference,
     motion_compensate,
     sad,
     three_step_search,
@@ -58,6 +60,80 @@ class TestFullSearch:
     def test_rejects_non_multiple_frame(self):
         with pytest.raises(ValueError):
             full_search(np.zeros((10, 16)), np.zeros((10, 16)), block_size=8)
+
+    def test_reference_rejects_non_multiple_frame(self):
+        with pytest.raises(ValueError):
+            full_search_reference(
+                np.zeros((10, 16)), np.zeros((10, 16)), block_size=8
+            )
+
+
+class TestVectorizedMatchesReference:
+    """The vectorized full search must be indistinguishable from the loop.
+
+    Frames are integer-valued (like any real 8-bit video), which makes the
+    SAD sums exact in both implementations, so the comparison is
+    bit-for-bit: same motion field, same evaluation count.
+    """
+
+    @pytest.mark.parametrize(
+        "height,width,block_size,search_range",
+        [
+            (32, 48, 8, 7),     # typical
+            (40, 40, 8, 12),    # range exceeds block size
+            (24, 32, 4, 3),     # small blocks
+            (48, 32, 16, 7),    # large blocks, portrait frame
+            (16, 16, 8, 20),    # window larger than the whole frame
+            (8, 8, 8, 1),       # single block
+        ],
+    )
+    def test_random_frames(self, height, width, block_size, search_range):
+        rng = np.random.default_rng(height * 1000 + width)
+        current = np.floor(rng.uniform(0, 256, (height, width)))
+        reference = np.floor(rng.uniform(0, 256, (height, width)))
+        vec_field, vec_evals = full_search(
+            current, reference, block_size, search_range
+        )
+        ref_field, ref_evals = full_search_reference(
+            current, reference, block_size, search_range
+        )
+        assert vec_evals == ref_evals
+        assert np.array_equal(vec_field.dy, ref_field.dy)
+        assert np.array_equal(vec_field.dx, ref_field.dx)
+
+    def test_translated_content(self):
+        current, reference = shifted_pair(3, -2, seed=9)
+        current, reference = np.floor(current), np.floor(reference)
+        vec_field, _ = full_search(current, reference, 8, 4)
+        ref_field, _ = full_search_reference(current, reference, 8, 4)
+        assert np.array_equal(vec_field.dy, ref_field.dy)
+        assert np.array_equal(vec_field.dx, ref_field.dx)
+
+    def test_continuous_frames(self):
+        # Non-integer frames: summation order can differ in the last ulp,
+        # but with continuous random content exact cost ties (the only way
+        # order could matter) do not occur for this fixed seed.
+        rng = np.random.default_rng(42)
+        current = rng.uniform(0, 255, (48, 64))
+        reference = rng.uniform(0, 255, (48, 64))
+        vec_field, vec_evals = full_search(current, reference, 8, 7)
+        ref_field, ref_evals = full_search_reference(current, reference, 8, 7)
+        assert vec_evals == ref_evals
+        assert np.array_equal(vec_field.dy, ref_field.dy)
+        assert np.array_equal(vec_field.dx, ref_field.dx)
+
+    def test_zero_vector_preferred_on_ties(self):
+        # A constant frame ties every candidate; both implementations must
+        # resolve to the cheap-to-encode zero vector.
+        frame = np.full((16, 16), 7.0)
+        for impl in (full_search, full_search_reference):
+            field, _ = impl(frame, frame, 8, 3)
+            assert np.all(field.dy == 0), impl.__name__
+            assert np.all(field.dx == 0), impl.__name__
+
+    def test_both_registered(self):
+        assert SEARCH_ALGORITHMS["full"] is full_search
+        assert SEARCH_ALGORITHMS["full_reference"] is full_search_reference
 
 
 def smooth_shifted_pair(dy, dx, height=32, width=32):
