@@ -11,7 +11,9 @@ from .metrics import CostPerfPowerPoint, render_table
 from .scenarios import (
     ALL_SCENARIOS,
     EXTENDED_SCENARIOS,
+    RUNTIME_CONTRACTS,
     DeviceScenario,
+    RuntimeContract,
     analysis_application,
     audio_player_scenario,
     camera_scenario,
@@ -37,6 +39,8 @@ __all__ = [
     "CostPerfPowerPoint",
     "DeviceScenario",
     "MultimediaSystem",
+    "RUNTIME_CONTRACTS",
+    "RuntimeContract",
     "SystemReport",
     "analysis_application",
     "audio_player_scenario",

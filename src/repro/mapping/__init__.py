@@ -13,8 +13,10 @@ from .dvfs import DvfsResult, reclaim_slack, scaled_platform, scaled_problem
 from .gantt import render_gantt, utilisation_summary
 from .evaluate import (
     MappingEvaluation,
+    SegmentCostTrace,
     evaluate_mapping,
     evaluation_from_trace,
+    segment_cost,
     sustainable_streams,
 )
 from .genetic import GeneticConfig, genetic_mapping
@@ -32,6 +34,7 @@ __all__ = [
     "MappingEvaluation",
     "MappingProblem",
     "MappingResult",
+    "SegmentCostTrace",
     "anneal_mapping",
     "evaluate_mapping",
     "evaluation_from_trace",
@@ -47,6 +50,7 @@ __all__ = [
     "run_mapper",
     "scaled_platform",
     "scaled_problem",
+    "segment_cost",
     "utilisation_summary",
     "simulate_mapping",
     "single_pe_mapping",

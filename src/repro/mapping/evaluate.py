@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..mpsoc.power import EnergyBreakdown, integrate_energy
 from .binding import MappingProblem
@@ -68,6 +68,52 @@ def sustainable_streams(
     if evaluation.period_s <= 0:
         return 0
     return int((1.0 / required_rate_hz) / evaluation.period_s)
+
+
+@dataclass
+class SegmentCostTrace:
+    """What one unit of measured work costs on a candidate platform.
+
+    The streaming runtime's currency: ``latency_s`` is the virtual time
+    one segment occupies the platform (what the
+    :class:`~repro.runtime.schedulers.PlatformMapped` scheduler charges),
+    ``busy_time`` is per-PE seconds of real work inside that window (what
+    utilization reports accumulate), and ``mapping`` records where each
+    stage landed.
+    """
+
+    latency_s: float
+    period_s: float
+    busy_time: dict[int, float] = field(default_factory=dict)
+    mapping: dict[str, int] = field(default_factory=dict)
+
+
+def segment_cost(
+    app,
+    platform,
+    algorithm: str = "greedy",
+    iterations: int = 1,
+) -> SegmentCostTrace:
+    """Bind one measured profile onto a platform and price it.
+
+    ``app`` is any application model (typically a
+    :func:`repro.runtime.profiles.stage_application` chain lifted from a
+    segment's measured ``stage_ops``); the named mapper places it and the
+    discrete-event simulator (:mod:`repro.mapping.simulate`) prices the
+    result, interconnect contention included.  Deterministic for a given
+    (profile, platform, algorithm), which is what lets callers memoize.
+    """
+    from .dse import run_mapper  # local import: dse imports this module
+
+    problem = app.problem(platform)
+    result = run_mapper(problem, algorithm)
+    trace = simulate_mapping(problem, result.mapping, iterations=iterations)
+    return SegmentCostTrace(
+        latency_s=trace.latency,
+        period_s=trace.period(),
+        busy_time=dict(trace.busy_time),
+        mapping=dict(result.mapping),
+    )
 
 
 def evaluate_mapping(

@@ -41,14 +41,8 @@ class MappedTrace:
     comm_bytes: float
     comm_energy_j: float
     comm_busy_time: float
-    resource_busy: dict[tuple, float] = None  # type: ignore[assignment]
-    channel_peak_tokens: dict[str, int] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.resource_busy is None:
-            self.resource_busy = {}
-        if self.channel_peak_tokens is None:
-            self.channel_peak_tokens = {}
+    resource_busy: dict[tuple, float] = field(default_factory=dict)
+    channel_peak_tokens: dict[str, int] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:

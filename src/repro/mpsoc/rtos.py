@@ -142,6 +142,101 @@ def _hyperperiod(tasks: list[PeriodicTask]) -> float:
 
 
 @dataclass
+class AdmissionRow:
+    """One task's line in an admission report."""
+
+    name: str
+    period: float
+    wcet: float
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period if self.period > 0 else math.inf
+
+    @property
+    def feasible(self) -> bool:
+        """A task whose WCET exceeds its period can never be scheduled."""
+        return 0 < self.wcet <= self.period
+
+
+@dataclass
+class AdmissionReport:
+    """Verdict of an admission test over a periodic task set.
+
+    ``admitted`` means every task is individually feasible *and* the set
+    passes the policy's schedulability test (:func:`edf_schedulable` or
+    :func:`rm_schedulable`).  The streaming engine runs this at start-up
+    to reject over-subscribed scenario configurations before any segment
+    is encoded.
+    """
+
+    policy: str
+    rows: list[AdmissionRow]
+    admitted: bool
+    bound: float
+
+    @property
+    def utilization(self) -> float:
+        return sum(r.utilization for r in self.rows)
+
+    def render(self) -> str:
+        verdict = "ADMITTED" if self.admitted else "REJECTED"
+        if self.policy == "edf":
+            head = (
+                f"admission (edf): U = {self.utilization:.2f} "
+                f"vs bound {self.bound:.2f} -> {verdict}"
+            )
+        else:
+            # RM is decided by exact response-time analysis; the
+            # Liu-Layland bound is only the sufficient shortcut, so U may
+            # exceed it on an admitted set.
+            head = (
+                f"admission (rm): U = {self.utilization:.2f} "
+                f"(Liu-Layland bound {self.bound:.2f}; exact "
+                f"response-time analysis decides) -> {verdict}"
+            )
+        lines = [head]
+        for r in self.rows:
+            flag = "" if r.feasible else "  [wcet exceeds period]"
+            lines.append(
+                f"  {r.name}: period {r.period * 1e3:.1f} ms, "
+                f"wcet {r.wcet * 1e3:.1f} ms, u = {r.utilization:.3f}{flag}"
+            )
+        return "\n".join(lines)
+
+
+def admission_test(
+    entries: list[tuple[str, float, float]], policy: str = "edf"
+) -> AdmissionReport:
+    """Admission control over ``(name, period_s, wcet_s)`` declarations.
+
+    Unlike the :class:`PeriodicTask` constructor, this never raises on an
+    over-subscribed task — infeasible declarations are exactly what the
+    caller wants diagnosed, so they land in the report as rejections.
+    An empty task set is trivially admitted.
+    """
+    if policy not in ("edf", "rm"):
+        raise ValueError(f"unknown admission policy {policy!r}")
+    rows = [AdmissionRow(name, period, wcet) for name, period, wcet in entries]
+    bound = 1.0 if policy == "edf" else (
+        liu_layland_bound(len(rows)) if rows else 1.0
+    )
+    admitted = all(r.feasible for r in rows)
+    if admitted and rows:
+        tasks = [
+            PeriodicTask(name=r.name, period=r.period, wcet=r.wcet)
+            for r in rows
+        ]
+        admitted = (
+            edf_schedulable(tasks) if policy == "edf"
+            else rm_schedulable(tasks)
+        )
+    return AdmissionReport(
+        policy=policy, rows=rows, admitted=admitted, bound=bound
+    )
+
+
+@dataclass
 class SimulatedJob:
     task: str
     release: float

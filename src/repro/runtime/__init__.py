@@ -6,12 +6,19 @@ cameras at once.  This package runs exactly that shape in software:
 
 * :mod:`~repro.runtime.session` — frame-batched pipelines (video/audio
   encode, decode, transcode, analysis) over the existing codecs, advancing
-  in pure GOP-aligned segments with measured per-stage op counts;
+  in pure GOP-aligned segments with measured per-stage op counts plus
+  rate contracts and virtual-time deadline hooks;
 * :mod:`~repro.runtime.cache` — the engine-wide LRU segment cache that
   encodes identical (config, content) segments once across sessions;
-* :mod:`~repro.runtime.engine` — the round-robin scheduler, its report,
+* :mod:`~repro.runtime.schedulers` — pluggable virtual-time policies
+  (round-robin, weighted fair, EDF, platform-mapped) and their cost
+  models;
+* :mod:`~repro.runtime.engine` — the virtual-time engine, its report
+  (deadline misses, latency, PE utilization), RTOS admission at start-up,
   and :func:`~repro.runtime.engine.measured_application` which feeds
   measured session profiles back to the mapping/DSE models;
+* :mod:`~repro.runtime.profiles` — lifting measured stage profiles into
+  mappable application chains;
 * :mod:`~repro.runtime.scenarios` — the :data:`~repro.runtime.scenarios.
   REGISTRY` of parameterized device workloads behind
   ``python -m repro.runtime.run``.
@@ -19,42 +26,68 @@ cameras at once.  This package runs exactly that shape in software:
 
 from .cache import CacheStats, SegmentCache, segment_key
 from .engine import (
+    AdmissionError,
     EngineReport,
     SessionSummary,
     StreamEngine,
     measured_application,
 )
+from .profiles import stage_application
 from .scenarios import REGISTRY, Scenario, ScenarioRegistry
+from .schedulers import (
+    EDF,
+    SCHEDULERS,
+    PlatformMapped,
+    RoundRobin,
+    Scheduler,
+    SessionClock,
+    WeightedFair,
+    make_scheduler,
+)
 from .session import (
     AnalysisSession,
     AudioEncodeSession,
     MediaSession,
     SegmentResult,
+    SegmentTiming,
     TranscodeSession,
     VideoDecodeSession,
     VideoEncodeSession,
+    coded_segment_frames,
     config_fingerprint,
     frames_payload,
 )
 
 __all__ = [
+    "AdmissionError",
     "AnalysisSession",
     "AudioEncodeSession",
     "CacheStats",
+    "EDF",
     "EngineReport",
     "MediaSession",
+    "PlatformMapped",
     "REGISTRY",
+    "RoundRobin",
+    "SCHEDULERS",
     "Scenario",
     "ScenarioRegistry",
+    "Scheduler",
     "SegmentCache",
     "SegmentResult",
+    "SegmentTiming",
+    "SessionClock",
     "SessionSummary",
     "StreamEngine",
     "TranscodeSession",
     "VideoDecodeSession",
     "VideoEncodeSession",
+    "WeightedFair",
+    "coded_segment_frames",
     "config_fingerprint",
     "frames_payload",
+    "make_scheduler",
     "measured_application",
     "segment_key",
+    "stage_application",
 ]

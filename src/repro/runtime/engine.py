@@ -1,12 +1,22 @@
-"""The streaming engine: many concurrent sessions, one shared cache.
+"""The streaming engine: many concurrent sessions on one virtual timeline.
 
 ``StreamEngine`` is the software analogue of the paper's MPSoC runtime: a
-set of concurrent media pipelines advanced in an interleaved schedule, with
-cross-session sharing where streams carry identical work.  Sessions are
-pure segment pipelines (:mod:`repro.runtime.session`), so the engine's
-schedule — round-robin, one segment per turn — affects only *when* work
-happens, never *what* is produced; N concurrent sessions emit bitstreams
-identical to N sequential runs (``tests/test_runtime.py`` pins this).
+set of concurrent media pipelines advanced in an interleaved schedule,
+with cross-session sharing where streams carry identical work.  Sessions
+are pure segment pipelines (:mod:`repro.runtime.session`), so the
+schedule — any :class:`~repro.runtime.schedulers.Scheduler` policy —
+affects only *when* work happens, never *what* is produced; N concurrent
+sessions emit bitstreams identical to N sequential runs under every
+scheduler (``tests/test_runtime_schedulers.py`` pins this).
+
+Time is *virtual*: input frames arrive at each session's contracted
+``rate_hz``, segments cost virtual seconds per the scheduler's cost model
+(measured ops, or a full platform mapping for
+:class:`~repro.runtime.schedulers.PlatformMapped`), and the report counts
+deadline misses, per-session latency, and — when a platform prices the
+segments — per-PE utilization.  Before the first segment runs, the RTOS
+admission test (:func:`repro.mpsoc.rtos.admission_test`) can reject an
+over-subscribed scenario configuration outright.
 
 The engine also closes the loop back to the mapping models: every session
 accumulates measured per-stage operation counts, and
@@ -24,31 +34,21 @@ from dataclasses import dataclass, field
 
 from ..core.application import ApplicationModel
 from ..core.metrics import render_table
-from ..dataflow.graph import SDFGraph
+from ..mpsoc.rtos import AdmissionReport, admission_test
 from .cache import CacheStats, SegmentCache
+from .profiles import stage_application
+from .schedulers import Scheduler, SessionClock, make_scheduler
 from .session import MediaSession
 
-#: Actor kind + operation class for the measured stage profiles the codecs
-#: emit; anything unknown becomes a generic alu actor.  Declaration order
-#: is canonical pipeline order (audio front-end, then the video encode
-#: chain, then the decode chain, then entropy/packing) — the measured
-#: application chain is sorted by it, since a session's first segment may
-#: be an I-frame whose stats lack ME and would otherwise scramble the
-#: insertion order.
-_STAGE_CLASSES = {
-    "filterbank": ("dsp_filter", "mac"),
-    "psychoacoustic": ("dsp_filter", "mac"),
-    "motion_estimation": ("motion_estimation", "mac"),
-    "dct": ("dct", "mac"),
-    "quantize": ("quantizer", "alu"),
-    "vld": ("vld", "bit"),
-    "dequantize": ("quantizer", "alu"),
-    "inverse_dct": ("idct", "mac"),
-    "motion_compensation": ("predictor", "mem"),
-    "vlc": ("vlc", "bit"),
-    "frame_pack": ("vlc", "bit"),
-}
-_STAGE_ORDER = list(_STAGE_CLASSES)
+_EPS = 1e-12
+
+
+class AdmissionError(RuntimeError):
+    """Raised (in strict mode) when a scenario fails admission control."""
+
+    def __init__(self, report: AdmissionReport) -> None:
+        super().__init__(report.render())
+        self.report = report
 
 
 @dataclass
@@ -62,21 +62,49 @@ class SessionSummary:
     bits: int
     computed: int
     from_cache: int
+    rate_hz: float | None = None
+    deadline_misses: int = 0
+    deadlines: int = 0
+    virtual_busy_s: float = 0.0
+    mean_latency_s: float = 0.0
+    max_latency_s: float = 0.0
 
     @property
     def cache_share(self) -> float:
         return self.from_cache / self.segments if self.segments else 0.0
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "segments": self.segments,
+            "frames": self.frames,
+            "bits": self.bits,
+            "computed": self.computed,
+            "from_cache": self.from_cache,
+            "rate_hz": self.rate_hz,
+            "deadline_misses": self.deadline_misses,
+            "deadlines": self.deadlines,
+            "virtual_busy_s": self.virtual_busy_s,
+            "mean_latency_s": self.mean_latency_s,
+            "max_latency_s": self.max_latency_s,
+        }
+
 
 @dataclass
 class EngineReport:
-    """What one engine run did, and what it cost."""
+    """What one engine run did, and what it cost (wall and virtual)."""
 
     sessions: list[SessionSummary]
     cache: CacheStats
     elapsed_s: float
     steps: int
     stage_totals: dict[str, float] = field(default_factory=dict)
+    scheduler: str = "roundrobin"
+    virtual_makespan_s: float = 0.0
+    pe_utilization: dict[int, float] = field(default_factory=dict)
+    platform: str | None = None
+    admission: AdmissionReport | None = None
 
     @property
     def total_frames(self) -> int:
@@ -90,6 +118,57 @@ class EngineReport:
     def frames_per_second(self) -> float:
         return self.total_frames / self.elapsed_s if self.elapsed_s else 0.0
 
+    @property
+    def total_deadline_misses(self) -> int:
+        return sum(s.deadline_misses for s in self.sessions)
+
+    @property
+    def total_deadlines(self) -> int:
+        return sum(s.deadlines for s in self.sessions)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--json`` CLI output)."""
+        return {
+            "scheduler": self.scheduler,
+            "platform": self.platform,
+            "steps": self.steps,
+            "elapsed_s": self.elapsed_s,
+            "virtual_makespan_s": self.virtual_makespan_s,
+            "total_frames": self.total_frames,
+            "total_bits": self.total_bits,
+            "frames_per_second": self.frames_per_second,
+            "total_deadline_misses": self.total_deadline_misses,
+            "total_deadlines": self.total_deadlines,
+            "sessions": [s.to_dict() for s in self.sessions],
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+                "ops_saved": dict(self.cache.ops_saved),
+            },
+            "stage_totals": dict(self.stage_totals),
+            "pe_utilization": {
+                str(pe): u for pe, u in sorted(self.pe_utilization.items())
+            },
+            "admission": None if self.admission is None else {
+                "policy": self.admission.policy,
+                "admitted": self.admission.admitted,
+                "utilization": self.admission.utilization,
+                "bound": self.admission.bound,
+                "tasks": [
+                    {
+                        "name": r.name,
+                        "period_s": r.period,
+                        "wcet_s": r.wcet,
+                        "utilization": r.utilization,
+                        "feasible": r.feasible,
+                    }
+                    for r in self.admission.rows
+                ],
+            },
+        }
+
     def render(self) -> str:
         rows = [
             [
@@ -101,12 +180,15 @@ class EngineReport:
                 s.computed,
                 s.from_cache,
                 f"{100.0 * s.cache_share:.0f}%",
+                f"{s.rate_hz:g}" if s.rate_hz else "-",
+                (f"{s.deadline_misses}/{s.deadlines}" if s.deadlines else "-"),
+                f"{s.mean_latency_s * 1e3:.1f}",
             ]
             for s in self.sessions
         ]
         table = render_table(
             ["session", "kind", "segs", "frames", "bits", "encoded",
-             "cached", "cache%"],
+             "cached", "cache%", "rate", "miss", "lat(ms)"],
             rows,
             title=(
                 f"{len(self.sessions)} sessions, "
@@ -115,30 +197,59 @@ class EngineReport:
             ),
         )
         saved = sum(self.cache.ops_saved.values())
-        footer = (
+        lines = [
+            table,
             f"cache: {self.cache.hits} hits / {self.cache.lookups} lookups "
             f"({100.0 * self.cache.hit_rate:.0f}%), "
             f"{self.cache.evictions} evictions, "
-            f"~{saved:.3g} ops skipped"
-        )
-        return table + "\n" + footer
+            f"~{saved:.3g} ops skipped",
+            f"scheduler: {self.scheduler}, virtual makespan "
+            f"{self.virtual_makespan_s * 1e3:.1f} ms, "
+            f"{self.total_deadline_misses}/{self.total_deadlines} "
+            f"deadlines missed",
+        ]
+        if self.pe_utilization:
+            util = ", ".join(
+                f"pe{pe}={100.0 * u:.0f}%"
+                for pe, u in sorted(self.pe_utilization.items())
+            )
+            lines.append(f"platform {self.platform}: {util}")
+        if self.admission is not None and not self.admission.admitted:
+            lines.append(self.admission.render())
+        return "\n".join(lines)
 
 
 class StreamEngine:
-    """Round-robin scheduler over media sessions with a shared cache."""
+    """Virtual-time scheduler over media sessions with a shared cache.
+
+    ``scheduler`` is a :class:`~repro.runtime.schedulers.Scheduler`
+    instance or registry name (default: the legacy round-robin).
+    ``admission`` is ``"off"`` (skip the start-up schedulability check),
+    ``"warn"`` (run it, attach the report, keep going) or ``"strict"``
+    (raise :class:`AdmissionError` when the rated sessions over-subscribe
+    the scheduler's virtual service rate).
+    """
 
     def __init__(
         self,
         sessions: list[MediaSession],
         cache: SegmentCache | None = None,
         use_cache: bool = True,
+        scheduler: Scheduler | str | None = None,
+        admission: str = "off",
     ) -> None:
         if not sessions:
             raise ValueError("an engine needs at least one session")
         names = [s.name for s in sessions]
         if len(set(names)) != len(names):
             raise ValueError(f"session names must be unique, got {names}")
+        if admission not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"admission must be off/warn/strict, got {admission!r}"
+            )
         self.sessions = list(sessions)
+        self.scheduler = make_scheduler(scheduler)
+        self.admission = admission
         # A fresh cache has len() == 0 and would be falsy — test identity,
         # not truthiness, or a caller-supplied cache gets silently dropped.
         if not use_cache:
@@ -146,31 +257,92 @@ class StreamEngine:
         else:
             self.cache = cache if cache is not None else SegmentCache()
 
-    def run(self) -> EngineReport:
-        """Advance all sessions to completion, one segment per turn.
+    def admission_report(self, policy: str | None = None) -> AdmissionReport:
+        """Schedulability of the rated sessions' declared workloads.
 
-        Round-robin at segment granularity mirrors the frame-level
-        interleaving a shared accelerator sees on a real MPSoC: no stream
-        starves, and the cache observes segments in arrival order so a
-        leading stream warms the cache for its followers.
+        Each rated session becomes a periodic task: one segment per
+        period (``expected_segment_frames / rate_hz``) whose WCET is the
+        session's declared estimate priced by the *scheduler's own* cost
+        model (the generic virtual service rate, or a platform mapping
+        of the estimated stage profile under
+        :class:`~repro.runtime.schedulers.PlatformMapped`).  Unrated
+        sessions are background work and don't count.
+        The test policy follows the scheduler (exact EDF utilization for
+        deadline-driven policies, conservative RM analysis otherwise)
+        but it checks *declared estimates* — passing is a necessary
+        condition, not a guarantee that a deadline-blind schedule meets
+        every deadline.
         """
+        if policy is None:
+            policy = self.scheduler.admission_policy
+        entries = []
+        for session in self.sessions:
+            if not session.rate_hz or session.rate_hz <= 0:
+                continue
+            wcet = self.scheduler.estimate_cost_s(session)
+            if wcet is None:
+                continue
+            period = session.expected_segment_frames() / session.rate_hz
+            entries.append((session.name, period, wcet))
+        return admission_test(entries, policy=policy)
+
+    def run(self) -> EngineReport:
+        """Advance all sessions to completion under the scheduler.
+
+        The virtual clock only moves forward: it jumps to the next input
+        arrival when every unfinished session is waiting for frames, and
+        advances by each segment's virtual cost as it runs.  Interleaving
+        at segment granularity mirrors the frame-level interleaving a
+        shared accelerator sees on a real MPSoC: no stream starves, and
+        the cache observes segments in schedule order so a leading stream
+        warms the cache for its followers.
+        """
+        admission = None
+        if self.admission != "off":
+            admission = self.admission_report()
+            if self.admission == "strict" and not admission.admitted:
+                raise AdmissionError(admission)
+
         started = time.perf_counter()
+        scheduler = self.scheduler
+        clocks = [SessionClock(session=s) for s in self.sessions]
+        scheduler.bind(clocks)
+        now = 0.0
         steps = 0
-        pending = list(self.sessions)
-        while pending:
-            still = []
-            for session in pending:
-                if session.step(self.cache) is not None:
-                    steps += 1
-                if not session.finished:
-                    still.append(session)
-            pending = still
+        while True:
+            unfinished = [c for c in clocks if not c.finished]
+            if not unfinished:
+                break
+            ready = [c for c in unfinished if c.release() <= now + _EPS]
+            if not ready:
+                now = min(c.release() for c in unfinished)
+                ready = [c for c in unfinished if c.release() <= now + _EPS]
+            clock = scheduler.select(ready, now)
+            session = clock.session
+            hits_before = session.segments_from_cache
+            result = session.step(self.cache)
+            if result is None:  # defensive: session lied about finished
+                continue
+            steps += 1
+            from_cache = session.segments_from_cache > hits_before
+            cost = scheduler.segment_cost(clock, result, from_cache)
+            finish = now + cost
+            session.record_timing(now, finish, from_cache=from_cache)
+            scheduler.charge(clock, cost)
+            now = finish
         elapsed = time.perf_counter() - started
 
         totals: dict[str, float] = {}
         for session in self.sessions:
             for cls, count in session.stage_totals().items():
                 totals[cls] = totals.get(cls, 0.0) + count
+        pe_util: dict[int, float] = {}
+        platform_name = None
+        pe_busy = getattr(scheduler, "pe_busy", None)
+        if pe_busy is not None and now > 0:
+            pe_util = {pe: min(1.0, b / now) for pe, b in pe_busy.items()}
+            platform_name = scheduler.platform.name
+        by_name = {c.name: c for c in clocks}
         return EngineReport(
             sessions=[
                 SessionSummary(
@@ -181,6 +353,12 @@ class StreamEngine:
                     bits=s.total_bits,
                     computed=s.segments_computed,
                     from_cache=s.segments_from_cache,
+                    rate_hz=s.rate_hz,
+                    deadline_misses=s.deadline_misses,
+                    deadlines=s.deadlines,
+                    virtual_busy_s=by_name[s.name].busy_s,
+                    mean_latency_s=s.mean_latency_s,
+                    max_latency_s=s.max_latency_s,
                 )
                 for s in self.sessions
             ],
@@ -188,6 +366,11 @@ class StreamEngine:
             elapsed_s=elapsed,
             steps=steps,
             stage_totals=totals,
+            scheduler=scheduler.name,
+            virtual_makespan_s=now,
+            pe_utilization=pe_util,
+            platform=platform_name,
+            admission=admission,
         )
 
 
@@ -208,21 +391,6 @@ def measured_application(
         raise ValueError(
             f"session {session.name!r} has no finished frames to profile"
         )
-    g = SDFGraph(f"{session.name}_measured")
-    previous = None
-    stages = sorted(
-        per_frame,
-        key=lambda s: (
-            _STAGE_ORDER.index(s) if s in _STAGE_ORDER else len(_STAGE_ORDER),
-            s,
-        ),
-    )
-    for stage in stages:
-        kind, op_class = _STAGE_CLASSES.get(stage, (stage, "alu"))
-        g.add_actor(stage, kind=kind, ops={op_class: per_frame[stage]})
-        if previous is not None:
-            g.add_channel(previous, stage, token_size=256.0)
-        previous = stage
-    return ApplicationModel(
-        name=f"{session.name}_measured", graph=g, required_rate_hz=rate_hz
+    return stage_application(
+        f"{session.name}_measured", per_frame, rate_hz=rate_hz
     )

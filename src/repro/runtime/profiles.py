@@ -1,0 +1,71 @@
+"""Lifting measured session profiles into mappable application models.
+
+Sessions report what each segment *did* as a ``stage_ops`` dict (stage
+name -> operation count).  Two consumers need that dict as an SDF
+application: :func:`repro.runtime.engine.measured_application` (feeding
+the DSE stack measured numbers) and the
+:class:`~repro.runtime.schedulers.PlatformMapped` scheduler (costing
+segments by binding them onto an :class:`repro.mpsoc.Platform`).  Both go
+through :func:`stage_application` so the stage -> actor-kind mapping and
+the canonical pipeline ordering live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from ..core.application import ApplicationModel
+from ..dataflow.graph import SDFGraph
+
+#: Actor kind + operation class for the measured stage profiles the codecs
+#: emit; anything unknown becomes a generic alu actor.  Declaration order
+#: is canonical pipeline order (audio front-end, then the video encode
+#: chain, then the decode chain, then entropy/packing) — stage chains are
+#: sorted by it, since a session's first segment may be an I-frame whose
+#: stats lack ME and would otherwise scramble the insertion order.
+STAGE_CLASSES = {
+    "filterbank": ("dsp_filter", "mac"),
+    "psychoacoustic": ("dsp_filter", "mac"),
+    "motion_estimation": ("motion_estimation", "mac"),
+    "dct": ("dct", "mac"),
+    "quantize": ("quantizer", "alu"),
+    "vld": ("vld", "bit"),
+    "dequantize": ("quantizer", "alu"),
+    "inverse_dct": ("idct", "mac"),
+    "motion_compensation": ("predictor", "mem"),
+    "vlc": ("vlc", "bit"),
+    "frame_pack": ("vlc", "bit"),
+}
+STAGE_ORDER = list(STAGE_CLASSES)
+
+
+def canonical_stages(stage_ops: dict[str, float]) -> list[str]:
+    """Stages of a measured profile, in canonical pipeline order."""
+    return sorted(
+        stage_ops,
+        key=lambda s: (
+            STAGE_ORDER.index(s) if s in STAGE_ORDER else len(STAGE_ORDER),
+            s,
+        ),
+    )
+
+
+def stage_application(
+    name: str, stage_ops: dict[str, float], rate_hz: float = 0.0
+) -> ApplicationModel:
+    """Build a chain application from one measured stage-ops profile.
+
+    Each stage becomes an actor whose kind and operation class come from
+    :data:`STAGE_CLASSES` (unknown stages become generic alu actors, so
+    analysis profiles keyed by raw op classes still map), chained in
+    canonical pipeline order with small tokens between stages.
+    """
+    if not stage_ops:
+        raise ValueError(f"profile {name!r} has no stages to lift")
+    g = SDFGraph(name)
+    previous = None
+    for stage in canonical_stages(stage_ops):
+        kind, op_class = STAGE_CLASSES.get(stage, (stage, "alu"))
+        g.add_actor(stage, kind=kind, ops={op_class: stage_ops[stage]})
+        if previous is not None:
+            g.add_channel(previous, stage, token_size=256.0)
+        previous = stage
+    return ApplicationModel(name=name, graph=g, required_rate_hz=rate_hz)

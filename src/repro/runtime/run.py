@@ -7,9 +7,16 @@
     python -m repro.runtime.run surveillance --set cameras=8 --set frames=24
     python -m repro.runtime.run transcode_farm --no-cache
     python -m repro.runtime.run videoconferencing --map
+    python -m repro.runtime.run dvr --scheduler edf
+    python -m repro.runtime.run surveillance --scheduler platform --json
 
 ``--set key=value`` overrides a scenario parameter (ints stay ints);
 ``--no-cache`` disables the shared segment cache to expose its benefit;
+``--scheduler`` picks the virtual-time policy (default: the device's
+contract, see :data:`repro.core.scenarios.RUNTIME_CONTRACTS`);
+``--platform`` names an SoC preset for the ``platform`` scheduler;
+``--admission`` controls the start-up schedulability gate;
+``--json`` emits the engine report as machine-readable JSON;
 ``--map`` additionally binds the scenario's device task graphs onto the
 device's SoC preset and reports how many concurrent streams the mapping
 sustains (:func:`repro.mapping.evaluate.sustainable_streams`).
@@ -18,14 +25,17 @@ sustains (:func:`repro.mapping.evaluate.sustainable_streams`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..core import ALL_SCENARIOS, EXTENDED_SCENARIOS, MultimediaSystem
 from ..core.metrics import render_table
 from ..mapping import evaluate_mapping, run_mapper, sustainable_streams
+from ..mpsoc.presets import DEVICE_PRESETS
 from .cache import SegmentCache
-from .engine import StreamEngine, measured_application
+from .engine import AdmissionError, StreamEngine, measured_application
 from .scenarios import REGISTRY, Scenario
+from .schedulers import SCHEDULERS, make_scheduler
 
 
 def _parse_value(text: str):
@@ -53,15 +63,24 @@ def list_scenarios() -> str:
             sc.name,
             ", ".join(f"{k}={v}" for k, v in sc.defaults.items()) or "-",
             sc.device or "-",
+            sc.default_scheduler,
             sc.description,
         ]
         for sc in sorted(REGISTRY, key=lambda s: s.name)
     ]
     return render_table(
-        ["scenario", "parameters", "device", "description"],
+        ["scenario", "parameters", "device", "scheduler", "description"],
         rows,
         title=f"{len(REGISTRY)} registered scenarios",
     )
+
+
+def _device_platform(scenario: Scenario):
+    """The scenario's device SoC preset, or ``None`` if deviceless."""
+    if not scenario.device:
+        return None
+    factories = {**ALL_SCENARIOS, **EXTENDED_SCENARIOS}
+    return factories[scenario.device]().platform
 
 
 def run_scenario(
@@ -70,56 +89,118 @@ def run_scenario(
     use_cache: bool = True,
     cache_capacity: int = 256,
     do_map: bool = False,
-    out=sys.stdout,
+    scheduler: str | None = None,
+    platform_name: str | None = None,
+    admission: str = "warn",
+    json_out: bool = False,
+    out=None,
 ):
     """Build, run, and report one scenario; returns the engine report."""
+    if out is None:
+        out = sys.stdout  # resolved late so capture/redirection works
     scenario: Scenario = REGISTRY.get(name)
     sessions = scenario.sessions(**(overrides or {}))
+    scheduler_name = scheduler or scenario.default_scheduler
+    platform = None
+    if platform_name is not None and scheduler_name != "platform":
+        raise ValueError(
+            f"--platform only applies to the 'platform' scheduler "
+            f"(the effective scheduler here is {scheduler_name!r}; "
+            f"add --scheduler platform)"
+        )
+    if platform_name is not None:
+        try:
+            platform = DEVICE_PRESETS[platform_name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown platform preset {platform_name!r}; "
+                f"available: {sorted(DEVICE_PRESETS)}"
+            ) from None
+    elif scheduler_name == "platform":
+        platform = _device_platform(scenario)
     engine = StreamEngine(
         sessions,
         cache=SegmentCache(capacity=cache_capacity),
         use_cache=use_cache,
+        scheduler=make_scheduler(scheduler_name, platform=platform),
+        admission=admission,
     )
     report = engine.run()
+    map_data = None
+    if do_map and scenario.device:
+        map_data = _map_measured_sessions(scenario, sessions)
+
+    if json_out:
+        payload = report.to_dict()
+        payload["scenario"] = scenario.name
+        if do_map:
+            # Fold the mapping results into the same JSON object so
+            # --json stays a single machine-readable document.
+            payload["map"] = None if map_data is None else {
+                "device": map_data["device"].name,
+                "platform": map_data["device"].platform.name,
+                "device_period_s": map_data["system_report"]
+                .evaluation.period_s,
+                "sessions": [
+                    {
+                        "name": name_,
+                        "kind": kind,
+                        "period_s": period_s,
+                        "streams_at_15hz": streams,
+                    }
+                    for name_, kind, period_s, streams
+                    in map_data["rows"]
+                ],
+            }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return report
+
     print(f"scenario: {scenario.name} — {scenario.description}", file=out)
     print(report.render(), file=out)
-
-    if do_map and scenario.device:
-        factories = {**ALL_SCENARIOS, **EXTENDED_SCENARIOS}
-        device = factories[scenario.device]()
-        system = MultimediaSystem(
-            device.name, [device.application], device.platform
-        )
-        mapped = system.map(algorithm="greedy", iterations=3)
+    if map_data is not None:
         print(file=out)
-        print(mapped.summary(), file=out)
-        rows = []
-        for session in sessions:
-            if not session.frames_done or not session.ops_per_frame():
-                continue
-            app = measured_application(session, rate_hz=15.0)
-            problem = app.problem(device.platform)
-            result = run_mapper(problem, "greedy")
-            ev = evaluate_mapping(problem, result.mapping, iterations=3)
-            rows.append([
-                session.name,
-                session.kind,
-                f"{ev.period_s * 1e3:.3f}",
-                sustainable_streams(ev, 15.0),
-            ])
-        if rows:
+        print(map_data["system_report"].summary(), file=out)
+        if map_data["rows"]:
             print(file=out)
             print(render_table(
                 ["session", "kind", "period (ms)", "streams @15Hz"],
-                rows,
+                [
+                    [name_, kind, f"{period_s * 1e3:.3f}", streams]
+                    for name_, kind, period_s, streams in map_data["rows"]
+                ],
                 title=(
                     f"measured session profiles mapped on "
-                    f"{device.platform.name}"
+                    f"{map_data['device'].platform.name}"
                 ),
             ), file=out)
     elif do_map:
         print(f"(scenario {name!r} has no mappable device)", file=out)
     return report
+
+
+def _map_measured_sessions(scenario: Scenario, sessions):
+    """Map the device graphs and each measured session profile (--map)."""
+    factories = {**ALL_SCENARIOS, **EXTENDED_SCENARIOS}
+    device = factories[scenario.device]()
+    system = MultimediaSystem(
+        device.name, [device.application], device.platform
+    )
+    system_report = system.map(algorithm="greedy", iterations=3)
+    rows = []
+    for session in sessions:
+        if not session.frames_done or not session.ops_per_frame():
+            continue
+        app = measured_application(session, rate_hz=15.0)
+        problem = app.problem(device.platform)
+        result = run_mapper(problem, "greedy")
+        ev = evaluate_mapping(problem, result.mapping, iterations=3)
+        rows.append((
+            session.name,
+            session.kind,
+            ev.period_s,
+            sustainable_streams(ev, 15.0),
+        ))
+    return {"device": device, "system_report": system_report, "rows": rows}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -151,6 +232,35 @@ def main(argv: list[str] | None = None) -> int:
         help="segment cache entries (default 256)",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default=None,
+        help="virtual-time scheduling policy "
+        "(default: the device's runtime contract)",
+    )
+    parser.add_argument(
+        "--platform",
+        dest="platform_name",
+        default=None,
+        metavar="PRESET",
+        help="SoC preset for the 'platform' scheduler "
+        f"(one of {', '.join(sorted(DEVICE_PRESETS))}; "
+        "default: the scenario's device SoC)",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=["off", "warn", "strict"],
+        default="warn",
+        help="start-up schedulability gate on the rated sessions "
+        "(default warn)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="emit the engine report as JSON",
+    )
+    parser.add_argument(
         "--map",
         dest="do_map",
         action="store_true",
@@ -168,7 +278,14 @@ def main(argv: list[str] | None = None) -> int:
             use_cache=not args.no_cache,
             cache_capacity=args.cache_capacity,
             do_map=args.do_map,
+            scheduler=args.scheduler,
+            platform_name=args.platform_name,
+            admission=args.admission,
+            json_out=args.json_out,
         )
+    except AdmissionError as exc:
+        print(f"admission rejected:\n{exc}", file=sys.stderr)
+        return 3
     except (KeyError, TypeError, ValueError) as exc:
         # Bad scenario name or parameter (unknown key, wrong type like
         # --set cameras=2.5): a usage error, not a crash.

@@ -57,6 +57,20 @@ class Scenario:
     #: Key into ``ALL_SCENARIOS``/``EXTENDED_SCENARIOS`` for ``--map``.
     device: str | None = None
 
+    @property
+    def contract(self):
+        """The device's runtime contract (rates + default scheduler), or
+        ``None`` for deviceless scenarios (which then run best-effort
+        under the legacy round-robin)."""
+        from ..core.scenarios import RUNTIME_CONTRACTS
+
+        return RUNTIME_CONTRACTS.get(self.device) if self.device else None
+
+    @property
+    def default_scheduler(self) -> str:
+        contract = self.contract
+        return contract.scheduler if contract else "roundrobin"
+
     def sessions(self, **overrides) -> list[MediaSession]:
         params = dict(self.defaults)
         unknown = set(overrides) - set(params)
@@ -66,7 +80,13 @@ class Scenario:
                 f"available: {sorted(params)}"
             )
         params.update(overrides)
-        return self.build(**params)
+        sessions = self.build(**params)
+        contract = self.contract
+        if contract is not None:
+            for session in sessions:
+                if session.rate_hz is None:
+                    session.rate_hz = contract.rate_for(session.kind)
+        return sessions
 
 
 class ScenarioRegistry:

@@ -24,6 +24,7 @@ Segment granularity is what makes the runtime compose:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields
 
 import numpy as np
@@ -63,6 +64,59 @@ def merge_ops(into: dict[str, float], extra: dict[str, float]) -> dict[str, floa
     return into
 
 
+def coded_segment_frames(data: bytes) -> int | None:
+    """Frame count from a coded segment's header, without decoding.
+
+    The Figure-1 bitstream opens magic(16) version(4) width(16)
+    height(16) block(8) frames(16); reading that prefix is what lets a
+    decode/transcode session derive exact arrival times and deadlines for
+    coded inputs (a real decoder learns the same from its container).
+    Returns ``None`` for anything that is not a valid stream.
+    """
+    from ..video.bitstream import BitReader
+    from ..video.encoder import MAGIC, VERSION
+
+    if len(data) < 10:  # 76 header bits
+        return None
+    reader = BitReader(data)
+    if reader.read_bits(16) != MAGIC or reader.read_bits(4) != VERSION:
+        return None
+    reader.read_bits(16)  # width
+    reader.read_bits(16)  # height
+    reader.read_bits(8)  # block size
+    return max(1, reader.read_bits(16))
+
+
+@dataclass
+class SegmentTiming:
+    """Virtual-time record of one segment's trip through the engine.
+
+    ``arrival`` is when the segment's input finished arriving at the
+    session's contracted rate (0 for unrated sessions); ``deadline``
+    grants one segment-period of latency budget past the arrival
+    (``inf`` for unrated sessions, which can never miss).
+    """
+
+    index: int
+    frames: int
+    start: float
+    finish: float
+    arrival: float
+    deadline: float
+    from_cache: bool = False
+
+    @property
+    def missed(self) -> bool:
+        return self.finish > self.deadline + 1e-9
+
+    @property
+    def latency(self) -> float:
+        """Completion latency past input arrival (service time if unrated)."""
+        if math.isinf(self.deadline):
+            return self.finish - self.start
+        return max(0.0, self.finish - self.arrival)
+
+
 def frames_payload(frames) -> bytes:
     """Raw bytes identifying a frame batch (shape-prefixed, row-major)."""
     parts = []
@@ -78,11 +132,21 @@ class MediaSession:
 
     kind = "media"
 
-    def __init__(self, name: str) -> None:
+    #: Fallback segment length (frames) when a session cannot know its next
+    #: batch size up front (coded inputs reveal frames only after decode).
+    nominal_segment_frames = 8
+
+    def __init__(self, name: str, rate_hz: float | None = None) -> None:
         self.name = name
         self.segments: list[SegmentResult] = []
         self.segments_computed = 0
         self.segments_from_cache = 0
+        #: Contracted output rate in frames/s; ``None`` means best-effort
+        #: (no release gating, no deadlines).  Scenario rate contracts
+        #: (:data:`repro.core.scenarios.RUNTIME_CONTRACTS`) fill this in.
+        self.rate_hz = rate_hz
+        #: Virtual-time log, one :class:`SegmentTiming` per finished segment.
+        self.timings: list[SegmentTiming] = []
 
     # -- subclass surface --------------------------------------------------
 
@@ -137,6 +201,96 @@ class MediaSession:
             pass
         return self
 
+    # -- virtual-time hooks ------------------------------------------------
+
+    def expected_segment_frames(self) -> int:
+        """Best estimate of the next segment's frame count (for release and
+        deadline derivation before the segment has actually run)."""
+        if self.segments:
+            return max(1, self.segments[-1].frames)
+        return self.nominal_segment_frames
+
+    def deadline_for(self, frame_index: int) -> float:
+        """Virtual-time deadline of the ``frame_index``-th output frame."""
+        if not self.rate_hz or self.rate_hz <= 0:
+            return math.inf
+        return frame_index / self.rate_hz
+
+    def next_release(self) -> float:
+        """When the next segment's input finishes arriving (0 if unrated)."""
+        if not self.rate_hz or self.rate_hz <= 0:
+            return 0.0
+        return (self.frames_done + self.expected_segment_frames()) / self.rate_hz
+
+    def next_deadline(self) -> float:
+        """Deadline of the next segment: arrival plus one segment-period."""
+        if not self.rate_hz or self.rate_hz <= 0:
+            return math.inf
+        step = self.expected_segment_frames()
+        return (self.frames_done + 2 * step) / self.rate_hz
+
+    def record_timing(
+        self, start: float, finish: float, from_cache: bool = False
+    ) -> SegmentTiming:
+        """Log the just-appended segment's virtual-time window."""
+        if not self.segments:
+            raise ValueError("no segment to time; call step() first")
+        seg = self.segments[-1]
+        if self.rate_hz and self.rate_hz > 0:
+            arrival = self.frames_done / self.rate_hz
+            deadline = arrival + seg.frames / self.rate_hz
+        else:
+            arrival, deadline = start, math.inf
+        timing = SegmentTiming(
+            index=len(self.segments) - 1,
+            frames=seg.frames,
+            start=start,
+            finish=finish,
+            arrival=arrival,
+            deadline=deadline,
+            from_cache=from_cache,
+        )
+        self.timings.append(timing)
+        return timing
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        """Declared per-segment operation estimate for admission control.
+
+        Coarse, analytic, and available *before* the session has run —
+        subclasses return a stage-keyed profile (same keys as the
+        measured ``stage_ops``) whose total lands within roughly 2x of
+        the measured numbers, so platform-aware admission can map the
+        estimate onto accelerators.  ``None`` exempts the session from
+        admission.
+        """
+        return None
+
+    def estimated_segment_ops(self) -> float | None:
+        """Scalar form of :meth:`estimated_stage_ops` (total ops)."""
+        profile = self.estimated_stage_ops()
+        if not profile:
+            return None
+        return sum(profile.values())
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for t in self.timings if t.missed)
+
+    @property
+    def deadlines(self) -> int:
+        """Rated segments (the denominator for the miss rate)."""
+        return sum(1 for t in self.timings if not math.isinf(t.deadline))
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.timings:
+            return 0.0
+        return sum(t.latency for t in self.timings) / len(self.timings)
+
+    @property
+    def max_latency_s(self) -> float:
+        return max((t.latency for t in self.timings), default=0.0)
+
     # -- accounting --------------------------------------------------------
 
     @property
@@ -188,6 +342,15 @@ class _FrameFedSession(MediaSession):
     def _payload(self, batch) -> bytes:
         return frames_payload(batch)
 
+    def expected_segment_frames(self) -> int:
+        remaining = len(self.frames) - self._cursor
+        if remaining <= 0:
+            return max(1, self.segment_frames)
+        return min(self.segment_frames, remaining)
+
+    def _pixels_per_frame(self) -> float:
+        return float(np.asarray(self.frames[0]).size) if self.frames else 0.0
+
 
 class VideoEncodeSession(_FrameFedSession):
     """Encode a frame feed GOP-by-GOP through the Figure-1 encoder.
@@ -213,6 +376,27 @@ class VideoEncodeSession(_FrameFedSession):
         if segment_frames is None:
             segment_frames = self.config.gop_size
         super().__init__(name, frames, segment_frames)
+
+    #: Declared encode cost per pixel by motion-search algorithm, within
+    #: ~2x of the measured stage_ops totals (full search scales with the
+    #: window; the fast searches visit a near-constant candidate count).
+    _OPS_PER_PIXEL = {"three_step": 70.0, "diamond": 50.0, "none": 30.0}
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        px = self._pixels_per_frame() * self.expected_segment_frames()
+        if self.config.search_algorithm == "full":
+            window = (2 * self.config.search_range + 1) ** 2
+            per_px = 0.9 * window + 12.0
+        else:
+            per_px = self._OPS_PER_PIXEL.get(self.config.search_algorithm, 70.0)
+        # The non-ME tail (~12 ops/px) splits across transform, quantize
+        # and entropy stages; everything above it is motion search.
+        return {
+            "motion_estimation": max(per_px - 12.0, 0.0) * px,
+            "dct": 8.0 * px,
+            "quantize": 2.0 * px,
+            "vlc": 2.0 * px,
+        }
 
     def _fingerprint(self) -> str:
         return config_fingerprint(self.config)
@@ -255,6 +439,26 @@ class VideoDecodeSession(MediaSession):
 
     def _payload(self, batch) -> bytes:
         return batch
+
+    def expected_segment_frames(self) -> int:
+        if self._cursor < len(self.coded_segments):
+            frames = coded_segment_frames(self.coded_segments[self._cursor])
+            if frames is not None:
+                return frames
+        return super().expected_segment_frames()
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        if not self.coded_segments:
+            return None
+        # ~25 ops per coded bit across the decode chain, roughly.
+        mean_bits = 8.0 * sum(
+            len(s) for s in self.coded_segments
+        ) / len(self.coded_segments)
+        return {
+            "vld": 6.0 * mean_bits,
+            "inverse_dct": 10.0 * mean_bits,
+            "motion_compensation": 9.0 * mean_bits,
+        }
 
     def _fingerprint(self) -> str:
         return "VideoDecoder()"
@@ -308,6 +512,22 @@ class AudioEncodeSession(MediaSession):
     def _payload(self, batch) -> bytes:
         return np.ascontiguousarray(batch).tobytes()
 
+    def expected_segment_frames(self) -> int:
+        remaining = self.pcm.size - self._cursor
+        samples = min(self.segment_samples, remaining) if remaining > 0 \
+            else self.segment_samples
+        return max(1, math.ceil(samples / self.config.samples_per_frame))
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        remaining = self.pcm.size - self._cursor
+        samples = min(self.segment_samples, remaining) if remaining > 0 \
+            else self.segment_samples
+        # ~200 ops per sample: polyphase filterbank plus masking model.
+        return {
+            "filterbank": 120.0 * samples,
+            "psychoacoustic": 80.0 * samples,
+        }
+
     def _fingerprint(self) -> str:
         return config_fingerprint(self.config)
 
@@ -356,6 +576,31 @@ class TranscodeSession(MediaSession):
     def _payload(self, batch) -> bytes:
         return batch
 
+    def expected_segment_frames(self) -> int:
+        if self._cursor < len(self.coded_segments):
+            frames = coded_segment_frames(self.coded_segments[self._cursor])
+            if frames is not None:
+                return frames
+        return super().expected_segment_frames()
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        if not self.coded_segments:
+            return None
+        # ~60 ops per coded bit: the full decode chain plus a fast-search
+        # re-encode of the recovered frames.
+        mean_bits = 8.0 * sum(
+            len(s) for s in self.coded_segments
+        ) / len(self.coded_segments)
+        return {
+            "vld": 6.0 * mean_bits,
+            "inverse_dct": 10.0 * mean_bits,
+            "motion_compensation": 9.0 * mean_bits,
+            "motion_estimation": 20.0 * mean_bits,
+            "dct": 10.0 * mean_bits,
+            "quantize": 2.5 * mean_bits,
+            "vlc": 2.5 * mean_bits,
+        }
+
     def _fingerprint(self) -> str:
         return config_fingerprint(self.out_config)
 
@@ -399,6 +644,11 @@ class AnalysisSession(_FrameFedSession):
         super().__init__(name, frames, segment_frames)
         self.black = BlackFrameDetector(luma_threshold=black_threshold)
         self.shots = ShotBoundaryDetector()
+
+    def estimated_stage_ops(self) -> dict[str, float] | None:
+        frames = self.expected_segment_frames()
+        px = self._pixels_per_frame() * frames
+        return {"alu": 4.2 * px + 64.0 * frames, "mem": 2.0 * px}
 
     def _fingerprint(self) -> str:
         return f"analysis(black={self.black.luma_threshold!r})"

@@ -65,6 +65,55 @@ class TestSegmentCache:
         with pytest.raises(ValueError):
             SegmentCache(capacity=-1)
 
+    def test_interleaved_sessions_evict_in_access_order(self):
+        # Two "sessions" (a*, b*) interleave puts; eviction follows access
+        # recency across sessions, not insertion per session.
+        cache = SegmentCache(capacity=3)
+        cache.put("a1", 1)
+        cache.put("b1", 2)
+        cache.put("a2", 3)
+        assert cache.get("a1") == 1  # refresh: b1 is now the LRU entry
+        cache.put("b2", 4)
+        assert "b1" not in cache
+        assert all(k in cache for k in ("a1", "a2", "b2"))
+        assert cache.stats.evictions == 1
+        cache.put("a3", 5)  # oldest unrefreshed entry (a2) goes next
+        assert "a2" not in cache
+        assert "a1" in cache
+        assert len(cache) == 3
+
+    def test_capacity_accounting_under_interleaving(self):
+        cache = SegmentCache(capacity=2)
+        for i in range(10):  # three sessions' keys arrive interleaved
+            cache.put(f"s{i % 3}:{i}", i)
+            assert len(cache) <= 2
+        assert cache.stats.evictions == 8
+        # Re-putting an existing key refreshes in place, no phantom entry.
+        cache.put("x", 1)
+        cache.put("x", 2)
+        assert cache.get("x") == 2
+        assert len(cache) == 2
+
+    def test_engine_eviction_under_interleaved_sessions(self):
+        # Four cameras alternate between two feeds; a one-entry cache
+        # thrashes (each session evicts the other feed's segment) while
+        # two entries serve both.
+        cfg = EncoderConfig(gop_size=8)
+        feeds = [int_frames(8, seed=s) for s in (0, 1)]
+
+        def build():
+            return [
+                VideoEncodeSession(f"cam{i}", feeds[i % 2], cfg)
+                for i in range(4)
+            ]
+
+        thrash = StreamEngine(build(), cache=SegmentCache(capacity=1)).run()
+        assert thrash.cache.hits == 0
+        assert thrash.cache.evictions == 3
+        roomy = StreamEngine(build(), cache=SegmentCache(capacity=2)).run()
+        assert roomy.cache.hits == 2
+        assert roomy.cache.evictions == 0
+
     def test_keys_separate_kind_config_payload(self):
         base = segment_key("video", "cfg1", b"x")
         assert segment_key("audio", "cfg1", b"x") != base
@@ -248,6 +297,47 @@ class TestCacheAccounting:
                 VideoEncodeSession("dup", frames),
                 VideoEncodeSession("dup", frames),
             ])
+
+
+class TestEngineReport:
+    def _report(self):
+        frames = int_frames(8, seed=2)
+        engine = StreamEngine([
+            VideoEncodeSession("enc", frames, EncoderConfig(gop_size=4)),
+            VideoEncodeSession("dup", frames, EncoderConfig(gop_size=4)),
+        ])
+        return engine.run()
+
+    def test_render_has_sessions_cache_and_scheduler_lines(self):
+        text = self._report().render()
+        assert "enc" in text and "dup" in text
+        assert "cache:" in text
+        assert "scheduler: roundrobin" in text
+        assert "cache%" in text and "miss" in text and "lat(ms)" in text
+
+    def test_render_unrated_sessions_show_dashes(self):
+        text = self._report().render()
+        # No rate contract: the rate and miss columns are placeholders.
+        row = next(l for l in text.splitlines() if l.startswith("enc"))
+        assert "| -" in row
+
+    def test_render_counts_match_summaries(self):
+        report = self._report()
+        text = report.render()
+        assert f"{len(report.sessions)} sessions" in text
+        assert f"{report.total_frames} frames" in text
+        assert f"{report.cache.hits} hits" in text
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        report = self._report()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["scheduler"] == "roundrobin"
+        assert payload["total_frames"] == report.total_frames
+        assert {s["name"] for s in payload["sessions"]} == {"enc", "dup"}
+        assert payload["cache"]["hits"] == report.cache.hits
+        assert payload["admission"] is None
 
 
 class TestMeasuredMapping:
