@@ -3,7 +3,10 @@
 Reuses the video substrate's stages — 8x8 DCT, quality-scaled quantization
 matrix, zig-zag, run-length, canonical Huffman — in an intra-only image
 pipeline.  This is the "DCT-based encoding" whose block-edge artifacts the
-paper contrasts with wavelets.
+paper contrasts with wavelets.  Like the video codec, it runs the whole
+image through the frame-batched block pipeline by default
+(:mod:`repro.video.blockpipe`, experiment R6) with the scalar loop kept as
+the bit-identical reference.
 """
 
 from __future__ import annotations
@@ -14,6 +17,13 @@ import numpy as np
 
 from ..video import codec_tables as tables
 from ..video.bitstream import BitReader, BitWriter
+from ..video.blockpipe import (
+    plane_to_vectors,
+    read_plane_vectors,
+    resolve_batched,
+    vectors_to_plane,
+    write_plane_vectors,
+)
 from ..video.dct import dct_2d, idct_2d
 from ..video.frames import pad_to_multiple
 from ..video.quant import INTRA_BASE, dequantize, quantize, scaled_matrix
@@ -41,7 +51,15 @@ class EncodedImage:
 
 
 class JpegLikeCodec:
-    """Intra-only 8x8 DCT codec for greyscale images in [0, 255]."""
+    """Intra-only 8x8 DCT codec for greyscale images in [0, 255].
+
+    ``batched`` picks the block pipeline (frame-granularity batched chain
+    vs the scalar reference loop); both produce bit-identical streams.
+    ``None`` defers to :func:`repro.video.blockpipe.batched_default`.
+    """
+
+    def __init__(self, batched: bool | None = None) -> None:
+        self.batched = resolve_batched(batched)
 
     def encode(self, image: np.ndarray, quality: int = 75) -> EncodedImage:
         image = np.asarray(image, dtype=np.float64)
@@ -59,6 +77,20 @@ class JpegLikeCodec:
         writer.write_bits(height, 16)
         writer.write_bits(quality, 7)
 
+        if self.batched:
+            _, vectors = plane_to_vectors(padded - 128.0, matrix, BLOCK)
+            write_plane_vectors(writer, vectors, BLOCK, 0)
+        else:
+            self._encode_blocks_reference(writer, padded, matrix)
+        writer.align()
+        return EncodedImage(
+            data=writer.getvalue(), width=width, height=height, quality=quality
+        )
+
+    def _encode_blocks_reference(
+        self, writer: BitWriter, padded: np.ndarray, matrix: np.ndarray
+    ) -> None:
+        """Scalar block-at-a-time coder: the equivalence oracle."""
         ac_codec = tables.default_ac_codec(BLOCK)
         dc_codec = tables.default_dc_codec(BLOCK)
         eob = tables.eob_symbol(BLOCK)
@@ -83,10 +115,6 @@ class JpegLikeCodec:
                         tables.pack_ac(event.run, cat), writer
                     )
                     tables.encode_magnitude(event.level, writer)
-        writer.align()
-        return EncodedImage(
-            data=writer.getvalue(), width=width, height=height, quality=quality
-        )
 
     def decode(self, encoded: EncodedImage | bytes) -> np.ndarray:
         data = encoded.data if isinstance(encoded, EncodedImage) else encoded
@@ -101,10 +129,36 @@ class JpegLikeCodec:
 
         pad_h = -(-height // BLOCK) * BLOCK
         pad_w = -(-width // BLOCK) * BLOCK
-        out = np.empty((pad_h, pad_w))
         ac_codec = tables.default_ac_codec(BLOCK)
         dc_codec = tables.default_dc_codec(BLOCK)
         eob = tables.eob_symbol(BLOCK)
+        if self.batched:
+            blocks = (pad_h // BLOCK) * (pad_w // BLOCK)
+            vectors, _ = read_plane_vectors(
+                reader, blocks, BLOCK, 0, ac_codec, dc_codec, eob
+            )
+            out = vectors_to_plane(vectors, matrix, BLOCK, (pad_h, pad_w))
+            out += 128.0
+            return np.clip(out[:height, :width], 0.0, 255.0)
+        return self._decode_blocks_reference(
+            reader, height, width, pad_h, pad_w, matrix,
+            ac_codec, dc_codec, eob,
+        )
+
+    def _decode_blocks_reference(
+        self,
+        reader: BitReader,
+        height: int,
+        width: int,
+        pad_h: int,
+        pad_w: int,
+        matrix: np.ndarray,
+        ac_codec,
+        dc_codec,
+        eob: int,
+    ) -> np.ndarray:
+        """Scalar block-at-a-time decode: the equivalence oracle."""
+        out = np.empty((pad_h, pad_w))
         prev_dc = 0
         for y in range(0, pad_h, BLOCK):
             for x in range(0, pad_w, BLOCK):

@@ -14,6 +14,7 @@ as 1/factor on compute-bound mappings, slightly slower when communication
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from ..mpsoc.platform import Platform
@@ -23,7 +24,13 @@ from .evaluate import MappingEvaluation, evaluate_mapping
 
 
 def scaled_platform(platform: Platform, factor: float) -> Platform:
-    """A copy of ``platform`` with every PE's clock scaled by ``factor``."""
+    """A copy of ``platform`` with every PE's clock scaled by ``factor``.
+
+    The interconnect is deep-copied: some interconnects carry mutable
+    state (a mesh NoC's placement registry, for instance), and a DVFS
+    sweep probes many scaled copies — aliasing the nominal platform's
+    interconnect would let one probe's mutations leak into every other.
+    """
     if factor <= 0:
         raise ValueError("DVFS factor must be positive")
     return Platform(
@@ -32,7 +39,7 @@ def scaled_platform(platform: Platform, factor: float) -> Platform:
             Processor(p.pe_id, p.ptype.scaled(factor), p.position)
             for p in platform.processors
         ],
-        interconnect=platform.interconnect,
+        interconnect=copy.deepcopy(platform.interconnect),
         memory_kb=platform.memory_kb,
     )
 
@@ -115,6 +122,21 @@ def reclaim_slack(
             hi = mid
         else:
             lo = mid
+    # The bisection only ever *approaches* ``lo``, so when every probe met
+    # the deadline (lo never moved) ``min_factor`` itself may be feasible
+    # and the converged answer sits ~``tolerance`` above it, leaving energy
+    # on the table.  Probe the endpoint in exactly that case.
+    if lo == min_factor:
+        floor_eval = evaluate_mapping(
+            scaled_problem(problem, min_factor), mapping, iterations=iterations
+        )
+        if floor_eval.period_s <= deadline_s:
+            return DvfsResult(
+                factor=min_factor,
+                nominal=nominal,
+                scaled=floor_eval,
+                deadline_s=deadline_s,
+            )
     return DvfsResult(
         factor=best_factor,
         nominal=nominal,

@@ -24,6 +24,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
+#: Sentinel distinguishing "absent" from a stored ``None``/falsy value in
+#: :meth:`SegmentCache.get` — hit/miss accounting must be correct for every
+#: storable value, not just truthy ones.
+_MISSING = object()
+
+
 def segment_key(kind: str, config_fingerprint: str, payload: bytes) -> str:
     """Digest identifying one unit of cacheable work.
 
@@ -84,9 +90,14 @@ class SegmentCache:
         return key in self._entries
 
     def get(self, key: str):
-        """Return the cached value or ``None``; counts the lookup."""
-        value = self._entries.get(key)
-        if value is None:
+        """Return the cached value or ``None``; counts the lookup.
+
+        Presence is tested with a sentinel, so a stored ``None``, ``0``, or
+        empty container still registers as a hit (and refreshes recency)
+        rather than being miscounted as a miss.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)

@@ -20,6 +20,12 @@ Segment granularity is what makes the runtime compose:
 * cost is observable — each segment carries the measured ``stage_ops``
   profile that the task-graph/DSE models consume (see
   :func:`~repro.runtime.engine.measured_application`).
+
+The codecs the sessions wrap default to the frame-batched block pipeline
+(:mod:`repro.video.blockpipe`); ``stage_ops`` profiles are analytic
+per-block totals, so they are identical whichever pipeline runs — the
+batched path changes wall-clock, never the accounted work (pinned across
+every registered scenario in ``tests/test_video_blockpipe.py``).
 """
 
 from __future__ import annotations

@@ -5,7 +5,18 @@ entropy-coding stages it is built from, and rate/quality metrics.
 """
 
 from .bitstream import BitReader, BitWriter
-from .dct import dct_1d, dct_2d, dct_2d_direct, idct_1d, idct_2d
+from .blockpipe import batched_default, use_batched
+from .dct import (
+    blocked_dct_2d,
+    blocked_idct_2d,
+    dct_1d,
+    dct_2d,
+    dct_2d_direct,
+    idct_1d,
+    idct_2d,
+    tile_blocks,
+    untile_blocks,
+)
 from .decoder import DecodedVideo, VideoDecoder
 from .encoder import EncodedVideo, EncoderConfig, FrameStats, VideoEncoder
 from .frames import Frame, rgb_to_ycbcr, ycbcr_to_rgb
@@ -21,7 +32,8 @@ from .motion import (
 )
 from .quant import INTRA_BASE, INTER_BASE, dequantize, quantize, scaled_matrix
 from .ratecontrol import RateController
-from .zigzag import inverse_zigzag, zigzag
+from .rle import batch_run_levels, encode_blocks
+from .zigzag import inverse_zigzag, inverse_zigzag_blocks, zigzag, zigzag_blocks
 
 __all__ = [
     "BitReader",
@@ -39,18 +51,24 @@ __all__ = [
     "SEARCH_ALGORITHMS",
     "VideoDecoder",
     "VideoEncoder",
+    "batch_run_levels",
+    "batched_default",
     "bitrate_bps",
     "bits_per_pixel",
+    "blocked_dct_2d",
+    "blocked_idct_2d",
     "blockiness",
     "dct_1d",
     "dct_2d",
     "dct_2d_direct",
     "dequantize",
     "diamond_search",
+    "encode_blocks",
     "full_search",
     "idct_1d",
     "idct_2d",
     "inverse_zigzag",
+    "inverse_zigzag_blocks",
     "motion_compensate",
     "mse",
     "psnr",
@@ -59,6 +77,10 @@ __all__ = [
     "scaled_matrix",
     "sequence_psnr",
     "three_step_search",
+    "tile_blocks",
+    "untile_blocks",
+    "use_batched",
     "ycbcr_to_rgb",
     "zigzag",
+    "zigzag_blocks",
 ]

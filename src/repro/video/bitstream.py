@@ -10,6 +10,8 @@ vectors, where small magnitudes dominate).
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class BitWriter:
     """Accumulates bits MSB-first and exposes the packed bytes."""
@@ -33,13 +35,66 @@ class BitWriter:
             self._nbits = 0
 
     def write_bits(self, value: int, width: int) -> None:
-        """Append ``width`` bits of the unsigned integer ``value``, MSB first."""
+        """Append ``width`` bits of the unsigned integer ``value``, MSB first.
+
+        Packs whole fields at once (shift-accumulate, byte-at-a-time flush)
+        rather than looping bit by bit; the emitted bit sequence is identical
+        to ``width`` successive :meth:`write_bit` calls.
+        """
         if width < 0:
             raise ValueError(f"width must be non-negative, got {width}")
         if value < 0 or (width < 64 and value >= (1 << width)):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        accum = (self._accum << width) | value
+        nbits = self._nbits + width
+        buffer = self._buffer
+        while nbits >= 8:
+            nbits -= 8
+            buffer.append((accum >> nbits) & 0xFF)
+        self._accum = accum & ((1 << nbits) - 1)
+        self._nbits = nbits
+
+    def write_many(self, values, widths) -> None:
+        """Append a sequence of ``(value, width)`` fields in order.
+
+        The bulk entry point of the batched entropy coders: callers
+        pre-compute every field of a plane (Huffman codes with magnitude
+        bits already appended) and hand the two parallel sequences over in
+        one call.  The whole run — including any pending partial byte — is
+        packed vectorized (``np.packbits``) instead of looping per field,
+        and the result is bit-identical to calling :meth:`write_bits` per
+        pair.  Fields are limited to 63 bits (int64 assembly); every code
+        the entropy coders emit is far narrower.
+        """
+        vals = np.asarray(values, dtype=np.int64)
+        ws = np.asarray(widths, dtype=np.int64)
+        if vals.shape != ws.shape or vals.ndim != 1:
+            raise ValueError("values and widths must be 1-D and equal length")
+        if np.any((ws < 0) | (ws > 63)):
+            raise ValueError("field widths must be in 0..63")
+        if np.any((vals < 0) | (vals >> ws)):
+            raise ValueError("every value must fit its field width")
+        if self._nbits:
+            # Fold the pending partial byte in as a leading field.
+            vals = np.concatenate(([self._accum], vals))
+            ws = np.concatenate(([self._nbits], ws))
+        total = int(ws.sum())
+        if not total:
+            return
+        # One flat bit array: bit k of field f is (value >> (width-1-k)) & 1.
+        owner_value = np.repeat(vals, ws)
+        owner_width = np.repeat(ws, ws)
+        starts = np.cumsum(ws) - ws
+        pos = np.arange(total, dtype=np.int64) - np.repeat(starts, ws)
+        bits = ((owner_value >> (owner_width - 1 - pos)) & 1).astype(np.uint8)
+        packed = np.packbits(bits)  # MSB-first, zero-padded tail
+        nfull, rem = divmod(total, 8)
+        self._buffer.extend(packed[:nfull].tobytes())
+        if rem:
+            self._accum = int(packed[nfull]) >> (8 - rem)
+        else:
+            self._accum = 0
+        self._nbits = rem
 
     def write_signed(self, value: int, width: int) -> None:
         """Append a signed integer as ``width``-bit two's complement."""
@@ -110,10 +165,30 @@ class BitReader:
         return bit
 
     def read_bits(self, width: int) -> int:
-        """Read ``width`` bits as an unsigned integer."""
+        """Read ``width`` bits as an unsigned integer.
+
+        Reads byte-at-a-time off the underlying buffer (same bit order as
+        ``width`` successive :meth:`read_bit` calls, just without the
+        per-bit Python loop).
+        """
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        pos = self._pos
+        end = pos + width
+        if end > len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        data = self._data
         value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
+        remaining = width
+        while remaining:
+            byte = data[pos >> 3]
+            offset = pos & 7
+            take = min(8 - offset, remaining)
+            chunk = (byte >> (8 - offset - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            pos += take
+            remaining -= take
+        self._pos = pos
         return value
 
     def read_signed(self, width: int) -> int:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
 from .huffman import HuffmanCodec
 
 #: Magnitude categories 0..15 (JPEG-style: category = bit_length(|level|)).
@@ -59,6 +61,31 @@ def default_dc_codec(block_size: int) -> HuffmanCodec:
 def magnitude_category(value: int) -> int:
     """JPEG-style category: number of bits in |value| (0 for value == 0)."""
     return int(abs(value)).bit_length()
+
+
+#: Category thresholds for the vectorized bit_length: value v has category
+#: k iff 2^(k-1) <= |v| < 2^k, i.e. k thresholds are <= |v|.
+_CATEGORY_THRESHOLDS = 2 ** np.arange(0, 31, dtype=np.int64)
+
+
+def magnitude_categories(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_category` over an integer array."""
+    magnitudes = np.abs(np.asarray(values, dtype=np.int64))
+    return np.searchsorted(
+        _CATEGORY_THRESHOLDS, magnitudes, side="right"
+    ).astype(np.int64)
+
+
+def magnitude_bits(values: np.ndarray, categories: np.ndarray) -> np.ndarray:
+    """Vectorized magnitude payloads, matching :func:`encode_magnitude`.
+
+    Element ``i`` is the ``categories[i]``-bit field ``encode_magnitude``
+    would write for ``values[i]`` (0 — an empty field — when the category
+    is 0, so callers can unconditionally OR it under a Huffman code).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    categories = np.asarray(categories, dtype=np.int64)
+    return np.where(values > 0, values, values + (1 << categories) - 1)
 
 
 def encode_magnitude(value: int, writer) -> None:

@@ -12,7 +12,13 @@ three forms:
 * ``dct_2d`` / ``idct_2d`` — separable 2-D transforms (two 1-D passes),
   the form every practical encoder uses;
 * ``dct_2d_direct`` — the naive O(N^4) 2-D definition, kept as the baseline
-  for the separability benchmark (experiment C3 in DESIGN.md).
+  for the separability benchmark (experiment C3 in DESIGN.md);
+* ``blocked_dct_2d`` / ``blocked_idct_2d`` — frame-granularity batched
+  transforms over an ``(nblocks, n, n)`` tensor (one broadcast matmul pair
+  instead of one matmul pair per block), bit-identical to applying
+  ``dct_2d`` block by block (experiment R6 in DESIGN.md);
+* ``tile_blocks`` / ``untile_blocks`` — the frame <-> block-tensor reshapes
+  the batched pipeline is built on.
 
 Operation-count helpers feed the MPSoC workload models in
 :mod:`repro.video.taskgraph`.
@@ -101,6 +107,77 @@ def dct_2d_direct(block: np.ndarray) -> np.ndarray:
             cos_v = np.cos(math.pi * (2 * jj + 1) * v / (2 * m))
             out[u, v] = cu * cv * float(np.sum(block * cos_u * cos_v))
     return out
+
+
+def tile_blocks(image: np.ndarray, block_size: int) -> np.ndarray:
+    """Tile an image into an ``(nblocks, n, n)`` tensor, row-major block order.
+
+    Block ``(i, j)`` of the image lands at index ``i * (w // n) + j`` — the
+    same visit order as the scalar double loop in :func:`blockwise`, which is
+    what keeps the batched pipeline's entropy stream identical to the
+    reference implementation's.
+    """
+    image = np.ascontiguousarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2-D image, got shape {image.shape}")
+    h, w = image.shape
+    if h % block_size or w % block_size:
+        raise ValueError(
+            f"image {h}x{w} is not a multiple of block size {block_size}"
+        )
+    by, bx = h // block_size, w // block_size
+    return (
+        image.reshape(by, block_size, bx, block_size)
+        .swapaxes(1, 2)
+        .reshape(by * bx, block_size, block_size)
+    )
+
+
+def untile_blocks(blocks: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`tile_blocks`: reassemble ``(nblocks, n, n)`` tiles."""
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 3 or blocks.shape[-2] != blocks.shape[-1]:
+        raise ValueError(
+            f"expected an (nblocks, n, n) tensor, got shape {blocks.shape}"
+        )
+    h, w = shape
+    n = blocks.shape[-1]
+    if h % n or w % n or blocks.shape[0] != (h // n) * (w // n):
+        raise ValueError(
+            f"{blocks.shape[0]} blocks of {n}x{n} do not tile a {h}x{w} image"
+        )
+    by, bx = h // n, w // n
+    return blocks.reshape(by, bx, n, n).swapaxes(1, 2).reshape(h, w)
+
+
+def blocked_dct_2d(blocks: np.ndarray) -> np.ndarray:
+    """Separable 2-D DCT of every block in an ``(nblocks, n, m)`` tensor.
+
+    One broadcast matmul pair transforms the whole frame; NumPy applies the
+    identical per-slice GEMM the 2-D :func:`dct_2d` uses, so the result is
+    bit-identical to transforming each block individually (pinned in
+    ``tests/test_video_blockpipe.py``).
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 3:
+        raise ValueError(
+            f"expected an (nblocks, n, m) tensor, got shape {blocks.shape}"
+        )
+    rows = dct_matrix(blocks.shape[-2])
+    cols = dct_matrix(blocks.shape[-1])
+    return rows @ blocks @ cols.T
+
+
+def blocked_idct_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`blocked_dct_2d` (batched separable type-III DCT)."""
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    if coeffs.ndim != 3:
+        raise ValueError(
+            f"expected an (nblocks, n, m) tensor, got shape {coeffs.shape}"
+        )
+    rows = dct_matrix(coeffs.shape[-2])
+    cols = dct_matrix(coeffs.shape[-1])
+    return rows.T @ coeffs @ cols
 
 
 def blockwise(image: np.ndarray, block_size: int, func) -> np.ndarray:

@@ -14,6 +14,7 @@ import numpy as np
 
 from . import codec_tables as tables
 from .bitstream import BitReader
+from .blockpipe import read_plane_vectors, resolve_batched, vectors_to_plane
 from .dct import idct_2d
 from .encoder import MAGIC, VERSION
 from .frames import Frame
@@ -32,7 +33,16 @@ class DecodedVideo:
 
 
 class VideoDecoder:
-    """Parses and reconstructs streams produced by :class:`VideoEncoder`."""
+    """Parses and reconstructs streams produced by :class:`VideoEncoder`.
+
+    ``batched`` picks the reconstruction pipeline (see
+    :class:`~repro.video.encoder.VideoEncoder`): entropy parsing is serial
+    either way, but the batched path dequantizes, un-scans, and inverse-
+    transforms a whole plane of blocks at once.  Outputs are bit-identical.
+    """
+
+    def __init__(self, batched: bool | None = None) -> None:
+        self.batched = resolve_batched(batched)
 
     def decode(self, data: bytes) -> DecodedVideo:
         reader = BitReader(data)
@@ -140,6 +150,33 @@ class VideoDecoder:
         dc_codec,
         eob: int,
     ) -> tuple[np.ndarray, int]:
+        if not self.batched:
+            return self._decode_plane_reference(
+                reader, height, width, n, matrix, prediction,
+                ac_codec, dc_codec, eob,
+            )
+        blocks = (height // n) * (width // n)
+        vectors, _ = read_plane_vectors(
+            reader, blocks, n, 0, ac_codec, dc_codec, eob
+        )
+        plane = vectors_to_plane(vectors, matrix, n, (height, width))
+        plane += prediction
+        np.clip(plane, 0.0, 255.0, out=plane)
+        return plane, blocks
+
+    def _decode_plane_reference(
+        self,
+        reader: BitReader,
+        height: int,
+        width: int,
+        n: int,
+        matrix: np.ndarray,
+        prediction: np.ndarray,
+        ac_codec,
+        dc_codec,
+        eob: int,
+    ) -> tuple[np.ndarray, int]:
+        """Scalar block-at-a-time plane decode: the equivalence oracle."""
         plane = np.empty((height, width), dtype=np.float64)
         prev_dc = 0
         blocks = 0

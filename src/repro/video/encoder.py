@@ -26,6 +26,12 @@ import numpy as np
 
 from . import codec_tables as tables
 from .bitstream import BitWriter
+from .blockpipe import (
+    levels_to_plane,
+    plane_to_vectors,
+    resolve_batched,
+    write_plane_vectors,
+)
 from .dct import dct_2d, idct_2d
 from .frames import Frame, pad_to_multiple
 from .motion import SEARCH_ALGORITHMS, MotionField, motion_compensate
@@ -127,10 +133,22 @@ def _as_frames(sequence) -> list[Frame]:
 
 
 class VideoEncoder:
-    """Block-transform hybrid encoder (Figure 1 of the paper)."""
+    """Block-transform hybrid encoder (Figure 1 of the paper).
 
-    def __init__(self, config: EncoderConfig | None = None) -> None:
+    ``batched`` selects the block-transform pipeline: the frame-granularity
+    batched chain from :mod:`repro.video.blockpipe` (default) or the scalar
+    block-at-a-time reference loop (``_code_plane_reference``).  Both emit
+    bit-identical streams; ``None`` defers to the module-wide default
+    (:func:`repro.video.blockpipe.batched_default`).
+    """
+
+    def __init__(
+        self,
+        config: EncoderConfig | None = None,
+        batched: bool | None = None,
+    ) -> None:
         self.config = config or EncoderConfig()
+        self.batched = resolve_batched(batched)
         n = self.config.block_size
         self._ac_codec = tables.default_ac_codec(n)
         self._dc_codec = tables.default_dc_codec(n)
@@ -286,7 +304,35 @@ class VideoEncoder:
         prediction: np.ndarray,
         matrix: np.ndarray,
     ) -> tuple[np.ndarray, dict[str, float]]:
-        """Transform-code one plane; return its reconstruction and op counts."""
+        """Transform-code one plane; return its reconstruction and op counts.
+
+        The batched path runs the whole plane through the frame-granularity
+        pipeline; op counts are the same analytic per-block totals as the
+        reference loop (they model the work's size, not the implementation),
+        so runtime stage profiles are unchanged while wall-clock falls.
+        """
+        if not self.batched:
+            return self._code_plane_reference(writer, plane, prediction, matrix)
+        n = self.config.block_size
+        residual = plane - prediction
+        levels, vectors = plane_to_vectors(residual, matrix, n)
+        write_plane_vectors(writer, vectors, n, 0)
+        recon = levels_to_plane(levels, matrix, plane.shape) + prediction
+        np.clip(recon, 0.0, 255.0, out=recon)
+        return recon, self._plane_ops(levels.shape[0])
+
+    def _code_plane_reference(
+        self,
+        writer: BitWriter,
+        plane: np.ndarray,
+        prediction: np.ndarray,
+        matrix: np.ndarray,
+    ) -> tuple[np.ndarray, dict[str, float]]:
+        """Scalar block-at-a-time plane coder: the equivalence oracle.
+
+        Kept as the honest "pure software" baseline the batched pipeline is
+        benchmarked against (experiment R6); outputs are bit-identical.
+        """
         n = self.config.block_size
         residual = plane - prediction
         h, w = plane.shape
@@ -310,13 +356,17 @@ class VideoEncoder:
                 recon[y:y + n, x:x + n] = rec_block
                 blocks += 1
         np.clip(recon, 0.0, 255.0, out=recon)
-        ops = {
+        return recon, self._plane_ops(blocks)
+
+    def _plane_ops(self, blocks: int) -> dict[str, float]:
+        """Analytic per-plane op profile (identical for both pipelines)."""
+        n = self.config.block_size
+        return {
             "dct": float(blocks * 2 * n ** 3),
             "quantize": float(blocks * n * n),
             "inverse_dct": float(blocks * 2 * n ** 3),
             "vlc": float(blocks * n * n),
         }
-        return recon, ops
 
     def _write_block(self, writer: BitWriter, vec: np.ndarray, prev_dc: int) -> int:
         """Entropy-code one zig-zag vector; returns the new DC predictor."""

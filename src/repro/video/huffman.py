@@ -107,6 +107,11 @@ class HuffmanCodec:
     def lengths(self) -> dict[int, int]:
         return dict(self._lengths)
 
+    @property
+    def codes(self) -> dict[int, tuple[int, int]]:
+        """Symbol -> (code value, code width), for bulk table construction."""
+        return dict(self._codes)
+
     def code_for(self, symbol: int) -> tuple[int, int]:
         """Return (code value, code width) for ``symbol``."""
         try:

@@ -55,9 +55,14 @@ def scaled_matrix(base: np.ndarray, quality: int) -> np.ndarray:
 
 
 def quantize(coeffs: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Divide coefficients by the step matrix and round to nearest integer."""
+    """Divide coefficients by the step matrix and round to nearest integer.
+
+    ``coeffs`` may carry leading batch axes (e.g. an ``(nblocks, n, n)``
+    tensor from :func:`repro.video.dct.tile_blocks`); the matrix broadcasts
+    over the block axis, and each block quantizes exactly as it would alone.
+    """
     coeffs = np.asarray(coeffs, dtype=np.float64)
-    if coeffs.shape != matrix.shape:
+    if coeffs.ndim < matrix.ndim or coeffs.shape[-matrix.ndim:] != matrix.shape:
         raise ValueError(
             f"coefficient block {coeffs.shape} does not match matrix {matrix.shape}"
         )
@@ -65,9 +70,12 @@ def quantize(coeffs: np.ndarray, matrix: np.ndarray) -> np.ndarray:
 
 
 def dequantize(levels: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Reconstruct coefficient magnitudes from quantized levels."""
+    """Reconstruct coefficient magnitudes from quantized levels.
+
+    Accepts the same leading batch axes as :func:`quantize`.
+    """
     levels = np.asarray(levels, dtype=np.float64)
-    if levels.shape != matrix.shape:
+    if levels.ndim < matrix.ndim or levels.shape[-matrix.ndim:] != matrix.shape:
         raise ValueError(
             f"level block {levels.shape} does not match matrix {matrix.shape}"
         )

@@ -4,6 +4,13 @@ The variable-length-encode stage of Figure 1 is classically a run-length
 model (runs of zeros between non-zero levels, plus an end-of-block marker)
 followed by entropy coding of the (run, level) events — see
 :mod:`repro.video.huffman`.
+
+:func:`encode_block` is the scalar per-coefficient scan (and the oracle the
+batched pipeline is pinned against); :func:`batch_run_levels` extracts the
+same events for a whole ``(nblocks, length)`` batch of zig-zag vectors in a
+handful of NumPy passes built on ``np.nonzero`` (experiment R6 in
+DESIGN.md), and :func:`encode_blocks` wraps them back into per-block event
+lists when the object form is wanted.
 """
 
 from __future__ import annotations
@@ -45,6 +52,59 @@ def encode_block(vector: np.ndarray) -> list:
             run = 0
     events.append(EOB)
     return events
+
+
+def batch_run_levels(
+    vectors: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized (run, level) extraction over a batch of zig-zag vectors.
+
+    Given an ``(nblocks, length)`` integer array, returns
+    ``(starts, runs, levels)`` where ``runs``/``levels`` are the flat event
+    arrays in stream order and block ``b``'s events occupy
+    ``slice(starts[b], starts[b + 1])``.  The events of row ``b`` match
+    ``encode_block(vectors[b])`` exactly (minus the ``EOB`` terminator):
+    the zero-run before each non-zero level is the gap to the previous
+    non-zero column, computed from ``np.nonzero`` column diffs instead of a
+    per-coefficient Python walk.
+    """
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2:
+        raise ValueError(
+            f"expected an (nblocks, length) batch, got shape {vectors.shape}"
+        )
+    rows, cols = np.nonzero(vectors)
+    levels = vectors[rows, cols]
+    prev_cols = np.empty_like(cols)
+    if cols.size:
+        prev_cols[0] = -1
+        prev_cols[1:] = np.where(rows[1:] == rows[:-1], cols[:-1], -1)
+    runs = cols - prev_cols - 1
+    counts = np.bincount(rows, minlength=vectors.shape[0])
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    return starts, runs, levels
+
+
+def encode_blocks(vectors: np.ndarray) -> list[list]:
+    """Batch form of :func:`encode_block`: one event list per input row.
+
+    Identical output to ``[encode_block(v) for v in vectors]``, with the
+    zero-run scanning done by :func:`batch_run_levels` instead of a Python
+    loop over every coefficient.
+    """
+    vectors = np.asarray(vectors)
+    starts, runs, levels = batch_run_levels(vectors)
+    runs_list = runs.tolist()
+    levels_list = levels.tolist()
+    blocks: list[list] = []
+    for b in range(vectors.shape[0]):
+        events: list = [
+            RunLevel(run=runs_list[k], level=int(levels_list[k]))
+            for k in range(starts[b], starts[b + 1])
+        ]
+        events.append(EOB)
+        blocks.append(events)
+    return blocks
 
 
 def decode_block(events: list, length: int) -> np.ndarray:

@@ -4,6 +4,13 @@ After quantization the non-zero coefficients cluster in the low-frequency
 corner; the zig-zag scan linearizes a 2-D block so those coefficients come
 first and the (mostly zero) high frequencies trail, which is what makes the
 run-length stage in :mod:`repro.video.rle` effective.
+
+The scan is a fixed permutation, so it is implemented as a precomputed flat
+gather (``zigzag_index``) applied with one fancy-indexing operation — per
+block (:func:`zigzag`) or over a whole ``(nblocks, n*n)`` batch at once
+(:func:`zigzag_blocks`).  The original per-coefficient loops are kept as
+``zigzag_reference`` / ``inverse_zigzag_reference``, the equivalence oracles
+for the batched block pipeline (experiment R6 in DESIGN.md).
 """
 
 from __future__ import annotations
@@ -32,8 +39,65 @@ def zigzag_order(n: int) -> tuple[tuple[int, int], ...]:
     return tuple(order)
 
 
+@lru_cache(maxsize=16)
+def zigzag_index(n: int) -> np.ndarray:
+    """Flat gather indices: ``block.reshape(-1)[zigzag_index(n)]`` scans."""
+    return np.array([r * n + c for r, c in zigzag_order(n)], dtype=np.intp)
+
+
+@lru_cache(maxsize=16)
+def inverse_zigzag_index(n: int) -> np.ndarray:
+    """Flat scatter-inverse: ``vector[inverse_zigzag_index(n)]`` unscans."""
+    forward = zigzag_index(n)
+    inverse = np.empty_like(forward)
+    inverse[forward] = np.arange(n * n, dtype=np.intp)
+    return inverse
+
+
 def zigzag(block: np.ndarray) -> np.ndarray:
-    """Flatten a square block into zig-zag order."""
+    """Flatten a square block into zig-zag order (one precomputed gather)."""
+    block = np.asarray(block)
+    n, m = block.shape
+    if n != m:
+        raise ValueError(f"zig-zag scan needs a square block, got {n}x{m}")
+    return block.reshape(-1)[zigzag_index(n)]
+
+
+def inverse_zigzag(vector: np.ndarray, n: int) -> np.ndarray:
+    """Rebuild an ``n`` x ``n`` block from its zig-zag vector."""
+    vector = np.asarray(vector)
+    if vector.size != n * n:
+        raise ValueError(f"vector of {vector.size} entries cannot fill {n}x{n}")
+    return vector.reshape(-1)[inverse_zigzag_index(n)].reshape(n, n)
+
+
+def zigzag_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Zig-zag scan a whole ``(nblocks, n, n)`` tensor into ``(nblocks, n*n)``.
+
+    One batched gather; row ``b`` equals ``zigzag(blocks[b])`` exactly.
+    """
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 3 or blocks.shape[-2] != blocks.shape[-1]:
+        raise ValueError(
+            f"expected an (nblocks, n, n) tensor, got shape {blocks.shape}"
+        )
+    n = blocks.shape[-1]
+    return blocks.reshape(blocks.shape[0], n * n)[:, zigzag_index(n)]
+
+
+def inverse_zigzag_blocks(vectors: np.ndarray, n: int) -> np.ndarray:
+    """Rebuild ``(nblocks, n, n)`` blocks from ``(nblocks, n*n)`` vectors."""
+    vectors = np.asarray(vectors)
+    if vectors.ndim != 2 or vectors.shape[-1] != n * n:
+        raise ValueError(
+            f"expected an (nblocks, {n * n}) batch, got shape {vectors.shape}"
+        )
+    gathered = vectors[:, inverse_zigzag_index(n)]
+    return gathered.reshape(vectors.shape[0], n, n)
+
+
+def zigzag_reference(block: np.ndarray) -> np.ndarray:
+    """Per-coefficient scalar scan: the oracle :func:`zigzag` must match."""
     block = np.asarray(block)
     n, m = block.shape
     if n != m:
@@ -42,8 +106,8 @@ def zigzag(block: np.ndarray) -> np.ndarray:
     return np.array([block[r, c] for r, c in order], dtype=block.dtype)
 
 
-def inverse_zigzag(vector: np.ndarray, n: int) -> np.ndarray:
-    """Rebuild an ``n`` x ``n`` block from its zig-zag vector."""
+def inverse_zigzag_reference(vector: np.ndarray, n: int) -> np.ndarray:
+    """Per-coefficient scalar unscan: oracle for :func:`inverse_zigzag`."""
     vector = np.asarray(vector)
     if vector.size != n * n:
         raise ValueError(f"vector of {vector.size} entries cannot fill {n}x{n}")

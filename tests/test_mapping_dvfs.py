@@ -47,6 +47,22 @@ class TestScaledPlatform:
         with pytest.raises(ValueError):
             scaled_platform(symmetric_multicore(1), 0.0)
 
+    def test_interconnect_not_aliased(self):
+        # Regression: the scaled copy shared the nominal platform's
+        # interconnect object, so probe platforms could mutate shared
+        # state (e.g. a mesh NoC's placement registry) across a sweep.
+        from repro.mpsoc.interconnect import MeshNoC
+
+        nominal = Platform(
+            name="mesh",
+            processors=[Processor(i, DSP) for i in range(4)],
+            interconnect=MeshNoC(width=2, height=2),
+        )
+        scaled = scaled_platform(nominal, 0.5)
+        assert scaled.interconnect is not nominal.interconnect
+        scaled.interconnect.place(0, 1, 1)
+        assert nominal.interconnect.position(0) == (0, 0)
+
     def test_scaled_problem_wcet(self, problem):
         half = scaled_problem(problem, 0.5)
         assert half.wcet("s0", 0) == pytest.approx(2.0 * problem.wcet("s0", 0))
@@ -65,6 +81,21 @@ class TestReclaimSlack:
         nominal = evaluate_mapping(problem, MAPPING)
         result = reclaim_slack(problem, MAPPING, nominal.period_s * 1.01)
         assert result.factor > 0.9
+
+    def test_min_factor_reached_when_deadline_is_loose(self, problem):
+        # Regression: the bisection never probed the lo endpoint, so a
+        # deadline loose enough for min_factor itself still returned a
+        # factor ~tolerance above it, leaving energy on the table.
+        nominal = evaluate_mapping(problem, MAPPING)
+        result = reclaim_slack(
+            problem, MAPPING, nominal.period_s * 1000.0, min_factor=0.1
+        )
+        assert result.factor == 0.1
+        assert result.meets_deadline
+        # The returned evaluation is the min-factor probe, not an estimate.
+        assert result.scaled.period_s == pytest.approx(
+            nominal.period_s / 0.1, rel=0.1
+        )
 
     def test_infeasible_deadline_reports_nominal(self, problem):
         nominal = evaluate_mapping(problem, MAPPING)

@@ -45,6 +45,27 @@ class TestSegmentCache:
         assert cache.stats.misses == 1
         assert cache.stats.hit_rate == 0.5
 
+    def test_falsy_values_still_count_as_hits(self):
+        # Regression: presence must be sentinel-tested, not `is None` /
+        # truthiness, or stored falsy values miscount as misses forever.
+        cache = SegmentCache(capacity=8)
+        for i, value in enumerate((None, 0, b"", [], 0.0)):
+            cache.put(f"k{i}", value)
+            got = cache.get(f"k{i}")
+            assert got == value or (value is None and got is None)
+        assert cache.stats.hits == 5
+        assert cache.stats.misses == 0
+
+    def test_falsy_hit_refreshes_recency(self):
+        cache = SegmentCache(capacity=2)
+        cache.put("a", None)
+        cache.put("b", 1)
+        assert cache.get("a") is None  # hit: refreshes "a", LRU is now "b"
+        cache.put("c", 2)
+        assert "a" in cache
+        assert "b" not in cache
+        assert cache.stats.hits == 1
+
     def test_lru_eviction_order(self):
         cache = SegmentCache(capacity=2)
         cache.put("a", 1)

@@ -179,3 +179,41 @@ class TestRateController:
             RateController(bits_per_frame=-5.0)
         with pytest.raises(ValueError):
             RateController(base_step=1.0, min_step=2.0, max_step=40.0)
+
+    def test_constant_quality_mode_never_mutates_fullness(self):
+        # bits_per_frame=None disables the leaky bucket entirely: no drain,
+        # no fill, no overflow/underflow accounting, occupancy pinned at 0.
+        rc = RateController(bits_per_frame=None, base_step=16.0)
+        for bits in (0.0, 500.0, 1e9):
+            state = rc.frame_coded(bits)
+            assert state.fullness == 0.0
+            assert state.occupancy == 0.0
+            assert not state.overflowed and not state.underflowed
+        assert rc.overflow_events == 0
+        assert rc.underflow_events == 0
+
+    def test_overflow_and_underflow_count_once_per_clamped_frame(self):
+        rc = RateController(bits_per_frame=100.0, buffer_frames=2.0)
+        state = rc.frame_coded(10_000.0)  # slams into the ceiling once
+        assert state.overflowed and not state.underflowed
+        assert (rc.overflow_events, rc.underflow_events) == (1, 0)
+        state = rc.frame_coded(0.0)  # drains 100 bits off a full buffer: fine
+        assert not state.overflowed and not state.underflowed
+        assert (rc.overflow_events, rc.underflow_events) == (1, 0)
+        state = rc.frame_coded(0.0)  # drains exactly to 0: not an underflow
+        assert not state.underflowed
+        assert (rc.overflow_events, rc.underflow_events) == (1, 0)
+        state = rc.frame_coded(0.0)  # now the drain clamps at the floor
+        assert state.underflowed
+        assert (rc.overflow_events, rc.underflow_events) == (1, 1)
+        state = rc.frame_coded(0.0)  # every further clamped frame counts once
+        assert state.underflowed
+        assert (rc.overflow_events, rc.underflow_events) == (1, 2)
+
+    def test_quality_100_scales_matrix_to_all_ones(self):
+        from repro.video.quant import INTRA_BASE, quality_scale, scaled_matrix
+
+        assert quality_scale(100) == 0.0
+        assert np.array_equal(
+            scaled_matrix(INTRA_BASE, 100), np.ones_like(INTRA_BASE)
+        )
