@@ -1,0 +1,95 @@
+"""Batched Figure-2 audio pipeline benchmark (experiment R7 in DESIGN.md).
+
+The claim, mirroring the block-pipeline benchmark (R6): running the whole
+subband encode chain — polyphase framing, FFT masking analysis, greedy
+allocation, quantization, field packing — at segment granularity
+(:mod:`repro.audio.subbandpipe`) is **bit-identical** to the scalar
+frame-at-a-time reference and at least 5x faster on a whole-stream
+encode.  Decode improves less (its parse is frame-serial even with the
+chunked ``read_many`` bulk reads) but is reported alongside.
+
+Besides the printed table, the measurements land in
+``BENCH_audio_pipeline.json`` (CI uploads it as a workflow artifact) so
+the perf trajectory accumulates run over run.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.audio.encoder import AudioDecoder, AudioEncoder, AudioEncoderConfig
+from repro.core import render_table
+from repro.workloads.audio_gen import music_like
+
+#: Where the JSON artifact lands (CI uploads ``BENCH_*.json`` from the
+#: working directory; point BENCH_JSON_DIR elsewhere to redirect).
+JSON_PATH = os.path.join(
+    os.environ.get("BENCH_JSON_DIR", "."), "BENCH_audio_pipeline.json"
+)
+
+
+def best_of(fn, rounds=3):
+    """(best seconds, last result) over ``rounds`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_batched_audio_pipeline_5x_on_whole_stream(benchmark, show):
+    pcm = music_like(duration=1.5, seed=7)  # ~1.5 s of 44.1 kHz music
+    cfg = AudioEncoderConfig(bitrate=128_000)
+    fast_enc = AudioEncoder(cfg, batched=True)
+    ref_enc = AudioEncoder(cfg, batched=False)
+
+    benchmark.pedantic(lambda: fast_enc.encode(pcm), rounds=3, iterations=1)
+    fast_s, fast_out = best_of(lambda: fast_enc.encode(pcm))
+    ref_s, ref_out = best_of(lambda: ref_enc.encode(pcm))
+    encode_speedup = ref_s / fast_s
+
+    # Decode both ways (frame-serial parse, so the win is smaller —
+    # reported, not gated).
+    data = fast_out.data
+    dfast_s, dfast = best_of(lambda: AudioDecoder(batched=True).decode(data))
+    dref_s, dref = best_of(lambda: AudioDecoder(batched=False).decode(data))
+    decode_speedup = dref_s / dfast_s
+
+    rows = [
+        ["whole-stream encode", ref_s * 1e3, fast_s * 1e3, encode_speedup],
+        ["decode", dref_s * 1e3, dfast_s * 1e3, decode_speedup],
+    ]
+    show(render_table(
+        ["path", "reference (ms)", "batched (ms)", "speedup"],
+        rows,
+        title=(
+            f"batched Figure-2 audio pipeline on {pcm.size} samples "
+            f"({len(fast_out.frame_stats)} frames, 128 kb/s)"
+        ),
+    ))
+
+    payload = {
+        "benchmark": "audio_pipeline",
+        "stream": f"{pcm.size} samples at 44.1 kHz, 128 kb/s",
+        "paths": {
+            name: {
+                "reference_ms": ref_ms,
+                "batched_ms": fast_ms,
+                "speedup": speed,
+            }
+            for name, ref_ms, fast_ms, speed in rows
+        },
+    }
+    with open(JSON_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # Identical bits on every path...
+    assert fast_out.data == ref_out.data
+    assert np.array_equal(dfast.pcm, dref.pcm)
+    # ...at (at least) the promised encode speedup.
+    assert encode_speedup >= 5.0, f"only {encode_speedup:.1f}x"

@@ -4,7 +4,14 @@ Public surface: the Figure-2 subband encoder/decoder with psychoacoustic
 bit allocation, the RPE-LTP speech codec, and quality metrics.
 """
 
-from .bitalloc import Allocation, allocate_bits, flat_allocation, quantizer_snr_db
+from .bitalloc import (
+    Allocation,
+    allocate_bits,
+    allocate_bits_batch,
+    allocate_bits_reference,
+    flat_allocation,
+    quantizer_snr_db,
+)
 from .encoder import (
     AudioDecoder,
     AudioEncoder,
@@ -16,6 +23,7 @@ from .encoder import (
 from .filterbank import FilterbankResult, PolyphaseFilterbank, band_energies
 from .metrics import segmental_snr_db, snr_db, spectral_distortion_db
 from .psychoacoustic import (
+    BatchedMaskingAnalysis,
     MaskingAnalysis,
     Masker,
     PsychoacousticModel,
@@ -24,6 +32,7 @@ from .psychoacoustic import (
     threshold_in_quiet,
 )
 from .rpeltp import EncodedSpeech, RpeLtpDecoder, RpeLtpEncoder
+from .subbandpipe import batched_default, resolve_batched, use_batched
 
 __all__ = [
     "Allocation",
@@ -41,10 +50,16 @@ __all__ = [
     "PsychoacousticModel",
     "RpeLtpDecoder",
     "RpeLtpEncoder",
+    "BatchedMaskingAnalysis",
     "allocate_bits",
+    "allocate_bits_batch",
+    "allocate_bits_reference",
     "band_energies",
     "bark",
+    "batched_default",
     "flat_allocation",
+    "resolve_batched",
+    "use_batched",
     "quantizer_snr_db",
     "segmental_snr_db",
     "snr_db",

@@ -42,36 +42,35 @@ def quantizer_snr_db(bits: int) -> float:
     return SNR_PER_BIT * bits
 
 
-def allocate_bits(
-    smr_db: np.ndarray,
-    pool_bits: int,
-    samples_per_band: int,
-    side_bits_per_band: int = 0,
-    max_bits: int = MAX_BITS,
-) -> Allocation:
-    """Greedy MNR-driven allocation.
-
-    Parameters
-    ----------
-    smr_db:
-        Signal-to-mask ratio per subband (dB).  Higher SMR = the band needs
-        more quantizer SNR before its noise drops under the masking curve.
-    pool_bits:
-        Total bits available for samples + per-band side information.
-    samples_per_band:
-        Subband samples carried per frame (12 in our Layer-1-style frames);
-        granting a band one more bit costs ``samples_per_band`` bits.
-    side_bits_per_band:
-        Extra cost charged the first time a band becomes active (its
-        scalefactor field).
-    """
-    smr = np.asarray(smr_db, dtype=np.float64)
+def _check_allocation_args(
+    smr: np.ndarray, pool_bits: int, samples_per_band: int
+) -> None:
     if smr.ndim != 1:
         raise ValueError("smr_db must be a 1-D per-band array")
     if pool_bits < 0:
         raise ValueError("bit pool cannot be negative")
     if samples_per_band <= 0:
         raise ValueError("samples_per_band must be positive")
+
+
+def allocate_bits_reference(
+    smr_db: np.ndarray,
+    pool_bits: int,
+    samples_per_band: int,
+    side_bits_per_band: int = 0,
+    max_bits: int = MAX_BITS,
+) -> Allocation:
+    """Greedy MNR-driven allocation, written the straightforward way.
+
+    Rebuilds the full per-band MNR array and the candidate list on every
+    granted bit — O(bands x granted bits) per frame.  Kept as the pinned
+    oracle for :func:`allocate_bits` (the incremental rewrite) and
+    :func:`allocate_bits_batch` (the lockstep batch form, experiment R7);
+    all three produce identical allocations, identical MNR arrays, and
+    identical spent-bit counts.
+    """
+    smr = np.asarray(smr_db, dtype=np.float64)
+    _check_allocation_args(smr, pool_bits, samples_per_band)
 
     num_bands = smr.size
     bits = np.zeros(num_bands, dtype=np.int64)
@@ -110,6 +109,123 @@ def allocate_bits(
         pool_bits=pool_bits,
         spent_bits=pool_bits - remaining,
     )
+
+
+def allocate_bits(
+    smr_db: np.ndarray,
+    pool_bits: int,
+    samples_per_band: int,
+    side_bits_per_band: int = 0,
+    max_bits: int = MAX_BITS,
+) -> Allocation:
+    """Greedy MNR-driven allocation with an incremental MNR update.
+
+    Identical decisions and outputs to :func:`allocate_bits_reference` —
+    granting a bit changes one band's MNR only, so the loop updates that
+    single entry (``SNR_PER_BIT * bits - smr``, the exact expression the
+    reference evaluates) instead of rebuilding the whole array, and finds
+    the worst affordable band with one vectorized masked argmin.
+
+    Parameters
+    ----------
+    smr_db:
+        Signal-to-mask ratio per subband (dB).  Higher SMR = the band needs
+        more quantizer SNR before its noise drops under the masking curve.
+    pool_bits:
+        Total bits available for samples + per-band side information.
+    samples_per_band:
+        Subband samples carried per frame (12 in our Layer-1-style frames);
+        granting a band one more bit costs ``samples_per_band`` bits.
+    side_bits_per_band:
+        Extra cost charged the first time a band becomes active (its
+        scalefactor field).
+    """
+    smr = np.asarray(smr_db, dtype=np.float64)
+    _check_allocation_args(smr, pool_bits, samples_per_band)
+
+    num_bands = smr.size
+    bits = np.zeros(num_bands, dtype=np.int64)
+    mnr = 0.0 - smr  # quantizer_snr_db(0) == 0.0 for every band
+    remaining = pool_bits
+    while True:
+        cost = np.where(
+            bits == 0, samples_per_band + side_bits_per_band, samples_per_band
+        )
+        affordable = (bits < max_bits) & (cost <= remaining)
+        if not np.any(affordable):
+            break
+        # argmin takes the first minimum, matching the reference's
+        # (mnr, band-index) tie-break.
+        worst = int(np.argmin(np.where(affordable, mnr, np.inf)))
+        if mnr[worst] >= 12.0:
+            break
+        remaining -= int(cost[worst])
+        bits[worst] += 1
+        mnr[worst] = SNR_PER_BIT * bits[worst] - smr[worst]
+    return Allocation(
+        bits=bits,
+        mnr_db=mnr,
+        pool_bits=pool_bits,
+        spent_bits=pool_bits - remaining,
+    )
+
+
+def allocate_bits_batch(
+    smr_db: np.ndarray,
+    pool_bits: int,
+    samples_per_band: int,
+    side_bits_per_band: int = 0,
+    max_bits: int = MAX_BITS,
+) -> list[Allocation]:
+    """Greedy allocation for many frames in lockstep (experiment R7).
+
+    ``smr_db`` is ``(frames, bands)``; every frame shares the same bit
+    pool.  Each pass of the loop grants *every still-active frame* its
+    next bit — the per-frame decision sequence is exactly the reference
+    greedy order (frames are independent), so the result equals calling
+    :func:`allocate_bits_reference` per row, at a cost of one vectorized
+    pass per granted-bit *rank* instead of per (frame, granted bit) pair.
+    """
+    smr = np.asarray(smr_db, dtype=np.float64)
+    if smr.ndim != 2:
+        raise ValueError("smr_db must be a (frames, bands) array")
+    _check_allocation_args(smr[0] if smr.shape[0] else smr.reshape(-1),
+                           pool_bits, samples_per_band)
+
+    num_frames, num_bands = smr.shape
+    bits = np.zeros((num_frames, num_bands), dtype=np.int64)
+    mnr = 0.0 - smr
+    remaining = np.full(num_frames, pool_bits, dtype=np.int64)
+    active = np.ones(num_frames, dtype=bool)
+    rows = np.arange(num_frames)
+    while np.any(active):
+        cost = np.where(
+            bits == 0, samples_per_band + side_bits_per_band, samples_per_band
+        )
+        affordable = (bits < max_bits) & (cost <= remaining[:, None])
+        worst = np.argmin(np.where(affordable, mnr, np.inf), axis=1)
+        grant = (
+            active
+            & np.any(affordable, axis=1)
+            & (mnr[rows, worst] < 12.0)
+        )
+        active = grant
+        if not np.any(grant):
+            break
+        g = rows[grant]
+        w = worst[grant]
+        remaining[g] -= cost[g, w]
+        bits[g, w] += 1
+        mnr[g, w] = SNR_PER_BIT * bits[g, w] - smr[g, w]
+    return [
+        Allocation(
+            bits=bits[f],
+            mnr_db=mnr[f],
+            pool_bits=pool_bits,
+            spent_bits=int(pool_bits - remaining[f]),
+        )
+        for f in range(num_frames)
+    ]
 
 
 def flat_allocation(

@@ -82,7 +82,14 @@ def _impulse_gain(
     return float(np.max(np.abs(y)))
 
 
-def _analyze_raw(x: np.ndarray, analysis: np.ndarray, m: int) -> np.ndarray:
+def _analyze_raw_reference(
+    x: np.ndarray, analysis: np.ndarray, m: int
+) -> np.ndarray:
+    """Scalar reference: build the FIFO frame matrix one frame at a time.
+
+    Kept as the pinned oracle for the stride-tricks fast path (experiment
+    R7 in DESIGN.md); the matmul itself was always whole-signal.
+    """
     length = analysis.shape[1]
     padded = np.concatenate([np.zeros(length - m), x, np.zeros((-x.size) % m)])
     num_frames = (padded.size - (length - m)) // m
@@ -93,7 +100,28 @@ def _analyze_raw(x: np.ndarray, analysis: np.ndarray, m: int) -> np.ndarray:
     return frames @ analysis.T
 
 
-def _synthesize_raw(sub: np.ndarray, synthesis: np.ndarray, m: int) -> np.ndarray:
+def _analyze_raw(x: np.ndarray, analysis: np.ndarray, m: int) -> np.ndarray:
+    """Batched analysis: one strided view instead of the per-frame loop.
+
+    Frame ``t`` of the reference is ``padded[t*m : t*m+length][::-1]`` — a
+    sliding window with hop ``m`` — so the whole frame matrix is a single
+    ``sliding_window_view`` slice.  The contiguous copy reproduces the
+    reference's operand layout exactly, keeping the matmul bit-identical.
+    """
+    length = analysis.shape[1]
+    padded = np.concatenate([np.zeros(length - m), x, np.zeros((-x.size) % m)])
+    num_frames = (padded.size - (length - m)) // m
+    if num_frames <= 0:
+        return np.zeros((0, analysis.shape[0]))
+    windows = np.lib.stride_tricks.sliding_window_view(padded, length)[::m]
+    frames = np.ascontiguousarray(windows[:, ::-1])
+    return frames @ analysis.T
+
+
+def _synthesize_raw_reference(
+    sub: np.ndarray, synthesis: np.ndarray, m: int
+) -> np.ndarray:
+    """Scalar reference: per-frame overlap-add (pinned oracle for R7)."""
     length = synthesis.shape[1]
     num_frames = sub.shape[0]
     out = np.zeros(num_frames * m + length)
@@ -101,6 +129,29 @@ def _synthesize_raw(sub: np.ndarray, synthesis: np.ndarray, m: int) -> np.ndarra
     for t in range(num_frames):
         out[t * m:t * m + length] += contribution[t]
     return out[:num_frames * m]
+
+
+def _synthesize_raw(sub: np.ndarray, synthesis: np.ndarray, m: int) -> np.ndarray:
+    """Batched overlap-add: loop over the ``taps_per_band`` chunk lanes.
+
+    Each frame's ``length = taps*m`` contribution splits into ``taps``
+    m-sample chunks; chunk ``k`` of frame ``t`` lands in output block
+    ``t + k``.  Iterating ``k`` from high to low adds every output block's
+    contributions in ascending-frame order — the exact addition order of
+    the reference loop, so the sums are bit-identical — in ``taps``
+    vectorized passes instead of one pass per frame.
+    """
+    length = synthesis.shape[1]
+    num_frames = sub.shape[0]
+    if num_frames == 0:
+        return np.zeros(0)
+    contribution = sub @ synthesis
+    taps = length // m
+    chunks = contribution.reshape(num_frames, taps, m)
+    acc = np.zeros((num_frames + taps, m))
+    for k in range(taps - 1, -1, -1):
+        acc[k:k + num_frames] += chunks[:, k, :]
+    return acc.reshape(-1)[:num_frames * m]
 
 
 @dataclass
@@ -113,15 +164,29 @@ class FilterbankResult:
 
 
 class PolyphaseFilterbank:
-    """M-band cosine-modulated analysis/synthesis bank (default M=32)."""
+    """M-band cosine-modulated analysis/synthesis bank (default M=32).
 
-    def __init__(self, num_bands: int = 32, taps_per_band: int = 16) -> None:
+    ``batched`` picks between the strided whole-signal kernels (default)
+    and the scalar per-frame reference loops; both emit bit-identical
+    subbands/PCM (pinned in ``tests/test_audio_subbandpipe.py``).  ``None``
+    follows the module default of :mod:`repro.audio.subbandpipe`.
+    """
+
+    def __init__(
+        self,
+        num_bands: int = 32,
+        taps_per_band: int = 16,
+        batched: bool | None = None,
+    ) -> None:
         if num_bands < 2:
             raise ValueError("need at least 2 bands")
         if taps_per_band < 4:
             raise ValueError("prototype needs at least 4 taps per band")
+        from .subbandpipe import resolve_batched
+
         self.num_bands = num_bands
         self.taps_per_band = taps_per_band
+        self.batched = resolve_batched(batched)
         self._analysis, self._synthesis, _ = _bank_matrices(
             num_bands, taps_per_band
         )
@@ -145,7 +210,8 @@ class PolyphaseFilterbank:
         pcm = np.asarray(pcm, dtype=np.float64)
         if pcm.ndim != 1:
             raise ValueError("filterbank expects a mono 1-D signal")
-        subbands = _analyze_raw(pcm, self._analysis, self.num_bands)
+        kernel = _analyze_raw if self.batched else _analyze_raw_reference
+        subbands = kernel(pcm, self._analysis, self.num_bands)
         return FilterbankResult(
             subbands=subbands, num_bands=self.num_bands, delay=self.delay
         )
@@ -161,7 +227,8 @@ class PolyphaseFilterbank:
                 f"expected (frames, {self.num_bands}) subband array, "
                 f"got {subbands.shape}"
             )
-        return _synthesize_raw(subbands, self._synthesis, self.num_bands)
+        kernel = _synthesize_raw if self.batched else _synthesize_raw_reference
+        return kernel(subbands, self._synthesis, self.num_bands)
 
     def roundtrip_snr(self, pcm: np.ndarray) -> float:
         """Analysis->synthesis SNR in dB after delay compensation."""

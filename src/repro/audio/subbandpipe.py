@@ -1,0 +1,254 @@
+"""Segment-granularity batched Figure-2 audio pipeline (experiment R7).
+
+The audio twin of :mod:`repro.video.blockpipe`: Wolf's Figure-2 subband
+encoder is, like the Figure-1 transform chain, a regular data-parallel
+kernel sequence — polyphase filterbank, windowed FFT analysis, per-band
+allocation, uniform quantization, fixed-width field packing — that the
+seed implementation walked one 384-sample frame at a time through Python
+loops.  This module runs the whole chain at *segment* granularity:
+
+* the filterbank frames the signal with one strided view and a single
+  matmul per direction (:func:`repro.audio.filterbank._analyze_raw` /
+  ``_synthesize_raw``, scalar loops kept as ``*_reference``);
+* the psychoacoustic model runs one batched ``np.fft.rfft`` over every
+  analysis window at once with vectorized masker/threshold/SMR math
+  (:meth:`repro.audio.psychoacoustic.PsychoacousticModel.analyze_batch`);
+* the greedy bit allocator advances every frame in lockstep with an
+  incremental MNR update (:func:`repro.audio.bitalloc.allocate_bits_batch`);
+* frame packing assembles every fixed-width field of the segment —
+  allocations, scalefactors, codes, ancillary bytes — as one ``(values,
+  widths)`` pair flushed through ``BitWriter.write_many``
+  (:func:`pack_frames_batch`), and unpacking drains them back through the
+  chunked ``BitReader.read_many`` bulk path (:func:`unpack_frames_batch`).
+
+Every step is **bit-identical** to the scalar reference implementations
+(same subbands, same SMRs, same allocations, same bitstream bytes),
+pinned per kernel, per codec, and across every registered runtime
+scenario in ``tests/test_audio_subbandpipe.py``; the speedup is asserted
+in ``benchmarks/bench_audio_pipeline.py`` (>= 5x on whole-stream encode).
+
+The module-level default (:func:`batched_default`, toggled by the
+:func:`use_batched` context manager) picks the pipeline for codecs and
+filterbanks constructed without an explicit ``batched=`` argument, which
+is how the scenario-wide equivalence tests force whole engine runs down
+the scalar path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from .frame import (
+    ALLOC_FIELD_BITS,
+    SAMPLES_PER_BAND,
+    SCF_FIELD_BITS,
+    scalefactor_table,
+)
+
+_BATCHED_DEFAULT = True
+
+
+def batched_default() -> bool:
+    """Whether audio codecs built without ``batched=`` run batched."""
+    return _BATCHED_DEFAULT
+
+
+@contextmanager
+def use_batched(flag: bool):
+    """Temporarily pin the default audio pipeline (True = batched).
+
+    Affects codecs *constructed* inside the block — the runtime sessions
+    build their encoders per segment, so wrapping an engine run switches
+    the whole scenario, exactly like the video toggle
+    (:func:`repro.video.blockpipe.use_batched`).
+    """
+    global _BATCHED_DEFAULT
+    previous = _BATCHED_DEFAULT
+    _BATCHED_DEFAULT = bool(flag)
+    try:
+        yield
+    finally:
+        _BATCHED_DEFAULT = previous
+
+
+def resolve_batched(batched: bool | None) -> bool:
+    """Constructor helper: explicit flag wins, ``None`` takes the default."""
+    return batched_default() if batched is None else bool(batched)
+
+
+# ----------------------------------------------------------- frame packing
+
+
+def batch_scalefactors(max_abs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.audio.frame.choose_scalefactor`.
+
+    The table is strictly descending, so the entries still covering
+    ``max_abs`` form a prefix and the chosen index is the prefix length
+    minus one (0 when even the largest entry is exceeded — the band will
+    clip, exactly like the scalar helper).
+    """
+    table = scalefactor_table()
+    covering = np.sum(
+        table >= np.asarray(max_abs, dtype=np.float64)[..., None], axis=-1
+    )
+    return np.maximum(covering - 1, 0)
+
+
+def batch_quantize(
+    subbands: np.ndarray, allocations: np.ndarray, scf: np.ndarray
+) -> np.ndarray:
+    """Uniform midrise quantization of a whole segment at once.
+
+    ``subbands`` is ``(frames, samples_per_band, bands)``, ``allocations``
+    and ``scf`` are ``(frames, bands)``.  Mirrors
+    :func:`repro.audio.frame.quantize_band` expression for expression;
+    inactive bands (0 bits) produce don't-care codes the packer skips.
+    """
+    safe_scf = np.where(allocations > 0, scf, 1.0)[:, None, :]
+    levels = (1 << allocations)[:, None, :]
+    normalized = np.clip(subbands / safe_scf, -1.0, 1.0 - 1e-12)
+    return np.floor((normalized + 1.0) * 0.5 * levels).astype(np.int64)
+
+
+def batch_dequantize(
+    codes: np.ndarray, allocations: np.ndarray, scf: np.ndarray
+) -> np.ndarray:
+    """Midrise reconstruction of a whole segment; inactive bands stay 0."""
+    active = (allocations > 0)[:, None, :]
+    levels = np.where(allocations > 0, 1 << allocations, 1)[:, None, :]
+    recon = (
+        (codes.astype(np.float64) + 0.5) / levels * 2.0 - 1.0
+    ) * (scf[:, None, :])
+    return np.where(active, recon, 0.0)
+
+
+def pack_frames_batch(
+    writer,
+    subbands: np.ndarray,
+    allocations: np.ndarray,
+    ancillary: bytes = b"",
+    ancillary_bytes_per_frame: int = 0,
+) -> np.ndarray:
+    """Serialize a whole segment of frames with one ``write_many`` call.
+
+    ``subbands`` is ``(frames, samples_per_band, bands)``, ``allocations``
+    ``(frames, bands)``.  Emits, per frame, exactly the scalar layout —
+    allocation fields, scalefactors of the active bands, band-major
+    sample codes, then the frame's (zero-padded) ancillary chunk — as one
+    flat ``(values, widths)`` pair, and returns the per-frame bit counts.
+    """
+    subbands = np.asarray(subbands, dtype=np.float64)
+    allocations = np.asarray(allocations, dtype=np.int64)
+    if subbands.ndim != 3:
+        raise ValueError("expected a (frames, samples, bands) tensor")
+    num_frames, spb, num_bands = subbands.shape
+    if allocations.shape != (num_frames, num_bands):
+        raise ValueError("allocations must be (frames, bands)")
+    anc = int(ancillary_bytes_per_frame)
+
+    scf_idx = batch_scalefactors(np.max(np.abs(subbands), axis=1))
+    codes = batch_quantize(
+        subbands, allocations, scalefactor_table()[scf_idx]
+    )
+
+    active = allocations > 0
+    a = np.count_nonzero(active, axis=1)
+    frame_bits = (
+        num_bands * ALLOC_FIELD_BITS
+        + a * SCF_FIELD_BITS
+        + spb * allocations.sum(axis=1)
+        + 8 * anc
+    )
+    if num_frames == 0:
+        return frame_bits
+
+    # One flat field list; frame f's fields occupy [off[f], off[f+1]).
+    fields_per_frame = num_bands + (1 + spb) * a + anc
+    off = np.cumsum(fields_per_frame) - fields_per_frame
+    total = int(fields_per_frame.sum())
+    vals = np.empty(total, dtype=np.int64)
+    ws = np.empty(total, dtype=np.int64)
+
+    alloc_pos = np.repeat(off, num_bands) + np.tile(
+        np.arange(num_bands), num_frames
+    )
+    vals[alloc_pos] = allocations.reshape(-1)
+    ws[alloc_pos] = ALLOC_FIELD_BITS
+
+    act_f, act_b = np.nonzero(active)  # row-major: frame, then band order
+    starts = np.cumsum(a) - a
+    rank = np.arange(act_f.size) - starts[act_f]
+    scf_pos = off[act_f] + num_bands + rank
+    vals[scf_pos] = scf_idx[act_f, act_b]
+    ws[scf_pos] = SCF_FIELD_BITS
+
+    band_widths = allocations[act_f, act_b]
+    code_start = off[act_f] + num_bands + a[act_f] + rank * spb
+    code_pos = np.repeat(code_start, spb) + np.tile(
+        np.arange(spb), act_f.size
+    )
+    vals[code_pos] = codes.transpose(0, 2, 1)[act_f, act_b].reshape(-1)
+    ws[code_pos] = np.repeat(band_widths, spb)
+
+    if anc:
+        padded = ancillary[:num_frames * anc].ljust(num_frames * anc, b"\x00")
+        anc_pos = np.repeat(
+            off + num_bands + (1 + spb) * a, anc
+        ) + np.tile(np.arange(anc), num_frames)
+        vals[anc_pos] = np.frombuffer(padded, dtype=np.uint8)
+        ws[anc_pos] = 8
+
+    writer.write_many(vals, ws)
+    return frame_bits
+
+
+def unpack_frames_batch(
+    reader,
+    num_frames: int,
+    num_bands: int,
+    samples_per_band: int = SAMPLES_PER_BAND,
+    ancillary_bytes_per_frame: int = 0,
+) -> tuple[np.ndarray, bytes]:
+    """Deserialize + dequantize a run of frames via the bulk read path.
+
+    The field layout is self-describing only frame by frame (a frame's
+    scalefactor/code widths follow from its allocation fields), so the
+    parse walks frames sequentially — but each frame drains in three
+    chunked :meth:`repro.video.bitstream.BitReader.read_many` calls
+    instead of per-field ``read_bits``, and the dequantization runs over
+    the whole ``(frames, samples, bands)`` tensor at once.
+    """
+    anc = int(ancillary_bytes_per_frame)
+    allocations = np.zeros((num_frames, num_bands), dtype=np.int64)
+    scf_idx = np.zeros((num_frames, num_bands), dtype=np.int64)
+    codes = np.zeros((num_frames, samples_per_band, num_bands), dtype=np.int64)
+    anc_chunks: list[np.ndarray] = []
+    alloc_widths = np.full(num_bands, ALLOC_FIELD_BITS, dtype=np.int64)
+    for f in range(num_frames):
+        alloc = reader.read_many(alloc_widths)
+        allocations[f] = alloc
+        active = np.nonzero(alloc > 0)[0]
+        if active.size:
+            scf_idx[f, active] = reader.read_many(
+                np.full(active.size, SCF_FIELD_BITS, dtype=np.int64)
+            )
+            band_codes = reader.read_many(
+                np.repeat(alloc[active], samples_per_band)
+            )
+            codes[f, :, active] = band_codes.reshape(
+                active.size, samples_per_band
+            )
+        if anc:
+            anc_chunks.append(
+                reader.read_many(np.full(anc, 8, dtype=np.int64))
+            )
+    blocks = batch_dequantize(
+        codes, allocations, scalefactor_table()[scf_idx]
+    )
+    ancillary = (
+        np.concatenate(anc_chunks).astype(np.uint8).tobytes()
+        if anc_chunks else b""
+    )
+    return blocks, ancillary

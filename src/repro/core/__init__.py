@@ -18,10 +18,12 @@ from .scenarios import (
     audio_player_scenario,
     camera_scenario,
     cell_phone_scenario,
+    conference_bridge_scenario,
     drm_application,
     dvr_scenario,
     filesystem_application,
     network_application,
+    podcast_farm_scenario,
     servo_application,
     set_top_box_scenario,
     surveillance_scenario,
@@ -46,11 +48,13 @@ __all__ = [
     "audio_player_scenario",
     "camera_scenario",
     "cell_phone_scenario",
+    "conference_bridge_scenario",
     "drm_application",
     "dvr_scenario",
     "filesystem_application",
     "merge_applications",
     "network_application",
+    "podcast_farm_scenario",
     "render_table",
     "servo_application",
     "set_top_box_scenario",

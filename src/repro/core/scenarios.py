@@ -30,7 +30,9 @@ from ..mpsoc.presets import (
     audio_player_soc,
     camera_soc,
     cell_phone_soc,
+    conference_bridge_soc,
     dvr_soc,
+    podcast_farm_soc,
     set_top_box_soc,
     surveillance_hub_soc,
     transcode_farm_soc,
@@ -193,6 +195,20 @@ RUNTIME_CONTRACTS = {
     "transcode_farm": RuntimeContract(
         scheduler="platform",
         rates_hz={"transcode": 30.0},
+    ),
+    # The audio-heavy streaming devices (experiment R7).  Contract rates
+    # follow the spec-sheet convention above (round numbers near the
+    # native Figure-2 cadence): the farm's 16 kHz episodes frame at
+    # ~41.7 Hz, contracted at 40; the bridge's scenario sets each room's
+    # exact native rate itself, this is the narrowband (8 kHz, ~20.8 Hz)
+    # floor for sessions added without one.
+    "podcast_farm": RuntimeContract(
+        scheduler="weighted_fair",
+        rates_hz={"audio_encode": 40.0},
+    ),
+    "conference_bridge": RuntimeContract(
+        scheduler="edf",
+        rates_hz={"audio_encode": 20.0},
     ),
 }
 
@@ -390,6 +406,65 @@ def transcode_farm_scenario(num_channels: int = 2) -> DeviceScenario:
     )
 
 
+def podcast_farm_scenario(num_workers: int = 4) -> DeviceScenario:
+    """Podcast transcoding blade: N concurrent Figure-2 encode chains.
+
+    The audio analogue of the video transcode farm — every worker is a
+    full subband encode pipeline (filterbank + psychoacoustics + packer),
+    plus the file system that feeds the episode library and the network
+    stack that ships it.  This is the device the batched audio pipeline
+    (experiment R7) and the segment cache help most: popular episodes
+    recur across workers.
+    """
+    if num_workers < 1:
+        raise ValueError("a podcast farm needs at least one worker")
+    audio_cfg = AudioWorkload(sample_rate=16000.0, bitrate=96_000.0,
+                              fft_size=128)
+    apps = [
+        ApplicationModel(
+            f"worker{i}_enc", audio_encoder_graph(audio_cfg),
+            audio_cfg.frame_rate,
+        )
+        for i in range(num_workers)
+    ]
+    apps.append(filesystem_application(rate_hz=8.0))
+    apps.append(network_application(rate_hz=20.0))
+    return DeviceScenario(
+        name="podcast_farm",
+        application=merge_applications(apps, "podcast_farm_app"),
+        platform=podcast_farm_soc(),
+        description=f"{num_workers}-worker podcast transcoding blade",
+    )
+
+
+def conference_bridge_scenario(num_rooms: int = 4) -> DeviceScenario:
+    """Voice-conference bridge: narrowband speech legs + the IP stack.
+
+    Each room is a Figure-2 encode chain at telephone rate; the bridge
+    mixes rooms running at different audio frame rates, which is what
+    makes its deadline behaviour under EDF interesting (the runtime's
+    conference_bridge scenario).
+    """
+    if num_rooms < 1:
+        raise ValueError("a conference bridge needs at least one room")
+    speech_cfg = AudioWorkload(sample_rate=8000.0, bitrate=24_000.0,
+                               fft_size=64)
+    apps = [
+        ApplicationModel(
+            f"room{i}_enc", audio_encoder_graph(speech_cfg),
+            speech_cfg.frame_rate,
+        )
+        for i in range(num_rooms)
+    ]
+    apps.append(network_application(rate_hz=50.0))
+    return DeviceScenario(
+        name="conference_bridge",
+        application=merge_applications(apps, "conference_bridge_app"),
+        platform=conference_bridge_soc(),
+        description=f"{num_rooms}-room voice-conference bridge",
+    )
+
+
 #: The paper's five consumer devices (Section 2) — experiment C2 maps
 #: exactly these, so this dict must stay the paper's list.
 ALL_SCENARIOS = {
@@ -406,4 +481,6 @@ EXTENDED_SCENARIOS = {
     "surveillance": surveillance_scenario,
     "video_wall": video_wall_scenario,
     "transcode_farm": transcode_farm_scenario,
+    "podcast_farm": podcast_farm_scenario,
+    "conference_bridge": conference_bridge_scenario,
 }

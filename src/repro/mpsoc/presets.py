@@ -237,6 +237,47 @@ def transcode_farm_soc() -> Platform:
     return platform
 
 
+def podcast_farm_soc() -> Platform:
+    """Podcast transcoding blade: audio-only, so DSPs instead of VLIWs.
+
+    The audio twin of the video transcode blade — many concurrent
+    Figure-2 encode chains (filterbank MACs + FFT analysis) and no pixel
+    engines at all, the shape the streaming runtime's podcast_farm
+    scenario loads.
+    """
+    return Platform(
+        name="podcast_farm",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, DSP),
+            Processor(2, DSP),
+            Processor(3, DSP),
+            Processor(4, DSP),
+        ],
+        interconnect=Crossbar(InterconnectSpec(bandwidth_bytes_per_s=400e6)),
+        memory_kb=1024.0,
+    )
+
+
+def conference_bridge_soc() -> Platform:
+    """Voice-conference bridge: a few speech legs on a modest DSP pair.
+
+    Narrowband/wideband rooms mix different audio frame rates on the
+    same silicon (the runtime's conference_bridge scenario), so the
+    control core matters as much as the DSPs.
+    """
+    return Platform(
+        name="conference_bridge",
+        processors=[
+            Processor(0, RISC_CPU),
+            Processor(1, DSP),
+            Processor(2, DSP),
+        ],
+        interconnect=SharedBus(InterconnectSpec(bandwidth_bytes_per_s=200e6)),
+        memory_kb=512.0,
+    )
+
+
 def symmetric_multicore(count: int = 4, ptype: ProcessorType = DSP) -> Platform:
     """Homogeneous baseline for mapper comparisons."""
     return homogeneous(f"smp{count}x{ptype.name}", ptype, count)
@@ -251,4 +292,6 @@ DEVICE_PRESETS = {
     "surveillance_hub": surveillance_hub_soc,
     "video_wall": video_wall_soc,
     "transcode_farm": transcode_farm_soc,
+    "podcast_farm": podcast_farm_soc,
+    "conference_bridge": conference_bridge_soc,
 }

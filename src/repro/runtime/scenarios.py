@@ -317,6 +317,79 @@ def _video_wall(tiles: int, frames: int, seed: int) -> list[MediaSession]:
 
 
 @REGISTRY.register(
+    "podcast_farm",
+    "a farm encoding podcast episodes into the library format; workers "
+    "pulling the same episode are served from cache",
+    device="podcast_farm",
+    workers=4,
+    episodes=2,
+    seed=0,
+)
+def _podcast_farm(workers: int, episodes: int, seed: int) -> list[MediaSession]:
+    if workers < 1 or episodes < 1:
+        raise ValueError("need at least one worker and one episode")
+    cfg = AudioEncoderConfig(
+        sample_rate=16000.0, bitrate=96_000.0, fft_size=128
+    )
+    library = [
+        speech_like(duration=0.5, sample_rate=16000.0, seed=seed + e)
+        for e in range(episodes)
+    ]
+    # Popularity is skewed, like the video transcode farm: workers
+    # round-robin over a small episode catalogue, so duplicate
+    # (episode, config) jobs collapse in the segment cache.
+    return [
+        AudioEncodeSession(f"worker{i}", library[i % episodes], cfg)
+        for i in range(workers)
+    ]
+
+
+@REGISTRY.register(
+    "conference_bridge",
+    "voice bridge mixing narrowband and wideband rooms, each encoded at "
+    "its native audio frame rate",
+    device="conference_bridge",
+    narrowband=3,
+    wideband=2,
+    seed=0,
+)
+def _conference_bridge(
+    narrowband: int, wideband: int, seed: int
+) -> list[MediaSession]:
+    if narrowband < 0 or wideband < 0 or narrowband + wideband < 1:
+        raise ValueError("need at least one room")
+    nb_cfg = AudioEncoderConfig(
+        sample_rate=8000.0, bitrate=24_000.0, fft_size=64
+    )
+    wb_cfg = AudioEncoderConfig(
+        sample_rate=16000.0, bitrate=48_000.0, fft_size=128
+    )
+    sessions: list[MediaSession] = []
+    # Rooms run at their *native* Figure-2 frame cadence (sample rate /
+    # 384), so the bridge mixes ~20.8 Hz and ~41.7 Hz deadline streams —
+    # the mixed-rate audio workload the scheduler layer prices.
+    for i in range(narrowband):
+        session = AudioEncodeSession(
+            f"room{i}_nb",
+            speech_like(duration=0.5, sample_rate=8000.0, seed=seed + i),
+            nb_cfg,
+        )
+        session.rate_hz = nb_cfg.sample_rate / nb_cfg.samples_per_frame
+        sessions.append(session)
+    for i in range(wideband):
+        session = AudioEncodeSession(
+            f"room{i}_wb",
+            speech_like(
+                duration=0.5, sample_rate=16000.0, seed=seed + 100 + i
+            ),
+            wb_cfg,
+        )
+        session.rate_hz = wb_cfg.sample_rate / wb_cfg.samples_per_frame
+        sessions.append(session)
+    return sessions
+
+
+@REGISTRY.register(
     "transcode_farm",
     "a farm re-encoding popular clips; identical (clip, quality) jobs are "
     "served from cache",

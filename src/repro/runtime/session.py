@@ -21,11 +21,13 @@ Segment granularity is what makes the runtime compose:
   profile that the task-graph/DSE models consume (see
   :func:`~repro.runtime.engine.measured_application`).
 
-The codecs the sessions wrap default to the frame-batched block pipeline
-(:mod:`repro.video.blockpipe`); ``stage_ops`` profiles are analytic
+The codecs the sessions wrap default to the frame-batched pipelines —
+video through :mod:`repro.video.blockpipe`, audio through
+:mod:`repro.audio.subbandpipe`; ``stage_ops`` profiles are analytic
 per-block totals, so they are identical whichever pipeline runs — the
-batched path changes wall-clock, never the accounted work (pinned across
-every registered scenario in ``tests/test_video_blockpipe.py``).
+batched paths change wall-clock, never the accounted work (pinned across
+every registered scenario in ``tests/test_video_blockpipe.py`` and
+``tests/test_audio_subbandpipe.py``).
 """
 
 from __future__ import annotations
@@ -484,7 +486,11 @@ class VideoDecodeSession(MediaSession):
 
 
 class AudioEncodeSession(MediaSession):
-    """Encode PCM through the Figure-2 subband encoder, a batch at a time."""
+    """Encode PCM through the Figure-2 subband encoder, a batch at a time.
+
+    The encoder is built per segment, so it follows the module-wide
+    pipeline default (:func:`repro.audio.subbandpipe.use_batched` flips a
+    whole engine run between the batched and scalar-reference paths)."""
 
     kind = "audio_encode"
 

@@ -191,6 +191,43 @@ class BitReader:
         self._pos = pos
         return value
 
+    def read_many(self, widths) -> np.ndarray:
+        """Read a sequence of unsigned fields with the given bit widths.
+
+        The bulk counterpart of :meth:`BitWriter.write_many`: the whole
+        run is unpacked vectorized (``np.unpackbits`` + one integer
+        ``reduceat`` per field) instead of looping per field, and the
+        values are identical to ``width`` successive :meth:`read_bits`
+        calls.  Fields are limited to 63 bits (int64 assembly); a
+        zero-width field reads as 0, like ``read_bits(0)``.
+        """
+        ws = np.asarray(widths, dtype=np.int64)
+        if ws.ndim != 1:
+            raise ValueError("widths must be a 1-D sequence")
+        if np.any((ws < 0) | (ws > 63)):
+            raise ValueError("field widths must be in 0..63")
+        total = int(ws.sum())
+        pos = self._pos
+        if pos + total > len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        values = np.zeros(ws.size, dtype=np.int64)
+        if total == 0:
+            return values
+        first = pos >> 3
+        last = (pos + total + 7) >> 3
+        chunk = np.frombuffer(self._data, dtype=np.uint8, count=last - first,
+                              offset=first)
+        skip = pos - first * 8
+        bits = np.unpackbits(chunk)[skip:skip + total].astype(np.int64)
+        nonzero = ws > 0
+        nz_ws = ws[nonzero]
+        starts = np.cumsum(nz_ws) - nz_ws
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, nz_ws)
+        weighted = bits << (np.repeat(nz_ws, nz_ws) - 1 - offsets)
+        values[nonzero] = np.add.reduceat(weighted, starts)
+        self._pos = pos + total
+        return values
+
     def read_signed(self, width: int) -> int:
         """Read a ``width``-bit two's-complement signed integer."""
         raw = self.read_bits(width)

@@ -14,6 +14,11 @@ from repro.audio import (
     quantizer_snr_db,
     snr_db,
 )
+from repro.audio.encoder import (
+    MAX_FRAMES,
+    MAX_SAMPLES,
+    write_stream_header,
+)
 from repro.audio.frame import (
     SAMPLES_PER_BAND,
     choose_scalefactor,
@@ -174,6 +179,150 @@ class TestCodecRoundtrip:
     def test_stereo_rejected(self):
         with pytest.raises(ValueError):
             AudioEncoder().encode(np.zeros((2, 100)))
+
+
+class TestHeaderBugfixes:
+    """Regressions for the silent header-corruption bugs: the seed wrote
+    ``frames & 0xFFFF``-style fields without range checks and truncated
+    fractional sample rates to ``int``."""
+
+    def test_frame_count_overflow_raises_cheaply(self):
+        # Two bands -> 24 samples/frame, so the 16-bit frame count
+        # overflows at ~1.6M samples instead of ~25M.
+        cfg = AudioEncoderConfig(num_bands=2, fft_size=8, bitrate=10_000.0)
+        pcm = np.zeros((MAX_FRAMES + 1) * cfg.samples_per_frame)
+        for batched in (True, False):
+            with pytest.raises(ValueError, match="16-bit frame-count"):
+                AudioEncoder(cfg, batched=batched).encode(pcm)
+
+    def test_max_frames_exactly_fits(self):
+        writer = BitWriter()
+        write_stream_header(writer, AudioEncoderConfig(), MAX_FRAMES, 100)
+        # magic + version + rate + bands + frames + samples + anc
+        assert len(writer) == 16 + 4 + 64 + 8 + 16 + 32 + 8
+
+    def test_sample_count_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError, match="32-bit PCM-length"):
+            write_stream_header(
+                writer, AudioEncoderConfig(), 10, MAX_SAMPLES + 1
+            )
+
+    def test_fractional_sample_rate_roundtrips_exactly(self):
+        # The seed wrote int(sample_rate): 44100.5 silently became 44100
+        # and the decoder reported a wrong rate.  Now the float64 bit
+        # pattern travels verbatim.
+        for rate in (44100.5, 22050.25, 8000.125):
+            cfg = AudioEncoderConfig(sample_rate=rate, bitrate=96_000)
+            x = tone(500.0, duration=0.05, sample_rate=rate)
+            enc = AudioEncoder(cfg).encode(x)
+            dec = AudioDecoder().decode(enc.data)
+            assert dec.sample_rate == rate
+            assert dec.pcm.size == x.size
+
+    def test_config_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            AudioEncoderConfig(sample_rate=float("inf"))
+        with pytest.raises(ValueError):
+            AudioEncoderConfig(sample_rate=float("nan"))
+        with pytest.raises(ValueError):
+            AudioEncoderConfig(bitrate=float("inf"))
+
+    def test_decoder_rejects_corrupt_header_fields(self):
+        import struct
+
+        def stream(rate_bits, bands, frames, samples):
+            w = BitWriter()
+            w.write_bits(0x4D41, 16)
+            w.write_bits(2, 4)  # current VERSION
+            w.write_bits(rate_bits, 64)
+            w.write_bits(bands, 8)
+            w.write_bits(frames, 16)
+            w.write_bits(samples, 32)
+            w.write_bits(0, 8)
+            w.align()
+            return w.getvalue() + b"\x00" * 64
+
+        good_rate = int.from_bytes(struct.pack(">d", 44100.0), "big")
+        nan_rate = int.from_bytes(struct.pack(">d", float("nan")), "big")
+        with pytest.raises(ValueError, match="sample rate"):
+            AudioDecoder().decode(stream(nan_rate, 32, 1, 10))
+        with pytest.raises(ValueError, match="subbands"):
+            AudioDecoder().decode(stream(good_rate, 1, 1, 10))
+        with pytest.raises(ValueError, match="sample count"):
+            AudioDecoder().decode(stream(good_rate, 32, 1, 4_000_000))
+
+    def test_seed_format_stream_rejected_by_version_check(self):
+        # The versionless seed format wrote a 32-bit int sample rate
+        # right after the magic; its high nibble (0 for any real rate)
+        # lands where the version field now lives, so old streams fail
+        # loudly instead of misparsing into a garbage float64 rate.
+        w = BitWriter()
+        w.write_bits(0x4D41, 16)
+        w.write_bits(44100, 32)  # old int rate field
+        w.write_bits(32, 8)
+        w.write_bits(1, 16)
+        w.write_bits(100, 32)
+        w.write_bits(0, 8)
+        w.align()
+        with pytest.raises(ValueError, match="version"):
+            AudioDecoder().decode(w.getvalue() + b"\x00" * 64)
+
+
+class TestRoundtripEdgeCases:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_ancillary_payload_not_filling_last_frame(self, batched):
+        cfg = AudioEncoderConfig(ancillary_bytes_per_frame=5)
+        x = tone(700.0, duration=0.1)
+        payload = b"odd-sized"  # much shorter than frames * 5
+        enc = AudioEncoder(cfg, batched=batched).encode(x, payload)
+        dec = AudioDecoder(batched=batched).decode(enc.data)
+        frames = len(enc.frame_stats)
+        assert dec.ancillary == payload.ljust(5 * frames, b"\x00")
+
+    @pytest.mark.parametrize("num_bands", [4, 8, 16])
+    def test_non_default_band_counts_roundtrip(self, num_bands):
+        cfg = AudioEncoderConfig(
+            num_bands=num_bands, fft_size=max(64, 2 * num_bands),
+            bitrate=128_000,
+        )
+        x = multitone(duration=0.1)
+        enc = AudioEncoder(cfg).encode(x)
+        dec = AudioDecoder().decode(enc.data)
+        assert dec.pcm.size == x.size
+        assert snr_db(x, dec.pcm) > 10.0
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_zero_allocation_frames_roundtrip(self, batched):
+        # A starved bit pool (or fully masked content) leaves whole
+        # frames with no active band; the packer must still emit valid
+        # side info and the decoder must reconstruct exact silence.
+        cfg = AudioEncoderConfig(bitrate=10_000)  # pool collapses to 0
+        x = np.zeros(3000)
+        enc = AudioEncoder(cfg, batched=batched).encode(x)
+        assert all(
+            np.all(stat.allocation == 0) for stat in enc.frame_stats
+        )
+        dec = AudioDecoder(batched=batched).decode(enc.data)
+        assert dec.pcm.size == x.size
+        assert np.array_equal(dec.pcm, np.zeros(x.size))
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_truncated_stream_raises_cleanly(self, batched):
+        data = AudioEncoder().encode(multitone(duration=0.1)).data
+        for cut in (0, 5, 17, len(data) // 2, len(data) - 1):
+            with pytest.raises((ValueError, EOFError)):
+                AudioDecoder(batched=batched).decode(data[:cut])
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_garbage_bytes_raise_cleanly(self, batched):
+        rng = np.random.default_rng(0)
+        junk = bytes(rng.integers(0, 256, size=256, dtype=np.uint8))
+        with pytest.raises((ValueError, EOFError)):
+            AudioDecoder(batched=batched).decode(junk)
+        # Valid magic, garbage body.
+        with pytest.raises((ValueError, EOFError)):
+            AudioDecoder(batched=batched).decode(b"\x4d\x41" + junk)
 
 
 class TestConfig:

@@ -58,6 +58,8 @@ SMALL = {
     "video_wall": {"tiles": 2, "frames": 8},
     "transcode_farm": {"workers": 2, "clips": 1, "frames": 16},
     "portable_player": {},
+    "podcast_farm": {"workers": 2, "episodes": 1},
+    "conference_bridge": {"narrowband": 1, "wideband": 1},
 }
 
 
