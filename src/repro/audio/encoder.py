@@ -421,6 +421,8 @@ class DecodedAudio:
     sample_rate: float
     ancillary: bytes
     delay: int
+    #: Frames synthesized by error concealment (0 on intact streams).
+    concealed: int = 0
 
 
 class AudioDecoder:
@@ -436,7 +438,18 @@ class AudioDecoder:
     def __init__(self, batched: bool | None = None) -> None:
         self.batched = resolve_batched(batched)
 
-    def decode(self, data: bytes) -> DecodedAudio:
+    def decode(self, data: bytes, conceal: bool = False) -> DecodedAudio:
+        """Decode a stream; ``conceal`` survives truncated input.
+
+        A lossy transport delivers a clean *prefix* of the coded bytes
+        (see :mod:`repro.net.packetizer`), so with ``conceal`` enabled
+        the first frame whose fields run off the end of the buffer —
+        and every frame after it — is concealed: the last good frame's
+        subband block is repeated once (the short-gap repair), further
+        missing frames are muted (zero subbands), and the stream still
+        synthesizes to its full PCM length.  The header must be
+        readable; total segment loss is concealed at session level.
+        """
         reader = BitReader(data)
         sample_rate, num_bands, frames, num_samples, anc_per_frame = (
             read_stream_header(reader)
@@ -447,7 +460,12 @@ class AudioDecoder:
                 "corrupt audio stream header: sample count exceeds the "
                 "coded frames"
             )
-        if self.batched:
+        concealed = 0
+        if conceal:
+            subbands, ancillary, concealed = self._unpack_concealing(
+                reader, frames, num_bands, anc_per_frame
+            )
+        elif self.batched:
             blocks, ancillary_bytes = unpack_frames_batch(
                 reader, frames, num_bands, SAMPLES_PER_BAND, anc_per_frame
             )
@@ -475,4 +493,40 @@ class AudioDecoder:
             sample_rate=sample_rate,
             ancillary=ancillary,
             delay=bank.delay,
+            concealed=concealed,
         )
+
+    @staticmethod
+    def _unpack_concealing(
+        reader: BitReader, frames: int, num_bands: int, anc_per_frame: int
+    ) -> tuple[np.ndarray, bytes, int]:
+        """Frame-at-a-time unpack that degrades instead of raising.
+
+        The first unreadable frame triggers concealment for the rest:
+        one repeat of the last good block bridges short gaps without a
+        click, then silence — the frame-repeat/mute policy the Figure-2
+        receiver applies when the bit reservoir runs dry.
+        """
+        blocks: list[np.ndarray] = []
+        anc = bytearray()
+        good = 0
+        for f in range(frames):
+            try:
+                block = unpack_frame(reader, num_bands)
+                chunk = bytes(
+                    reader.read_bits(8) for _ in range(anc_per_frame)
+                )
+            except (EOFError, ValueError):
+                break
+            blocks.append(block)
+            anc.extend(chunk)
+            good = f + 1
+        concealed = frames - good
+        if concealed:
+            mute = np.zeros((SAMPLES_PER_BAND, num_bands))
+            blocks.append(blocks[-1] if blocks else mute)
+            blocks.extend([mute] * (concealed - 1))
+        subbands = (
+            np.vstack(blocks) if blocks else np.zeros((0, num_bands))
+        )
+        return subbands, bytes(anc), concealed

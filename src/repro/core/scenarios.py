@@ -32,11 +32,13 @@ from ..mpsoc.presets import (
     cell_phone_soc,
     conference_bridge_soc,
     dvr_soc,
+    lossy_wan_transcode_soc,
     podcast_farm_soc,
     set_top_box_soc,
     surveillance_hub_soc,
     transcode_farm_soc,
     video_wall_soc,
+    wireless_surveillance_soc,
 )
 from ..video.taskgraph import VideoWorkload
 from ..video.taskgraph import decoder_taskgraph as video_decoder_graph
@@ -209,6 +211,18 @@ RUNTIME_CONTRACTS = {
     "conference_bridge": RuntimeContract(
         scheduler="edf",
         rates_hz={"audio_encode": 20.0},
+    ),
+    # The lossy-delivery devices (experiment R8): same media rates as
+    # their wired twins — the channel changes what arrives, never what
+    # the contract owes — under EDF, since delivery cost eats slack and
+    # deadline-blind sweeps start missing first.
+    "wireless_surveillance": RuntimeContract(
+        scheduler="edf",
+        rates_hz={"video_encode": 15.0, "analysis": 30.0},
+    ),
+    "lossy_wan_transcode": RuntimeContract(
+        scheduler="edf",
+        rates_hz={"transcode": 30.0},
     ),
 }
 
@@ -465,6 +479,74 @@ def conference_bridge_scenario(num_rooms: int = 4) -> DeviceScenario:
     )
 
 
+def wireless_surveillance_scenario(num_cameras: int = 4) -> DeviceScenario:
+    """Wireless surveillance hub: camera encodes whose uplinks are radio.
+
+    The surveillance hub of Section 2 moved off the wire (Section 7's
+    "network devices"): every camera's coded stream is packetized,
+    parity-protected, and shipped over a bursty channel, so a network
+    application joins the mix at packet rate — the device the runtime's
+    ``wireless_surveillance`` scenario drives end to end over
+    :mod:`repro.net`.
+    """
+    if num_cameras < 1:
+        raise ValueError("a surveillance hub needs at least one camera")
+    cam_cfg = VideoWorkload(
+        width=176, height=144, frame_rate=15.0, search_algorithm="three_step"
+    )
+    apps = [
+        ApplicationModel(
+            f"cam{i}_enc", video_encoder_graph(cam_cfg), cam_cfg.frame_rate
+        )
+        for i in range(num_cameras)
+    ]
+    apps.append(analysis_application(rate_hz=15.0))
+    # Per-packet work scales with the uplinks: checksums, parity, retries.
+    apps.append(network_application(rate_hz=50.0))
+    return DeviceScenario(
+        name="wireless_surveillance",
+        application=merge_applications(apps, "wireless_surveillance_app"),
+        platform=wireless_surveillance_soc(),
+        description=f"{num_cameras}-camera hub with lossy radio uplinks",
+    )
+
+
+def lossy_wan_transcode_scenario(num_channels: int = 2) -> DeviceScenario:
+    """Transcode blade whose source clips arrive over a congested WAN.
+
+    The Section 3 recoding farm as a true network device: decode +
+    re-encode per channel, plus an IP stack sized for the inbound
+    packet rate (reassembly, FEC recovery, concealment bookkeeping) —
+    the runtime's ``lossy_wan_transcode`` scenario feeds it damaged
+    inputs through :mod:`repro.net`.
+    """
+    if num_channels < 1:
+        raise ValueError("a transcode blade needs at least one channel")
+    in_cfg = VideoWorkload(width=352, height=288, frame_rate=30.0)
+    out_cfg = VideoWorkload(
+        width=352, height=288, frame_rate=30.0, search_algorithm="diamond"
+    )
+    apps = []
+    for i in range(num_channels):
+        apps.append(
+            ApplicationModel(
+                f"ch{i}_dec", video_decoder_graph(in_cfg), in_cfg.frame_rate
+            )
+        )
+        apps.append(
+            ApplicationModel(
+                f"ch{i}_enc", video_encoder_graph(out_cfg), out_cfg.frame_rate
+            )
+        )
+    apps.append(network_application(rate_hz=100.0))
+    return DeviceScenario(
+        name="lossy_wan_transcode",
+        application=merge_applications(apps, "lossy_wan_transcode_app"),
+        platform=lossy_wan_transcode_soc(),
+        description=f"{num_channels}-channel WAN-fed transcoding blade",
+    )
+
+
 #: The paper's five consumer devices (Section 2) — experiment C2 maps
 #: exactly these, so this dict must stay the paper's list.
 ALL_SCENARIOS = {
@@ -483,4 +565,6 @@ EXTENDED_SCENARIOS = {
     "transcode_farm": transcode_farm_scenario,
     "podcast_farm": podcast_farm_scenario,
     "conference_bridge": conference_bridge_scenario,
+    "wireless_surveillance": wireless_surveillance_scenario,
+    "lossy_wan_transcode": lossy_wan_transcode_scenario,
 }

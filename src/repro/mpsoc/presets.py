@@ -278,6 +278,62 @@ def conference_bridge_soc() -> Platform:
     )
 
 
+def wireless_surveillance_soc() -> Platform:
+    """Wireless surveillance hub: camera encodes + a radio/ipstack core.
+
+    The surveillance hub reshaped for lossy uplinks (the runtime's
+    ``wireless_surveillance`` scenario): the per-camera ME/DCT engines
+    stay, and an MCU joins as the baseband/packet processor — checksums,
+    FEC parity, and retry logic are control/bit work, not MAC work, so
+    they get their own cheap core instead of stealing VLIW cycles.
+    """
+    noc = MeshNoC(2, 3, InterconnectSpec(bandwidth_bytes_per_s=1200e6))
+    platform = Platform(
+        name="wireless_surveillance",
+        processors=[
+            Processor(0, RISC_CPU, position=(0, 0)),
+            Processor(1, VLIW_MEDIA, position=(1, 0)),
+            Processor(2, ME_ACCEL, position=(0, 1)),
+            Processor(3, DCT_ACCEL, position=(1, 1)),
+            Processor(4, MCU, position=(0, 2)),
+            Processor(5, ENTROPY_ACCEL, position=(1, 2)),
+        ],
+        interconnect=noc,
+        memory_kb=8192.0,
+    )
+    for p in platform.processors:
+        noc.place(p.pe_id, *p.position)
+    return platform
+
+
+def lossy_wan_transcode_soc() -> Platform:
+    """WAN-fed transcode blade: decode/re-encode plus a network stack.
+
+    The transcode farm's shape with one VLIW traded for a RISC pair —
+    source clips arrive over a congested WAN (the runtime's
+    ``lossy_wan_transcode`` scenario), so per-packet ipstack work,
+    reassembly, and concealment bookkeeping keep a whole control core
+    busy alongside the media engines.
+    """
+    noc = MeshNoC(2, 3, InterconnectSpec(bandwidth_bytes_per_s=1600e6))
+    platform = Platform(
+        name="lossy_wan_transcode",
+        processors=[
+            Processor(0, RISC_CPU, position=(0, 0)),
+            Processor(1, RISC_CPU, position=(1, 0)),
+            Processor(2, VLIW_MEDIA, position=(0, 1)),
+            Processor(3, VLIW_MEDIA, position=(1, 1)),
+            Processor(4, ME_ACCEL, position=(0, 2)),
+            Processor(5, DCT_ACCEL, position=(1, 2)),
+        ],
+        interconnect=noc,
+        memory_kb=16384.0,
+    )
+    for p in platform.processors:
+        noc.place(p.pe_id, *p.position)
+    return platform
+
+
 def symmetric_multicore(count: int = 4, ptype: ProcessorType = DSP) -> Platform:
     """Homogeneous baseline for mapper comparisons."""
     return homogeneous(f"smp{count}x{ptype.name}", ptype, count)
@@ -294,4 +350,6 @@ DEVICE_PRESETS = {
     "transcode_farm": transcode_farm_soc,
     "podcast_farm": podcast_farm_soc,
     "conference_bridge": conference_bridge_soc,
+    "wireless_surveillance": wireless_surveillance_soc,
+    "lossy_wan_transcode": lossy_wan_transcode_soc,
 }

@@ -1,0 +1,98 @@
+"""Lossy-delivery transport: the network layer under the streaming runtime.
+
+The paper's Section 7 observes that multimedia MPSoCs are increasingly
+*network devices* — "some use the Internet for limited purposes … other
+devices are intended to operate as network devices".  Until this package
+the runtime handed coded segments from encoder to decoder over a perfect
+in-memory channel; :mod:`repro.net` replaces that wire with the stack a
+real streaming device carries:
+
+* :mod:`~repro.net.packetizer` — MTU-sized framing with stream ids,
+  sequence numbers, segment/fragment offsets, and a CRC32 integrity
+  field, bulk-packed through :meth:`repro.video.bitstream.BitWriter.
+  write_many`;
+* :mod:`~repro.net.channel` — deterministic seeded channel models
+  (i.i.d. loss, Gilbert–Elliott burst loss, delay + jitter, bandwidth
+  caps) with NumPy-batched per-packet draws;
+* :mod:`~repro.net.fec` — XOR parity groups and block interleaving,
+  with scalar ``_reference`` oracles per the R6/R7 convention;
+* :mod:`~repro.net.jitterbuffer` — reorder/dedup/late-drop against
+  playout deadlines in virtual time;
+* :mod:`~repro.net.delivery` — the :class:`~repro.net.delivery.
+  DeliveryPipe` gluing all of the above under one session, with
+  per-packet virtual-time costs drawn from the
+  :mod:`repro.mpsoc.interconnect` / :mod:`repro.support.ipstack` models.
+
+Everything is seeded: the same pipe over the same segments drops the
+same packets every run, which is what makes the lossy end-to-end tests
+(`tests/test_net_delivery.py`) and the R8 experiments reproducible.
+"""
+
+from .channel import (
+    Channel,
+    ChannelTrace,
+    GilbertElliott,
+    IIDLoss,
+    LossProcess,
+    make_channel,
+)
+from .delivery import (
+    DeliveredSegment,
+    DeliveryCostModel,
+    DeliveryPipe,
+    attach_delivery,
+)
+from .fec import (
+    add_parity,
+    deinterleave,
+    interleave,
+    interleave_indices,
+    recover_group,
+    recover_packets,
+    xor_parity,
+    xor_parity_reference,
+)
+from .jitterbuffer import JitterBuffer, JitterStats
+from .packetizer import (
+    HEADER_BYTES,
+    Packet,
+    crc32_reference,
+    packet_to_wire,
+    packetize,
+    packets_to_wire,
+    packets_to_wire_reference,
+    parse_packet,
+    reassemble,
+)
+
+__all__ = [
+    "Channel",
+    "ChannelTrace",
+    "DeliveredSegment",
+    "DeliveryCostModel",
+    "DeliveryPipe",
+    "GilbertElliott",
+    "HEADER_BYTES",
+    "IIDLoss",
+    "JitterBuffer",
+    "JitterStats",
+    "LossProcess",
+    "Packet",
+    "add_parity",
+    "attach_delivery",
+    "crc32_reference",
+    "deinterleave",
+    "interleave",
+    "interleave_indices",
+    "make_channel",
+    "packet_to_wire",
+    "packetize",
+    "packets_to_wire",
+    "packets_to_wire_reference",
+    "parse_packet",
+    "reassemble",
+    "recover_group",
+    "recover_packets",
+    "xor_parity",
+    "xor_parity_reference",
+]

@@ -1,0 +1,325 @@
+"""Seeded channel models: loss, burstiness, delay, jitter, bandwidth.
+
+A :class:`Channel` prices one batch of packets at a time: given wire
+sizes and a send time it returns per-packet loss verdicts and arrival
+times in *virtual* seconds, matching the runtime engine's clock.  The
+random draws are NumPy-batched — one ``rng.random(n)`` per decision
+kind per batch — and every model takes an explicit seeded generator, so
+the same seed replays the same loss/delay trace bit-for-bit (pinned in
+``tests/test_net_delivery.py``).
+
+Loss processes:
+
+* :class:`IIDLoss` — every packet independently lost with probability
+  ``loss_rate`` (the memoryless wired-congestion model);
+* :class:`GilbertElliott` — the classic two-state burst model: a GOOD
+  state with ``loss_good`` and a BAD state with ``loss_bad``, switching
+  with per-packet probabilities ``p_good_to_bad`` / ``p_bad_to_good``.
+  Radio links lose packets in *bursts* (deep fades), which is exactly
+  what defeats naive FEC and what block interleaving repairs.
+
+Serialization under a bandwidth cap is the vectorized busy-period
+recurrence ``done_i = max(send_i, done_{i-1}) + size_i/bw``, computed
+without a Python loop via a cumulative-maximum identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_rng(rng: "np.random.Generator | int | None") -> np.random.Generator:
+    """Accept a Generator or a seed; never fall back to global state."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(0 if rng is None else rng)
+
+
+class LossProcess:
+    """Base loss model: ``sample(n)`` -> boolean lost-mask for n packets."""
+
+    name = "none"
+
+    def sample(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=bool)
+
+    def expected_loss(self) -> float:
+        """Long-run marginal loss probability (for reports and tests)."""
+        return 0.0
+
+
+class IIDLoss(LossProcess):
+    """Independent per-packet loss with a fixed rate."""
+
+    name = "iid"
+
+    def __init__(
+        self,
+        loss_rate: float,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.rng = _as_rng(rng)
+
+    def sample(self, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        return self.rng.random(n) < self.loss_rate
+
+    def expected_loss(self) -> float:
+        return self.loss_rate
+
+
+class GilbertElliott(LossProcess):
+    """Two-state Markov burst-loss model (Gilbert–Elliott).
+
+    State transitions happen once per packet.  All randomness is drawn
+    up front in two batched calls; only the state walk itself is
+    sequential (it is a genuine recurrence).  Mean burst length in the
+    bad state is ``1 / p_bad_to_good``.
+    """
+
+    name = "gilbert"
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        rng: "np.random.Generator | int | None" = None,
+        start_bad: bool = False,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if p_bad_to_good == 0.0:
+            raise ValueError("p_bad_to_good must be positive (else the "
+                             "channel never leaves its burst)")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.rng = _as_rng(rng)
+        self._bad = bool(start_bad)
+
+    def sample(self, n: int) -> np.ndarray:
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        u_state = self.rng.random(n)
+        u_loss = self.rng.random(n)
+        bad = np.empty(n, dtype=bool)
+        state = self._bad
+        for i in range(n):  # the Markov walk is inherently sequential
+            if state:
+                if u_state[i] < self.p_bad_to_good:
+                    state = False
+            else:
+                if u_state[i] < self.p_good_to_bad:
+                    state = True
+            bad[i] = state
+        self._bad = state
+        rates = np.where(bad, self.loss_bad, self.loss_good)
+        return u_loss < rates
+
+    def expected_loss(self) -> float:
+        pi_bad = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    @classmethod
+    def from_loss_rate(
+        cls,
+        loss_rate: float,
+        mean_burst: float = 4.0,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> "GilbertElliott":
+        """A bursty channel with the given *marginal* loss rate.
+
+        Bad state always loses; mean burst length sets ``p_bad_to_good``
+        and the stationary occupancy is solved for ``p_good_to_bad``, so
+        i.i.d. and Gilbert–Elliott runs at the same ``loss_rate`` are
+        directly comparable (same expected loss, different clustering).
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if mean_burst < 1.0:
+            raise ValueError("mean burst length is at least one packet")
+        p_exit = 1.0 / mean_burst
+        if loss_rate == 0.0:
+            return cls(0.0, p_exit, rng=rng)
+        p_enter = loss_rate * p_exit / (1.0 - loss_rate)
+        if p_enter > 1.0:
+            # Silently capping would deliver a lighter channel than asked.
+            ceiling = mean_burst / (mean_burst + 1.0)
+            raise ValueError(
+                f"loss rate {loss_rate} is unreachable with mean burst "
+                f"{mean_burst} (max {ceiling:.3f}); raise mean_burst or "
+                f"lower the loss rate"
+            )
+        return cls(p_enter, p_exit, rng=rng)
+
+
+@dataclass
+class ChannelTrace:
+    """Per-packet verdicts for one transmitted batch."""
+
+    sizes: np.ndarray
+    send_s: np.ndarray
+    lost: np.ndarray
+    #: Virtual arrival time; ``inf`` where the packet was lost.
+    arrival_s: np.ndarray
+    #: When each packet cleared the serializing link.
+    tx_done_s: np.ndarray
+
+    @property
+    def delivered(self) -> np.ndarray:
+        return ~self.lost
+
+
+def serialization_times(
+    sizes: np.ndarray, send_s: np.ndarray, bandwidth_bps: float
+) -> np.ndarray:
+    """Vectorized FIFO link: when does each packet finish transmitting?
+
+    Solves ``done_i = max(send_i, done_{i-1}) + size_i*8/bw`` for the
+    whole batch at once:  with ``c = cumsum(service)``,
+    ``done_i = c_i + max_{j<=i}(send_j - c_{j-1})``.
+    """
+    service = np.asarray(sizes, dtype=np.float64) * 8.0 / bandwidth_bps
+    c = np.cumsum(service)
+    backlog = np.maximum.accumulate(
+        np.asarray(send_s, dtype=np.float64)
+        - np.concatenate(([0.0], c[:-1]))
+    )
+    return c + backlog
+
+
+def serialization_times_reference(
+    sizes, send_s, bandwidth_bps: float
+) -> np.ndarray:
+    """Scalar FIFO recurrence — the oracle for the cumulative identity."""
+    done = np.empty(len(sizes), dtype=np.float64)
+    previous = 0.0
+    for i, (size, send) in enumerate(zip(sizes, send_s)):
+        previous = max(float(send), previous) + float(size) * 8.0 / bandwidth_bps
+        done[i] = previous
+    return done
+
+
+@dataclass
+class Channel:
+    """A lossy, delaying, rate-limited packet pipe.
+
+    ``transmit`` prices one packet batch: serialization under the
+    bandwidth cap (FIFO), a base propagation delay, exponential jitter
+    (mean ``jitter_s``), and the loss process's verdicts.  All draws are
+    batched; state (FIFO backlog, Markov loss state, RNG position)
+    carries across calls so consecutive segments share one coherent
+    channel history.
+    """
+
+    loss: LossProcess = field(default_factory=LossProcess)
+    bandwidth_bps: float = 8e6
+    base_delay_s: float = 0.02
+    jitter_s: float = 0.0
+    rng: "np.random.Generator | int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_delay_s < 0 or self.jitter_s < 0:
+            raise ValueError("delays cannot be negative")
+        self.rng = _as_rng(self.rng)
+        self._link_free_s = 0.0
+        self.packets_sent = 0
+        self.packets_lost = 0
+
+    @property
+    def link_free_s(self) -> float:
+        """When the serializing link drains its current backlog."""
+        return self._link_free_s
+
+    def transmit(
+        self, sizes, send_s: "float | np.ndarray"
+    ) -> ChannelTrace:
+        sizes = np.asarray(sizes, dtype=np.float64)
+        n = sizes.size
+        send = np.broadcast_to(
+            np.asarray(send_s, dtype=np.float64), (n,)
+        ).copy()
+        if n == 0:
+            empty = np.zeros(0)
+            return ChannelTrace(sizes, send, empty.astype(bool), empty, empty)
+        # FIFO backlog persists between batches: the first packet cannot
+        # start before the link drained the previous segment's tail.
+        send[0] = max(send[0], self._link_free_s)
+        tx_done = serialization_times(sizes, send, self.bandwidth_bps)
+        self._link_free_s = float(tx_done[-1])
+        jitter = (
+            self.rng.exponential(self.jitter_s, n)
+            if self.jitter_s > 0 else np.zeros(n)
+        )
+        lost = self.loss.sample(n)
+        arrival = tx_done + self.base_delay_s + jitter
+        arrival[lost] = np.inf
+        self.packets_sent += n
+        self.packets_lost += int(lost.sum())
+        return ChannelTrace(
+            sizes=sizes,
+            send_s=send,
+            lost=lost,
+            arrival_s=arrival,
+            tx_done_s=tx_done,
+        )
+
+
+#: Channel kinds the CLI's ``--channel`` flag accepts.
+CHANNEL_KINDS = ("iid", "gilbert")
+
+
+def make_channel(
+    kind: str,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    bandwidth_bps: float = 8e6,
+    base_delay_s: float = 0.02,
+    jitter_s: float = 0.002,
+    mean_burst: float = 4.0,
+) -> Channel:
+    """Build a seeded channel by name (the CLI/scenario entry point).
+
+    The loss process and the jitter draws get independent generators
+    derived from ``seed`` so changing the jitter model never perturbs
+    which packets are lost.
+    """
+    root = (
+        seed if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    loss_rng, jitter_rng = (np.random.default_rng(s) for s in root.spawn(2))
+    if kind == "iid":
+        loss: LossProcess = IIDLoss(loss_rate, rng=loss_rng)
+    elif kind == "gilbert":
+        loss = GilbertElliott.from_loss_rate(
+            loss_rate, mean_burst=mean_burst, rng=loss_rng
+        )
+    else:
+        raise ValueError(
+            f"unknown channel kind {kind!r}; choose from {CHANNEL_KINDS}"
+        )
+    return Channel(
+        loss=loss,
+        bandwidth_bps=bandwidth_bps,
+        base_delay_s=base_delay_s,
+        jitter_s=jitter_s,
+        rng=jitter_rng,
+    )

@@ -1,0 +1,284 @@
+"""DeliveryPipe: one session's coded segments across a lossy channel.
+
+This is the layer the streaming runtime talks to.  For every coded
+segment the pipe packetizes (MTU framing + CRC32), optionally adds XOR
+parity and interleaves the wire order, serializes real wire bytes,
+pushes them through the seeded :class:`~repro.net.channel.Channel`,
+re-parses the survivors (a corrupted packet fails its CRC and counts as
+lost), late-drops against the jitter buffer's playout deadline,
+attempts FEC recovery, and reassembles the longest clean prefix for the
+decoder.  When every fragment makes it — directly or via parity — the
+delivered bytes are *bit-identical* to what was sent.
+
+Virtual-time cost: the per-packet price the device pays is not free the
+way the old in-memory hand-off was.  :class:`DeliveryCostModel` charges
+each packet an ipstack-shaped processing term (a per-byte checksum pass
+plus fixed header work, the same RFC 1071 arithmetic as
+:func:`repro.support.ipstack.ones_complement_checksum`) and an
+interconnect-shaped DMA term priced by an
+:class:`repro.mpsoc.interconnect.InterconnectSpec` — so the engine's
+virtual clock advances for delivery exactly like it does for compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..mpsoc.interconnect import InterconnectSpec
+from .channel import Channel, make_channel
+from .fec import _BLOB_PREFIX, add_parity, interleave, recover_packets
+from .jitterbuffer import JitterBuffer
+from .packetizer import (
+    MAX_PAYLOAD,
+    Packet,
+    packetize,
+    packets_to_wire,
+    parse_packet,
+    reassemble,
+)
+
+#: Largest MTU a pipe accepts: a parity payload carries the protected
+#: blob (9-byte prefix + data payload) and must still fit the 16-bit
+#: packet length field.
+MAX_MTU = MAX_PAYLOAD - _BLOB_PREFIX
+
+
+@dataclass(frozen=True)
+class DeliveryCostModel:
+    """Per-packet virtual-time cost of the delivery stage.
+
+    ``processing``: building/validating headers and one checksum pass
+    over the bytes (``ops_per_packet + ops_per_byte * nbytes`` at
+    ``ops_per_second`` — the engine's generic virtual service rate).
+    ``wire``: handing the packet to the NIC over the on-chip
+    interconnect (``base_latency + nbytes / bandwidth`` from the spec).
+    """
+
+    wire: InterconnectSpec = field(default_factory=InterconnectSpec)
+    ops_per_byte: float = 2.0
+    ops_per_packet: float = 300.0
+    ops_per_second: float = 100e6
+
+    def packet_cost_s(self, nbytes: float) -> float:
+        processing = (
+            self.ops_per_packet + self.ops_per_byte * nbytes
+        ) / self.ops_per_second
+        dma = self.wire.base_latency_s + nbytes / self.wire.bandwidth_bytes_per_s
+        return processing + dma
+
+    def batch_cost_s(self, sizes) -> float:
+        """Vectorized sum of :meth:`packet_cost_s` over a packet batch."""
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if sizes.size == 0:
+            return 0.0
+        processing = (
+            self.ops_per_packet * sizes.size + self.ops_per_byte * sizes.sum()
+        ) / self.ops_per_second
+        dma = (
+            self.wire.base_latency_s * sizes.size
+            + sizes.sum() / self.wire.bandwidth_bytes_per_s
+        )
+        return float(processing + dma)
+
+    @classmethod
+    def from_platform(cls, platform) -> "DeliveryCostModel":
+        """Price the DMA term with a platform's own interconnect spec."""
+        return cls(wire=platform.interconnect.spec)
+
+
+@dataclass
+class DeliveredSegment:
+    """One segment's trip through the pipe, with verdicts and stats."""
+
+    index: int
+    #: Longest clean prefix of the sent bytes (all of them when intact).
+    data: bytes
+    intact: bool
+    frag_count: int
+    frags_received: int
+    packets_sent: int
+    packets_data: int
+    packets_lost: int
+    packets_late: int
+    packets_duplicate: int
+    packets_recovered: int
+    bytes_on_wire: int
+    virtual_cost_s: float
+    #: When the last deadline-admitted packet arrived (the segment's
+    #: transmission start if nothing survived).
+    arrival_s: float
+    #: Filled in by the consuming session after (concealed) decode.
+    concealed_frames: int = 0
+    psnr_db: float | None = None
+
+
+class DeliveryPipe:
+    """The per-session transport: packetize -> FEC -> channel -> rebuild.
+
+    ``fec_group`` of 0 disables parity; ``interleave_depth`` of 1 keeps
+    wire order.  Sequence numbers are pipe-global so the jitter buffer
+    and FEC grouping work across segment boundaries, and the channel's
+    FIFO/loss state persists between segments — one coherent link, not
+    a fresh one per segment.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        mtu: int = 256,
+        fec_group: int = 0,
+        interleave_depth: int = 1,
+        stream_id: int = 0,
+        playout_delay_s: float = 0.25,
+        cost_model: DeliveryCostModel | None = None,
+    ) -> None:
+        if mtu < 1:
+            raise ValueError("mtu must cover at least one payload byte")
+        if mtu > MAX_MTU:
+            raise ValueError(
+                f"mtu {mtu} exceeds {MAX_MTU} (the 16-bit packet length "
+                f"field minus the FEC blob prefix)"
+            )
+        if interleave_depth < 1:
+            raise ValueError("interleave depth is at least 1")
+        self.channel = channel
+        self.mtu = mtu
+        self.fec_group = fec_group
+        self.interleave_depth = interleave_depth
+        self.stream_id = stream_id
+        self.jitter = JitterBuffer(playout_delay_s)
+        self.cost_model = cost_model or DeliveryCostModel()
+        self._seq = 0
+        self._segment = 0
+
+    @property
+    def playout_delay_s(self) -> float:
+        return self.jitter.playout_delay_s
+
+    def describe(self) -> str:
+        fec = f"fec={self.fec_group}" if self.fec_group else "no-fec"
+        return (
+            f"{self.channel.loss.name} loss "
+            f"{100.0 * self.channel.loss.expected_loss():g}%, "
+            f"mtu={self.mtu}, {fec}, interleave={self.interleave_depth}"
+        )
+
+    def transport(self, data: bytes, release_s: float = 0.0) -> DeliveredSegment:
+        """Carry one coded segment; returns what the receiver can use."""
+        segment_index = self._segment
+        self._segment += 1
+        fragments = packetize(
+            self.stream_id, segment_index, data, mtu=self.mtu
+        )
+        wire_packets = add_parity(
+            fragments, self.fec_group, seq_start=self._seq
+        )
+        self._seq += len(wire_packets)
+        ordered = interleave(wire_packets, self.interleave_depth)
+        wires = packets_to_wire(ordered)
+        sizes = np.asarray([len(w) for w in wires], dtype=np.float64)
+        # The playout deadline is anchored to when this segment actually
+        # starts transmitting — the later of its release and the link
+        # draining its backlog.  Anchoring to the release alone would be
+        # degenerate for unrated sessions (release forever 0.0): the FIFO
+        # backlog would march every later segment past a fixed deadline
+        # even on a lossless channel.  Lateness therefore measures *this
+        # segment's* serialization + jitter against the budget; sustained
+        # overload still surfaces through the engine's virtual-time costs
+        # and contract deadlines.
+        send_start = max(release_s, self.channel.link_free_s)
+        trace = self.channel.transmit(sizes, release_s)
+
+        survivors: list[Packet] = []
+        arrivals: list[float] = []
+        for wire, lost, arrival in zip(wires, trace.lost, trace.arrival_s):
+            if lost:
+                continue
+            packet = parse_packet(wire)
+            if packet is None:  # corruption == loss at this layer
+                continue
+            survivors.append(packet)
+            arrivals.append(float(arrival))
+        deadline = self.jitter.deadline_for(send_start)
+        accepted, jstats = self.jitter.admit(survivors, arrivals, deadline)
+        recovered_all, recovered = recover_packets(accepted)
+        rebuilt = reassemble(
+            [p for p in recovered_all if p.segment == segment_index]
+        )
+        # Late-dropped packets never count: everything admitted is by
+        # construction at or before the playout deadline.
+        admitted_times = [t for t in arrivals if t <= deadline]
+        arrival_s = max(admitted_times) if admitted_times else send_start
+        return DeliveredSegment(
+            index=segment_index,
+            data=rebuilt.data,
+            intact=rebuilt.intact,
+            frag_count=rebuilt.frag_count,
+            frags_received=rebuilt.frags_received,
+            packets_sent=len(wire_packets),
+            packets_data=len(fragments),
+            packets_lost=int(trace.lost.sum()),
+            packets_late=jstats.late,
+            packets_duplicate=jstats.duplicates,
+            packets_recovered=recovered,
+            bytes_on_wire=int(sizes.sum()),
+            virtual_cost_s=self.cost_model.batch_cost_s(sizes),
+            arrival_s=arrival_s,
+        )
+
+
+def attach_delivery(
+    sessions,
+    kind: str = "iid",
+    loss_rate: float = 0.05,
+    fec_group: int = 0,
+    mtu: int = 256,
+    interleave_depth: int = 1,
+    seed: int = 0,
+    playout_delay_s: float = 0.25,
+    bandwidth_bps: float = 8e6,
+    base_delay_s: float = 0.02,
+    jitter_s: float = 0.002,
+    mean_burst: float = 4.0,
+    cost_model: DeliveryCostModel | None = None,
+    platform=None,
+) -> list:
+    """Give every transport-capable session its own seeded pipe.
+
+    Sessions whose ``delivery_point`` is ``None`` (pure analysis) are
+    skipped.  Each attached session gets an independent channel whose
+    seed is derived from ``seed`` and the session's position, so traces
+    are uncorrelated across sessions yet fully reproducible.  Returns
+    the sessions, for chaining inside scenario build functions.
+    """
+    sessions = list(sessions)
+    if cost_model is None and platform is not None:
+        cost_model = DeliveryCostModel.from_platform(platform)
+    children = np.random.SeedSequence(seed).spawn(max(1, len(sessions)))
+    for i, session in enumerate(sessions):
+        child = children[i]
+        if getattr(session, "delivery_point", None) is None:
+            continue
+        channel = make_channel(
+            kind,
+            loss_rate=loss_rate,
+            seed=child,
+            bandwidth_bps=bandwidth_bps,
+            base_delay_s=base_delay_s,
+            jitter_s=jitter_s,
+            mean_burst=mean_burst,
+        )
+        session.attach_delivery(
+            DeliveryPipe(
+                channel,
+                mtu=mtu,
+                fec_group=fec_group,
+                interleave_depth=interleave_depth,
+                stream_id=i,
+                playout_delay_s=playout_delay_s,
+                cost_model=cost_model,
+            )
+        )
+    return sessions

@@ -1,0 +1,102 @@
+"""Jitter buffer: reorder, dedup, and late-drop against playout deadlines.
+
+A receiver cannot wait forever: a segment scheduled for playout at
+virtual time ``T`` can only use packets that arrived by ``T`` (its
+*playout deadline*, typically arrival + a fixed playout delay).  The
+jitter buffer is where the transport's chaos is straightened out:
+
+* packets are re-ordered by sequence number (the network may deliver
+  out of order under jitter);
+* duplicates are dropped, keeping the earliest arrival;
+* packets arriving after the deadline are *late* — correct bytes that
+  are useless, counted separately from losses because adding FEC
+  overhead can turn losses into late arrivals on a bandwidth-capped
+  link (the R8 trade-off in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .packetizer import Packet
+
+
+@dataclass
+class JitterStats:
+    """What the buffer saw for one admitted batch."""
+
+    received: int = 0
+    accepted: int = 0
+    late: int = 0
+    duplicates: int = 0
+    #: Packets that arrived behind a higher-sequence packet.
+    reordered: int = 0
+
+    def merge(self, other: "JitterStats") -> None:
+        self.received += other.received
+        self.accepted += other.accepted
+        self.late += other.late
+        self.duplicates += other.duplicates
+        self.reordered += other.reordered
+
+
+class JitterBuffer:
+    """Playout-deadline gatekeeper for one receiving session.
+
+    ``playout_delay_s`` is the latency budget granted past a segment's
+    nominal arrival; :meth:`admit` applies it to one delivered batch and
+    returns the usable packets in sequence order.
+    """
+
+    def __init__(self, playout_delay_s: float = 0.25) -> None:
+        if playout_delay_s < 0:
+            raise ValueError("playout delay cannot be negative")
+        self.playout_delay_s = playout_delay_s
+        self.stats = JitterStats()
+
+    def deadline_for(self, arrival_s: float) -> float:
+        """Playout deadline of a segment whose input arrives at
+        ``arrival_s`` (virtual time)."""
+        return arrival_s + self.playout_delay_s
+
+    def admit(
+        self,
+        packets: list[Packet],
+        arrival_s,
+        deadline_s: float,
+    ) -> tuple[list[Packet], JitterStats]:
+        """Filter one batch of *delivered* packets against a deadline.
+
+        ``packets`` and ``arrival_s`` are parallel (the channel trace's
+        surviving entries, in arrival order).  Returns the accepted
+        packets sorted by sequence number plus the batch's stats, which
+        also accumulate on ``self.stats``.
+        """
+        arrival = np.asarray(arrival_s, dtype=np.float64)
+        if len(packets) != arrival.size:
+            raise ValueError("packets and arrival times must be parallel")
+        stats = JitterStats(received=len(packets))
+        order = np.argsort(arrival, kind="stable")
+        seen: dict[int, float] = {}
+        accepted: list[Packet] = []
+        highest_seq = -1
+        for i in order:
+            packet = packets[int(i)]
+            when = float(arrival[int(i)])
+            if when > deadline_s:
+                stats.late += 1
+                continue
+            if packet.seq in seen:
+                stats.duplicates += 1
+                continue
+            seen[packet.seq] = when
+            if packet.seq < highest_seq:
+                stats.reordered += 1
+            highest_seq = max(highest_seq, packet.seq)
+            accepted.append(packet)
+        accepted.sort(key=lambda p: p.seq)
+        stats.accepted = len(accepted)
+        self.stats.merge(stats)
+        return accepted, stats

@@ -30,6 +30,7 @@ from .engine import (
     EngineReport,
     SessionSummary,
     StreamEngine,
+    aggregate_delivery,
     measured_application,
 )
 from .profiles import stage_application
@@ -54,12 +55,17 @@ from .session import (
     VideoDecodeSession,
     VideoEncodeSession,
     coded_segment_frames,
+    coded_segment_geometry,
     config_fingerprint,
+    decode_with_concealment,
     frames_payload,
 )
 
 __all__ = [
     "AdmissionError",
+    "aggregate_delivery",
+    "coded_segment_geometry",
+    "decode_with_concealment",
     "AnalysisSession",
     "AudioEncodeSession",
     "CacheStats",

@@ -68,6 +68,9 @@ class SessionSummary:
     virtual_busy_s: float = 0.0
     mean_latency_s: float = 0.0
     max_latency_s: float = 0.0
+    #: Transport scorecard (:meth:`repro.runtime.session.MediaSession.
+    #: delivery_summary`), ``None`` for sessions without a pipe.
+    delivery: dict | None = None
 
     @property
     def cache_share(self) -> float:
@@ -88,7 +91,43 @@ class SessionSummary:
             "virtual_busy_s": self.virtual_busy_s,
             "mean_latency_s": self.mean_latency_s,
             "max_latency_s": self.max_latency_s,
+            "delivery": self.delivery,
         }
+
+
+def aggregate_delivery(summaries: "list[dict | None]") -> dict | None:
+    """Fold per-session transport scorecards into one run-level record.
+
+    The PSNR-under-loss figure is the damage-weighted mean of the
+    per-session means (sessions that lost nothing contribute nothing).
+    Returns ``None`` when no session carried a delivery pipe.
+    """
+    present = [s for s in summaries if s]
+    if not present:
+        return None
+    totals = {
+        key: sum(s[key] for s in present)
+        for key in (
+            "segments", "segments_intact", "packets_sent", "packets_lost",
+            "packets_late", "packets_recovered", "bytes_on_wire",
+            "concealed_frames",
+        )
+    }
+    totals["virtual_cost_s"] = sum(s["virtual_cost_s"] for s in present)
+    sent = totals["packets_sent"]
+    totals["loss_pct"] = (
+        100.0 * totals["packets_lost"] / sent if sent else 0.0
+    )
+    weighted = [
+        (s["psnr_under_loss_db"], s["segments"] - s["segments_intact"])
+        for s in present
+        if s["psnr_under_loss_db"] is not None
+    ]
+    weight = sum(w for _, w in weighted)
+    totals["psnr_under_loss_db"] = (
+        sum(p * w for p, w in weighted) / weight if weight else None
+    )
+    return totals
 
 
 @dataclass
@@ -105,6 +144,9 @@ class EngineReport:
     pe_utilization: dict[int, float] = field(default_factory=dict)
     platform: str | None = None
     admission: AdmissionReport | None = None
+    #: Run-level transport scorecard (:func:`aggregate_delivery`), ``None``
+    #: when no session carried a delivery pipe.
+    delivery: dict | None = None
 
     @property
     def total_frames(self) -> int:
@@ -147,6 +189,7 @@ class EngineReport:
                 "hit_rate": self.cache.hit_rate,
                 "ops_saved": dict(self.cache.ops_saved),
             },
+            "delivery": self.delivery,
             "stage_totals": dict(self.stage_totals),
             "pe_utilization": {
                 str(pe): u for pe, u in sorted(self.pe_utilization.items())
@@ -208,6 +251,20 @@ class EngineReport:
             f"{self.total_deadline_misses}/{self.total_deadlines} "
             f"deadlines missed",
         ]
+        if self.delivery is not None:
+            d = self.delivery
+            quality = (
+                f"PSNR under loss {d['psnr_under_loss_db']:.1f} dB"
+                if d["psnr_under_loss_db"] is not None else "no damage scored"
+            )
+            lines.append(
+                f"delivery: {d['packets_sent']} packets, "
+                f"{d['packets_lost']} lost ({d['loss_pct']:.1f}%), "
+                f"{d['packets_recovered']} FEC-recovered, "
+                f"{d['packets_late']} late; "
+                f"{d['segments_intact']}/{d['segments']} segments intact, "
+                f"{d['concealed_frames']} frames concealed, {quality}"
+            )
         if self.pe_utilization:
             util = ", ".join(
                 f"pe{pe}={100.0 * u:.0f}%"
@@ -320,12 +377,17 @@ class StreamEngine:
             clock = scheduler.select(ready, now)
             session = clock.session
             hits_before = session.segments_from_cache
+            deliveries_before = len(session.delivery_log)
             result = session.step(self.cache)
             if result is None:  # defensive: session lied about finished
                 continue
             steps += 1
             from_cache = session.segments_from_cache > hits_before
             cost = scheduler.segment_cost(clock, result, from_cache)
+            # The delivery stage is real work on the virtual clock too:
+            # per-packet ipstack + interconnect costs from the pipe's model.
+            if len(session.delivery_log) > deliveries_before:
+                cost += session.delivery_log[-1].virtual_cost_s
             finish = now + cost
             session.record_timing(now, finish, from_cache=from_cache)
             scheduler.charge(clock, cost)
@@ -343,6 +405,7 @@ class StreamEngine:
             pe_util = {pe: min(1.0, b / now) for pe, b in pe_busy.items()}
             platform_name = scheduler.platform.name
         by_name = {c.name: c for c in clocks}
+        delivery_summaries = [s.delivery_summary() for s in self.sessions]
         return EngineReport(
             sessions=[
                 SessionSummary(
@@ -359,8 +422,9 @@ class StreamEngine:
                     virtual_busy_s=by_name[s.name].busy_s,
                     mean_latency_s=s.mean_latency_s,
                     max_latency_s=s.max_latency_s,
+                    delivery=summary,
                 )
-                for s in self.sessions
+                for s, summary in zip(self.sessions, delivery_summaries)
             ],
             cache=self.cache.stats if self.cache is not None else CacheStats(),
             elapsed_s=elapsed,
@@ -371,6 +435,7 @@ class StreamEngine:
             pe_utilization=pe_util,
             platform=platform_name,
             admission=admission,
+            delivery=aggregate_delivery(delivery_summaries),
         )
 
 

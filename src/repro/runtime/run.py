@@ -9,6 +9,8 @@
     python -m repro.runtime.run videoconferencing --map
     python -m repro.runtime.run dvr --scheduler edf
     python -m repro.runtime.run surveillance --scheduler platform --json
+    python -m repro.runtime.run set_top_box --channel iid --loss 0.05
+    python -m repro.runtime.run video_wall --channel gilbert --loss 0.05 --fec 2
 
 ``--set key=value`` overrides a scenario parameter (ints stay ints);
 ``--no-cache`` disables the shared segment cache to expose its benefit;
@@ -20,6 +22,17 @@ contract, see :data:`repro.core.scenarios.RUNTIME_CONTRACTS`);
 ``--map`` additionally binds the scenario's device task graphs onto the
 device's SoC preset and reports how many concurrent streams the mapping
 sustains (:func:`repro.mapping.evaluate.sustainable_streams`).
+
+Transport flags (:mod:`repro.net`): ``--channel`` routes every coded
+stream through a seeded lossy channel (``iid`` or ``gilbert`` burst
+loss) at rate ``--loss``; ``--fec N`` adds one XOR parity packet per
+``N`` data packets, ``--interleave D`` spreads bursts over ``D`` parity
+groups, ``--mtu`` sets the packet payload size, and ``--net-seed``
+picks the loss/jitter trace.  The engine report then carries delivery
+stats (loss %, FEC recoveries, late packets, concealed frames, PSNR
+under loss).  On scenarios with built-in channels (the ``--list``
+entries named ``wireless_*``/``lossy_*``) these flags *override* the
+scenario's own defaults.
 """
 
 from __future__ import annotations
@@ -32,6 +45,8 @@ from ..core import ALL_SCENARIOS, EXTENDED_SCENARIOS, MultimediaSystem
 from ..core.metrics import render_table
 from ..mapping import evaluate_mapping, run_mapper, sustainable_streams
 from ..mpsoc.presets import DEVICE_PRESETS
+from ..net.channel import CHANNEL_KINDS
+from ..net.delivery import attach_delivery
 from .cache import SegmentCache
 from .engine import AdmissionError, StreamEngine, measured_application
 from .scenarios import REGISTRY, Scenario
@@ -93,6 +108,12 @@ def run_scenario(
     platform_name: str | None = None,
     admission: str = "warn",
     json_out: bool = False,
+    channel: str | None = None,
+    loss_rate: float = 0.05,
+    fec_group: int = 0,
+    mtu: int = 256,
+    interleave_depth: int = 1,
+    net_seed: int = 0,
     out=None,
 ):
     """Build, run, and report one scenario; returns the engine report."""
@@ -100,6 +121,17 @@ def run_scenario(
         out = sys.stdout  # resolved late so capture/redirection works
     scenario: Scenario = REGISTRY.get(name)
     sessions = scenario.sessions(**(overrides or {}))
+    if channel is not None:
+        attach_delivery(
+            sessions,
+            kind=channel,
+            loss_rate=loss_rate,
+            fec_group=fec_group,
+            mtu=mtu,
+            interleave_depth=interleave_depth,
+            seed=net_seed,
+            platform=_device_platform(scenario),
+        )
     scheduler_name = scheduler or scenario.default_scheduler
     platform = None
     if platform_name is not None and scheduler_name != "platform":
@@ -261,12 +293,63 @@ def main(argv: list[str] | None = None) -> int:
         help="emit the engine report as JSON",
     )
     parser.add_argument(
+        "--channel",
+        choices=sorted(CHANNEL_KINDS),
+        default=None,
+        help="carry every coded stream over a seeded lossy channel "
+        "(default: perfect in-memory hand-off)",
+    )
+    parser.add_argument(
+        "--loss",
+        dest="loss_rate",
+        type=float,
+        default=0.05,
+        help="channel marginal packet-loss rate (default 0.05)",
+    )
+    parser.add_argument(
+        "--fec",
+        dest="fec_group",
+        type=int,
+        default=0,
+        help="XOR parity group size, 0 disables FEC (default 0)",
+    )
+    parser.add_argument(
+        "--interleave",
+        dest="interleave_depth",
+        type=int,
+        default=1,
+        help="block-interleave depth to spread burst losses (default 1)",
+    )
+    parser.add_argument(
+        "--mtu",
+        type=int,
+        default=256,
+        help="packet payload bytes (default 256)",
+    )
+    parser.add_argument(
+        "--net-seed",
+        dest="net_seed",
+        type=int,
+        default=0,
+        help="seed of the channel loss/jitter trace (default 0)",
+    )
+    parser.add_argument(
         "--map",
         dest="do_map",
         action="store_true",
         help="also map the device's task graphs onto its SoC preset",
     )
     args = parser.parse_args(argv)
+
+    if args.channel is None and (
+        args.fec_group or args.interleave_depth != 1
+        or args.mtu != 256 or args.net_seed or args.loss_rate != 0.05
+    ):
+        # Tuning flags without a channel would be silently ignored (the
+        # built-in lossy scenarios take --set loss=... instead).
+        parser.error(
+            "--loss/--fec/--interleave/--mtu/--net-seed require --channel"
+        )
 
     if args.list or not args.scenario:
         print(list_scenarios())
@@ -282,6 +365,12 @@ def main(argv: list[str] | None = None) -> int:
             platform_name=args.platform_name,
             admission=args.admission,
             json_out=args.json_out,
+            channel=args.channel,
+            loss_rate=args.loss_rate,
+            fec_group=args.fec_group,
+            mtu=args.mtu,
+            interleave_depth=args.interleave_depth,
+            net_seed=args.net_seed,
         )
     except AdmissionError as exc:
         print(f"admission rejected:\n{exc}", file=sys.stderr)

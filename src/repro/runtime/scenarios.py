@@ -29,6 +29,7 @@ from typing import Callable
 import numpy as np
 
 from ..audio.encoder import AudioEncoderConfig
+from ..net.delivery import attach_delivery
 from ..video.encoder import EncoderConfig, VideoEncoder
 from ..workloads.audio_gen import music_like, speech_like
 from ..workloads.video_gen import (
@@ -386,6 +387,103 @@ def _conference_bridge(
         )
         session.rate_hz = wb_cfg.sample_rate / wb_cfg.samples_per_frame
         sessions.append(session)
+    return sessions
+
+
+@REGISTRY.register(
+    "wireless_surveillance",
+    "N cameras whose coded uplinks cross a bursty radio channel: "
+    "Gilbert-Elliott loss, XOR parity FEC, interleaving, PSNR under loss",
+    device="wireless_surveillance",
+    cameras=3,
+    unique_feeds=2,
+    frames=16,
+    seed=0,
+    loss=0.05,
+    fec=2,
+    interleave=4,
+)
+def _wireless_surveillance(
+    cameras: int, unique_feeds: int, frames: int, seed: int,
+    loss: float, fec: int, interleave: int,
+) -> list[MediaSession]:
+    if cameras < 1 or unique_feeds < 1:
+        raise ValueError("need at least one camera and one feed")
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be in [0, 1)")
+    unique_feeds = min(unique_feeds, cameras)
+    cfg = EncoderConfig(search_algorithm="three_step", gop_size=8, quality=55)
+    feeds = [
+        [np.floor(f) for f in static_sequence(
+            num_frames=frames, height=48, width=64, seed=seed + i
+        )]
+        for i in range(unique_feeds)
+    ]
+    sessions: list[MediaSession] = [
+        VideoEncodeSession(f"cam{i}", feeds[i % unique_feeds], cfg)
+        for i in range(cameras)
+    ]
+    sessions.append(AnalysisSession("watch", feeds[0], segment_frames=8))
+    # Radio-sized packets, burst loss, parity + interleaving: the R8
+    # defaults, priced by the device's own SoC interconnect (same cost
+    # model the CLI --channel path uses).  CLI transport flags override
+    # these pipes.
+    from ..mpsoc.presets import wireless_surveillance_soc
+
+    attach_delivery(
+        sessions,
+        kind="gilbert",
+        loss_rate=loss,
+        fec_group=fec,
+        interleave_depth=interleave,
+        mtu=192,
+        seed=seed,
+        platform=wireless_surveillance_soc(),
+    )
+    return sessions
+
+
+@REGISTRY.register(
+    "lossy_wan_transcode",
+    "a transcode farm pulling source clips over a congested WAN: i.i.d. "
+    "loss on the inbound leg, concealment before re-encode",
+    device="lossy_wan_transcode",
+    workers=3,
+    clips=2,
+    frames=16,
+    seed=0,
+    loss=0.05,
+    fec=2,
+)
+def _lossy_wan_transcode(
+    workers: int, clips: int, frames: int, seed: int, loss: float, fec: int
+) -> list[MediaSession]:
+    if workers < 1 or clips < 1:
+        raise ValueError("need at least one worker and one clip")
+    if not 0.0 <= loss < 1.0:
+        raise ValueError("loss must be in [0, 1)")
+    in_cfg = EncoderConfig(gop_size=8, quality=80)
+    out_cfg = EncoderConfig(
+        search_algorithm="diamond", gop_size=8, quality=45
+    )
+    library = [
+        precoded_segments(qcif_like(frames, seed + c), in_cfg, in_cfg.gop_size)
+        for c in range(clips)
+    ]
+    sessions: list[MediaSession] = [
+        TranscodeSession(f"worker{i}", library[i % clips], out_cfg)
+        for i in range(workers)
+    ]
+    # Every worker pulls its clip over its own WAN path (independent
+    # seeded loss traces), so identical clips no longer collapse in the
+    # cache once the channel damages them differently.  Costs come from
+    # the blade's own SoC interconnect, like the CLI --channel path.
+    from ..mpsoc.presets import lossy_wan_transcode_soc
+
+    attach_delivery(
+        sessions, kind="iid", loss_rate=loss, fec_group=fec, seed=seed,
+        platform=lossy_wan_transcode_soc(),
+    )
     return sessions
 
 

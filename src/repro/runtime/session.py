@@ -38,10 +38,75 @@ from dataclasses import dataclass, field, fields
 import numpy as np
 
 from ..analysis.detectors import BlackFrameDetector, ShotBoundaryDetector
-from ..audio.encoder import AudioEncoder, AudioEncoderConfig
-from ..video.decoder import VideoDecoder
+from ..audio.encoder import AudioDecoder, AudioEncoder, AudioEncoderConfig
+from ..video.decoder import DecodedVideo, VideoDecoder
 from ..video.encoder import EncoderConfig, VideoEncoder
+from ..video.frames import Frame
+from ..video.metrics import psnr
 from .cache import SegmentCache, segment_key
+
+#: PSNR ceiling for delivery-quality reports: identical reconstructions
+#: would be infinite dB, which JSON consumers dislike.
+_PSNR_CAP_DB = 99.0
+
+
+def _capped_psnr(clean: np.ndarray, received: np.ndarray, peak: float) -> float:
+    return min(psnr(clean, received, peak=peak), _PSNR_CAP_DB)
+
+
+def _grey_video(geometry: tuple[int, int, int]) -> DecodedVideo:
+    """A whole-segment concealment: mid-grey frames at stream geometry."""
+    width, height, frames = geometry
+    grey = Frame(
+        y=np.full((height, width), 128.0),
+        cb=np.full((height // 2, width // 2), 128.0),
+        cr=np.full((height // 2, width // 2), 128.0),
+    )
+    return DecodedVideo(
+        frames=[grey] * frames,
+        frame_types=["C"] * frames,
+        stage_ops=[{} for _ in range(frames)],
+        concealed=frames,
+    )
+
+
+def score_video_delivery(delivered, clean_bytes: bytes) -> None:
+    """Fill a damaged delivery record's quality fields for a video stream.
+
+    Decodes the clean bytes as the reference and the delivered bytes
+    with concealment, then records the concealed-frame count and the
+    luma PSNR on the record.  Shared by every session whose coded video
+    crosses a channel (encode uplinks and transcode inputs alike).
+    """
+    reference = VideoDecoder().decode(clean_bytes)
+    received = decode_with_concealment(delivered.data, clean_bytes)
+    delivered.concealed_frames = received.concealed
+    delivered.psnr_db = _capped_psnr(
+        np.stack([f.y for f in reference.frames]),
+        np.stack([f.y for f in received.frames]),
+        peak=255.0,
+    )
+
+
+def decode_with_concealment(
+    data: bytes, clean_reference: bytes | None
+) -> DecodedVideo:
+    """Decode possibly-damaged coded video, degrading instead of raising.
+
+    Truncated streams conceal inside the decoder (previous-frame copy);
+    a segment whose very header was lost is replaced by mid-grey frames
+    at the geometry peeked from ``clean_reference`` (the receiver knows
+    its service's format even when a segment vanishes).
+    """
+    try:
+        return VideoDecoder().decode(data, conceal=True)
+    except (EOFError, ValueError):
+        geometry = coded_segment_geometry(clean_reference or b"")
+        if geometry is None:
+            return DecodedVideo(
+                frames=[], frame_types=[], stage_ops=[], concealed=0
+            )
+        return _grey_video(geometry)
 
 
 @dataclass
@@ -72,13 +137,16 @@ def merge_ops(into: dict[str, float], extra: dict[str, float]) -> dict[str, floa
     return into
 
 
-def coded_segment_frames(data: bytes) -> int | None:
-    """Frame count from a coded segment's header, without decoding.
+def coded_segment_geometry(data: bytes) -> tuple[int, int, int] | None:
+    """``(width, height, frames)`` from a coded segment's header.
 
     The Figure-1 bitstream opens magic(16) version(4) width(16)
     height(16) block(8) frames(16); reading that prefix is what lets a
     decode/transcode session derive exact arrival times and deadlines for
-    coded inputs (a real decoder learns the same from its container).
+    coded inputs (a real decoder learns the same from its container) —
+    and what lets a lossy session conceal a *wholly* lost segment at the
+    right dimensions (it peeks the clean header it never received, the
+    way a real receiver knows the service's format out of band).
     Returns ``None`` for anything that is not a valid stream.
     """
     from ..video.bitstream import BitReader
@@ -89,10 +157,17 @@ def coded_segment_frames(data: bytes) -> int | None:
     reader = BitReader(data)
     if reader.read_bits(16) != MAGIC or reader.read_bits(4) != VERSION:
         return None
-    reader.read_bits(16)  # width
-    reader.read_bits(16)  # height
+    width = reader.read_bits(16)
+    height = reader.read_bits(16)
     reader.read_bits(8)  # block size
-    return max(1, reader.read_bits(16))
+    frames = max(1, reader.read_bits(16))
+    return width, height, frames
+
+
+def coded_segment_frames(data: bytes) -> int | None:
+    """Frame count from a coded segment's header, without decoding."""
+    geometry = coded_segment_geometry(data)
+    return None if geometry is None else geometry[2]
 
 
 @dataclass
@@ -144,6 +219,13 @@ class MediaSession:
     #: batch size up front (coded inputs reveal frames only after decode).
     nominal_segment_frames = 8
 
+    #: Where a :class:`repro.net.DeliveryPipe` plugs in: ``"input"`` for
+    #: sessions consuming coded bytes (the segments cross the channel
+    #: *before* decode), ``"output"`` for encoders (the coded stream
+    #: ships out afterwards), ``None`` for sessions with no coded side
+    #: (analysis) — those cannot carry a pipe.
+    delivery_point: str | None = None
+
     def __init__(self, name: str, rate_hz: float | None = None) -> None:
         self.name = name
         self.segments: list[SegmentResult] = []
@@ -155,6 +237,10 @@ class MediaSession:
         self.rate_hz = rate_hz
         #: Virtual-time log, one :class:`SegmentTiming` per finished segment.
         self.timings: list[SegmentTiming] = []
+        #: Optional lossy transport (:meth:`attach_delivery`).
+        self.delivery = None
+        #: One :class:`repro.net.DeliveredSegment` per transported segment.
+        self.delivery_log: list = []
 
     # -- subclass surface --------------------------------------------------
 
@@ -183,26 +269,98 @@ class MediaSession:
     def _peek_done(self) -> bool:
         raise NotImplementedError
 
+    def attach_delivery(self, pipe) -> "MediaSession":
+        """Route this session's coded segments through a lossy transport.
+
+        ``pipe`` is a :class:`repro.net.DeliveryPipe`; segments cross it
+        at the session's :attr:`delivery_point`.  Raises for sessions
+        with no coded side.
+        """
+        if self.delivery_point is None:
+            raise ValueError(
+                f"session kind {self.kind!r} has no coded stream to "
+                f"deliver (delivery_point is None)"
+            )
+        self.delivery = pipe
+        return self
+
     def step(self, cache: SegmentCache | None = None) -> SegmentResult | None:
         """Advance by one segment; returns ``None`` once drained."""
+        release = self.next_release() if self.delivery is not None else 0.0
         batch = self._next_batch()
         if batch is None:
             return None
+        delivered = None
+        clean = None
+        if self.delivery is not None and self.delivery_point == "input":
+            clean = batch
+            delivered = self.delivery.transport(batch, release)
+            batch = delivered.data
+            self._expected_input = clean
         result = None
         key = None
-        if cache is not None:
+        # A damaged input segment is concealed with session-local context
+        # (stream geometry peeked from the clean header), so its result is
+        # not a pure function of the damaged bytes — bypass the shared
+        # cache for it.  Intact segments stay cacheable as ever.
+        cacheable = cache is not None and (
+            delivered is None or delivered.intact
+        )
+        if cacheable:
             key = segment_key(self.kind, self._fingerprint(), self._payload(batch))
             result = cache.get(key)
         if result is None:
             result = self._process(batch)
             self.segments_computed += 1
-            if cache is not None:
+            if cacheable:
                 cache.put(key, result)
         else:
             self.segments_from_cache += 1
             cache.credit(result.stage_ops)
         self.segments.append(result)
+        if self.delivery is not None and self.delivery_point == "output":
+            delivered = self.delivery.transport(result.data, release)
+        if delivered is not None:
+            self._assess_delivery(delivered, clean, result)
+            self.delivery_log.append(delivered)
+        self._expected_input = None
         return result
+
+    #: Clean coded bytes of the segment currently crossing the channel
+    #: (input-point sessions only) — concealment geometry comes from here.
+    _expected_input: bytes | None = None
+
+    def _assess_delivery(
+        self, delivered, clean: bytes | None, result: SegmentResult
+    ) -> None:
+        """Fill per-segment quality fields (concealed frames, PSNR) on the
+        delivery record.  Subclasses with decodable streams override."""
+
+    def delivery_summary(self) -> dict | None:
+        """Aggregate transport scorecard, or ``None`` without a pipe."""
+        if self.delivery is None:
+            return None
+        log = self.delivery_log
+        sent = sum(d.packets_sent for d in log)
+        lost = sum(d.packets_lost for d in log)
+        psnrs = [d.psnr_db for d in log if d.psnr_db is not None]
+        return {
+            "channel": self.delivery.describe(),
+            "point": self.delivery_point,
+            "segments": len(log),
+            "segments_intact": sum(1 for d in log if d.intact),
+            "packets_sent": sent,
+            "packets_lost": lost,
+            "packets_late": sum(d.packets_late for d in log),
+            "packets_recovered": sum(d.packets_recovered for d in log),
+            "loss_pct": 100.0 * lost / sent if sent else 0.0,
+            "bytes_on_wire": sum(d.bytes_on_wire for d in log),
+            "concealed_frames": sum(d.concealed_frames for d in log),
+            "psnr_under_loss_db": (
+                sum(psnrs) / len(psnrs) if psnrs else None
+            ),
+            "virtual_cost_s": sum(d.virtual_cost_s for d in log),
+        }
 
     def run_to_completion(self, cache: SegmentCache | None = None) -> "MediaSession":
         while self.step(cache) is not None:
@@ -372,6 +530,7 @@ class VideoEncodeSession(_FrameFedSession):
     """
 
     kind = "video_encode"
+    delivery_point = "output"
 
     def __init__(
         self,
@@ -424,11 +583,27 @@ class VideoEncodeSession(_FrameFedSession):
             me_evaluations=me,
         )
 
+    def _assess_delivery(
+        self, delivered, clean: bytes | None, result: SegmentResult
+    ) -> None:
+        """Score what a receiver of the uplink would reconstruct."""
+        if delivered.intact:
+            return
+        score_video_delivery(delivered, result.data)
+
 
 class VideoDecodeSession(MediaSession):
-    """Decode a list of standalone segments (tuner/playback workload)."""
+    """Decode a list of standalone segments (tuner/playback workload).
+
+    With a delivery pipe attached the coded segments cross the lossy
+    channel *before* decode; damaged arrivals are decoded with
+    concealment (previous-frame copy, grey for total loss), so the
+    session degrades instead of raising — the R8 behaviour the lossy
+    scenarios exercise.
+    """
 
     kind = "video_decode"
+    delivery_point = "input"
 
     def __init__(self, name: str, coded_segments: list[bytes]) -> None:
         super().__init__(name)
@@ -472,7 +647,10 @@ class VideoDecodeSession(MediaSession):
         return "VideoDecoder()"
 
     def _process(self, batch) -> SegmentResult:
-        decoded = VideoDecoder().decode(batch)
+        if self.delivery is None:
+            decoded = VideoDecoder().decode(batch)
+        else:
+            decoded = decode_with_concealment(batch, self._expected_input)
         ops: dict[str, float] = {}
         for frame_ops in decoded.stage_ops:
             merge_ops(ops, frame_ops)
@@ -481,7 +659,23 @@ class VideoDecodeSession(MediaSession):
             frames=len(decoded.frames),
             bits=len(batch) * 8,
             stage_ops=ops,
-            extras={"luma": [f.y for f in decoded.frames]},
+            extras={
+                "luma": [f.y for f in decoded.frames],
+                "concealed": decoded.concealed,
+            },
+        )
+
+    def _assess_delivery(
+        self, delivered, clean: bytes | None, result: SegmentResult
+    ) -> None:
+        delivered.concealed_frames = int(result.extras.get("concealed", 0))
+        if delivered.intact or clean is None:
+            return
+        reference = VideoDecoder().decode(clean)
+        delivered.psnr_db = _capped_psnr(
+            np.stack([f.y for f in reference.frames]),
+            np.stack(result.extras["luma"]),
+            peak=255.0,
         )
 
 
@@ -493,6 +687,7 @@ class AudioEncodeSession(MediaSession):
     whole engine run between the batched and scalar-reference paths)."""
 
     kind = "audio_encode"
+    delivery_point = "output"
 
     def __init__(
         self,
@@ -555,6 +750,29 @@ class AudioEncodeSession(MediaSession):
             stage_ops=ops,
         )
 
+    def _assess_delivery(
+        self, delivered, clean: bytes | None, result: SegmentResult
+    ) -> None:
+        """Score the received audio: frame repeat/mute, then PCM PSNR."""
+        if delivered.intact:
+            return
+        reference = AudioDecoder().decode(result.data)
+        try:
+            received = AudioDecoder().decode(delivered.data, conceal=True)
+            pcm = received.pcm
+            delivered.concealed_frames = received.concealed
+        except (EOFError, ValueError):
+            # Even the stream header was lost: the whole segment mutes.
+            pcm = np.zeros_like(reference.pcm)
+            delivered.concealed_frames = result.frames
+        if pcm.size < reference.pcm.size:
+            pcm = np.concatenate(
+                [pcm, np.zeros(reference.pcm.size - pcm.size)]
+            )
+        delivered.psnr_db = _capped_psnr(
+            reference.pcm, pcm[:reference.pcm.size], peak=2.0
+        )
+
 
 class TranscodeSession(MediaSession):
     """Decode coded segments and re-encode them at a different operating
@@ -563,6 +781,7 @@ class TranscodeSession(MediaSession):
     """
 
     kind = "transcode"
+    delivery_point = "input"
 
     def __init__(
         self,
@@ -617,7 +836,10 @@ class TranscodeSession(MediaSession):
         return config_fingerprint(self.out_config)
 
     def _process(self, batch) -> SegmentResult:
-        decoded = VideoDecoder().decode(batch)
+        if self.delivery is None:
+            decoded = VideoDecoder().decode(batch)
+        else:
+            decoded = decode_with_concealment(batch, self._expected_input)
         ops: dict[str, float] = {}
         for frame_ops in decoded.stage_ops:
             merge_ops(ops, frame_ops)
@@ -633,7 +855,19 @@ class TranscodeSession(MediaSession):
             bits=encoded.total_bits,
             stage_ops=ops,
             me_evaluations=me,
+            extras={"concealed": decoded.concealed},
         )
+
+    def _assess_delivery(
+        self, delivered, clean: bytes | None, result: SegmentResult
+    ) -> None:
+        delivered.concealed_frames = int(result.extras.get("concealed", 0))
+        if delivered.intact or clean is None:
+            return
+        # Damaged segments are rare and never cached: re-deriving the
+        # concealed planes here (identical to what _process re-encoded)
+        # beats carting full luma through every retained result.
+        score_video_delivery(delivered, clean)
 
 
 class AnalysisSession(_FrameFedSession):

@@ -25,11 +25,17 @@ from .zigzag import inverse_zigzag
 
 @dataclass
 class DecodedVideo:
-    """Decoder output: frames plus per-frame op accounting."""
+    """Decoder output: frames plus per-frame op accounting.
+
+    ``concealed`` counts frames that were *not* parsed from the
+    bitstream but synthesized by error concealment (frame type ``"C"``)
+    — zero on any intact stream.
+    """
 
     frames: list[Frame]
     frame_types: list[str]
     stage_ops: list[dict[str, float]]
+    concealed: int = 0
 
 
 class VideoDecoder:
@@ -44,7 +50,20 @@ class VideoDecoder:
     def __init__(self, batched: bool | None = None) -> None:
         self.batched = resolve_batched(batched)
 
-    def decode(self, data: bytes) -> DecodedVideo:
+    def decode(self, data: bytes, conceal: bool = False) -> DecodedVideo:
+        """Decode a stream; ``conceal`` survives truncated input.
+
+        A lossy transport hands the decoder a clean *prefix* of the
+        coded bytes (fragments after a lost packet cannot be spliced
+        back in — see :mod:`repro.net.packetizer`).  With ``conceal``
+        enabled, the first frame whose parse runs off the end of the
+        buffer — and every frame after it — is replaced by a copy of
+        the last good frame (mid-grey if the stream broke before any
+        frame), the classic previous-frame-copy concealment.  The
+        header must still be readable: it rides in fragment 0, so a
+        session that lost even that conceals at segment level instead
+        (:meth:`repro.runtime.session.VideoDecodeSession`).
+        """
         reader = BitReader(data)
         magic = reader.read_bits(16)
         if magic != MAGIC:
@@ -74,69 +93,117 @@ class VideoDecoder:
         frame_types: list[str] = []
         ops: list[dict[str, float]] = []
 
-        for _ in range(num_frames):
-            is_inter = bool(reader.read_bits(1))
-            step = reader.read_bits(12) / 16.0
-            intra_matrix = np.clip(INTRA_BASE * (step / 16.0), 1.0, 255.0)
-            inter_matrix = uniform_matrix(step, (n, n))
-            frame_ops: dict[str, float] = {}
-
-            motion: MotionField | None = None
-            if is_inter:
-                by, bx = pad_h // n, pad_w // n
-                dy = np.zeros((by, bx), dtype=np.int32)
-                dx = np.zeros((by, bx), dtype=np.int32)
-                for i in range(by):
-                    for j in range(bx):
-                        dy[i, j] = reader.read_se()
-                        dx[i, j] = reader.read_se()
-                motion = MotionField(dy=dy, dx=dx, block_size=n)
-
-            recon: dict[str, np.ndarray] = {}
-            plane_specs = [("y", pad_h, pad_w)]
-            if code_chroma:
-                plane_specs += [("cb", cpad_h, cpad_w), ("cr", cpad_h, cpad_w)]
-            for name, ph, pw in plane_specs:
-                if not is_inter or motion is None:
-                    prediction = np.full((ph, pw), 128.0)
-                elif name == "y":
-                    prediction = motion_compensate(reference["y"], motion)
-                    frame_ops["motion_compensation"] = (
-                        frame_ops.get("motion_compensation", 0.0) + ph * pw
-                    )
-                else:
-                    from .encoder import _halve_motion
-
-                    chroma_field = _halve_motion(motion, (ph, pw), n)
-                    prediction = motion_compensate(reference[name], chroma_field)
-                matrix = inter_matrix if is_inter else intra_matrix
-                plane, blocks = self._decode_plane(
-                    reader, ph, pw, n, matrix, prediction,
+        concealed = 0
+        for index in range(num_frames):
+            try:
+                frame, frame_type, frame_ops, reference = self._parse_frame(
+                    reader, reference, n, pad_h, pad_w, cpad_h, cpad_w,
+                    width, height, chroma_h, chroma_w, code_chroma,
                     ac_codec, dc_codec, eob,
                 )
-                recon[name] = plane
-                frame_ops["inverse_dct"] = (
-                    frame_ops.get("inverse_dct", 0.0) + blocks * 2 * n ** 3
+            except (EOFError, ValueError):
+                if not conceal:
+                    raise
+                # The stream is sequential: once one frame is unreadable
+                # so is everything after it.  Repeat the last good frame
+                # for the remainder (mid-grey if nothing decoded yet).
+                concealed = num_frames - index
+                last = frames[-1] if frames else Frame(
+                    y=np.full((height, width), 128.0),
+                    cb=np.full((chroma_h, chroma_w), 128.0),
+                    cr=np.full((chroma_h, chroma_w), 128.0),
                 )
-                frame_ops["dequantize"] = (
-                    frame_ops.get("dequantize", 0.0) + blocks * n * n
-                )
-            if not code_chroma:
-                recon["cb"] = np.full((cpad_h, cpad_w), 128.0)
-                recon["cr"] = np.full((cpad_h, cpad_w), 128.0)
-
-            reference = recon
-            frames.append(
-                Frame(
-                    y=recon["y"][:height, :width],
-                    cb=recon["cb"][:chroma_h, :chroma_w],
-                    cr=recon["cr"][:chroma_h, :chroma_w],
-                )
-            )
-            frame_types.append("P" if is_inter else "I")
+                for _ in range(concealed):
+                    frames.append(last)
+                    frame_types.append("C")
+                    ops.append({})
+                break
+            frames.append(frame)
+            frame_types.append(frame_type)
             ops.append(frame_ops)
 
-        return DecodedVideo(frames=frames, frame_types=frame_types, stage_ops=ops)
+        return DecodedVideo(
+            frames=frames,
+            frame_types=frame_types,
+            stage_ops=ops,
+            concealed=concealed,
+        )
+
+    def _parse_frame(
+        self,
+        reader: BitReader,
+        reference: dict,
+        n: int,
+        pad_h: int,
+        pad_w: int,
+        cpad_h: int,
+        cpad_w: int,
+        width: int,
+        height: int,
+        chroma_h: int,
+        chroma_w: int,
+        code_chroma: bool,
+        ac_codec,
+        dc_codec,
+        eob: int,
+    ):
+        """Parse one frame; returns (frame, type, ops, new reference)."""
+        is_inter = bool(reader.read_bits(1))
+        step = reader.read_bits(12) / 16.0
+        intra_matrix = np.clip(INTRA_BASE * (step / 16.0), 1.0, 255.0)
+        inter_matrix = uniform_matrix(step, (n, n))
+        frame_ops: dict[str, float] = {}
+
+        motion: MotionField | None = None
+        if is_inter:
+            by, bx = pad_h // n, pad_w // n
+            dy = np.zeros((by, bx), dtype=np.int32)
+            dx = np.zeros((by, bx), dtype=np.int32)
+            for i in range(by):
+                for j in range(bx):
+                    dy[i, j] = reader.read_se()
+                    dx[i, j] = reader.read_se()
+            motion = MotionField(dy=dy, dx=dx, block_size=n)
+
+        recon: dict[str, np.ndarray] = {}
+        plane_specs = [("y", pad_h, pad_w)]
+        if code_chroma:
+            plane_specs += [("cb", cpad_h, cpad_w), ("cr", cpad_h, cpad_w)]
+        for name, ph, pw in plane_specs:
+            if not is_inter or motion is None:
+                prediction = np.full((ph, pw), 128.0)
+            elif name == "y":
+                prediction = motion_compensate(reference["y"], motion)
+                frame_ops["motion_compensation"] = (
+                    frame_ops.get("motion_compensation", 0.0) + ph * pw
+                )
+            else:
+                from .encoder import _halve_motion
+
+                chroma_field = _halve_motion(motion, (ph, pw), n)
+                prediction = motion_compensate(reference[name], chroma_field)
+            matrix = inter_matrix if is_inter else intra_matrix
+            plane, blocks = self._decode_plane(
+                reader, ph, pw, n, matrix, prediction,
+                ac_codec, dc_codec, eob,
+            )
+            recon[name] = plane
+            frame_ops["inverse_dct"] = (
+                frame_ops.get("inverse_dct", 0.0) + blocks * 2 * n ** 3
+            )
+            frame_ops["dequantize"] = (
+                frame_ops.get("dequantize", 0.0) + blocks * n * n
+            )
+        if not code_chroma:
+            recon["cb"] = np.full((cpad_h, cpad_w), 128.0)
+            recon["cr"] = np.full((cpad_h, cpad_w), 128.0)
+
+        frame = Frame(
+            y=recon["y"][:height, :width],
+            cb=recon["cb"][:chroma_h, :chroma_w],
+            cr=recon["cr"][:chroma_h, :chroma_w],
+        )
+        return frame, ("P" if is_inter else "I"), frame_ops, recon
 
     def _decode_plane(
         self,
