@@ -1,0 +1,62 @@
+"""Shared test-suite configuration.
+
+Two things live here:
+
+* the hypothesis settings profile for the run — tiered
+  ``DETERMINISM``/``STANDARD``/``QUICK`` profiles from
+  ``tests/strategies/settings.py``, selected via ``REPRO_TEST_PROFILE``
+  (CI sets ``quick``; the default is ``standard``);
+* the shared seeded-RNG fixtures: every test that needs bulk random
+  content takes ``rng`` (or the ``make_rng`` factory for several
+  independent streams) and gets a ``np.random.Generator`` whose seed is
+  derived from the test's node id and printed, so any failure replays
+  from the reported seed instead of an anonymous ``default_rng(0)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Make the strategy library importable as ``strategies`` regardless of
+# how pytest was invoked (tests/ is not a package).
+sys.path.insert(0, os.path.dirname(__file__))
+
+from strategies.settings import load_profile_from_env  # noqa: E402
+
+load_profile_from_env()
+
+
+def _seed_from(node_id: str, salt: int | str = 0) -> int:
+    """Stable 64-bit seed from a test node id (+ optional salt)."""
+    digest = hashlib.sha256(f"{node_id}#{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Per-test seeded generator; the seed is printed for replay."""
+    seed = _seed_from(request.node.nodeid)
+    print(f"rng seed for {request.node.nodeid}: {seed}")
+    return np.random.default_rng(seed)
+
+
+@pytest.fixture
+def make_rng(request):
+    """Factory for several independent named generators in one test.
+
+    ``make_rng()`` matches the ``rng`` fixture; ``make_rng("jitter")``
+    (or any other salt) derives an independent stream.  Each call
+    prints its seed so failures replay exactly.
+    """
+
+    def make(salt: int | str = 0) -> np.random.Generator:
+        seed = _seed_from(request.node.nodeid, salt)
+        print(f"rng seed for {request.node.nodeid} (salt={salt!r}): {seed}")
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,31 @@
+"""Seeded domain-strategy library for the repository's property tests.
+
+Three layers, mirroring the exemplar split the ROADMAP points at:
+
+* :mod:`strategies.settings` — tiered hypothesis settings profiles
+  (``DETERMINISM`` / ``STANDARD`` / ``QUICK``) selectable per run via
+  ``REPRO_TEST_PROFILE``;
+* :mod:`strategies.domains` — strategies for the repository's domain
+  objects: random frames with controlled dtypes/shapes, audio segments
+  (fractional sample rates included), raw bitstreams, packet batches and
+  traces, Gilbert–Elliott channel seeds, encoder/quantizer configs;
+* :mod:`strategies.registry` — the oracle registry pairing every
+  ``*_reference`` callable in ``repro.*`` with its batched counterpart
+  and a strategy over its input domain
+  (``tests/test_reference_equivalence.py`` enforces full coverage).
+"""
+
+from .settings import DETERMINISM, QUICK, STANDARD, load_profile_from_env
+from . import domains
+from .registry import REGISTRY, OraclePair, assert_equivalent
+
+__all__ = [
+    "DETERMINISM",
+    "STANDARD",
+    "QUICK",
+    "load_profile_from_env",
+    "domains",
+    "REGISTRY",
+    "OraclePair",
+    "assert_equivalent",
+]

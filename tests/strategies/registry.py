@@ -1,0 +1,486 @@
+"""The oracle registry: every ``*_reference`` callable, paired and fuzzed.
+
+Each :class:`OraclePair` names one scalar oracle (by the dotted path
+``tests/test_reference_equivalence.py`` discovers), a strategy over its
+input domain, and two runners — one driving the reference path, one the
+batched production path.  The equivalence test draws cases from the
+strategy and asserts the two runners' results are bit-exact (or, for
+the explicitly floating-point recurrences, equal to tight tolerance).
+
+Adding a new ``*_reference`` kernel anywhere under ``repro.*`` without
+registering it here fails
+``test_every_reference_oracle_has_a_registered_strategy`` loudly — that
+is the point: the refactor gate must never silently lose coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.audio.bitalloc import (
+    allocate_bits,
+    allocate_bits_batch,
+    allocate_bits_reference,
+)
+from repro.audio.encoder import AudioEncoder
+from repro.audio.filterbank import (
+    _analyze_raw,
+    _analyze_raw_reference,
+    _bank_matrices,
+    _synthesize_raw,
+    _synthesize_raw_reference,
+)
+from repro.image.jpeg import JpegLikeCodec
+from repro.net.channel import (
+    serialization_times,
+    serialization_times_reference,
+)
+from repro.net.fec import (
+    interleave_indices,
+    interleave_indices_reference,
+    recover_group,
+    recover_group_reference,
+    xor_parity,
+    xor_parity_reference,
+)
+from repro.net.packetizer import (
+    crc32_reference,
+    packets_to_wire,
+    packets_to_wire_reference,
+)
+from repro.support.ipstack import (
+    ones_complement_checksum,
+    ones_complement_checksum_reference,
+)
+from repro.video.decoder import VideoDecoder
+from repro.video.encoder import VideoEncoder
+from repro.video.motion import full_search, full_search_reference
+from repro.video.zigzag import (
+    inverse_zigzag,
+    inverse_zigzag_reference,
+    zigzag,
+    zigzag_reference,
+)
+
+from . import domains
+
+
+# ------------------------------------------------------------ comparison
+
+
+def assert_equivalent(reference: Any, batched: Any, path: str = "result"):
+    """Recursive bit-exact comparison with a readable failure trail.
+
+    Arrays must match in dtype, shape, and every element (NaNs compare
+    equal to NaNs); dataclasses compare field by field; containers
+    recurse.  This is deliberately stricter than ``==`` — the
+    ``_reference`` convention promises *bit* identity, not closeness.
+    """
+    if isinstance(reference, np.ndarray) or isinstance(batched, np.ndarray):
+        ref = np.asarray(reference)
+        fast = np.asarray(batched)
+        assert ref.dtype == fast.dtype, (
+            f"{path}: dtype {fast.dtype} != reference {ref.dtype}"
+        )
+        assert ref.shape == fast.shape, (
+            f"{path}: shape {fast.shape} != reference {ref.shape}"
+        )
+        assert np.array_equal(ref, fast, equal_nan=ref.dtype.kind == "f"), (
+            f"{path}: arrays differ "
+            f"(first mismatch at {_first_mismatch(ref, fast)})"
+        )
+        return
+    if dataclasses.is_dataclass(reference) and not isinstance(reference, type):
+        assert type(reference) is type(batched), (
+            f"{path}: {type(batched).__name__} != "
+            f"reference {type(reference).__name__}"
+        )
+        for f in dataclasses.fields(reference):
+            assert_equivalent(
+                getattr(reference, f.name),
+                getattr(batched, f.name),
+                f"{path}.{f.name}",
+            )
+        return
+    if isinstance(reference, (list, tuple)):
+        assert isinstance(batched, (list, tuple)) and (
+            len(reference) == len(batched)
+        ), f"{path}: length {len(batched)} != reference {len(reference)}"
+        for i, (r, b) in enumerate(zip(reference, batched)):
+            assert_equivalent(r, b, f"{path}[{i}]")
+        return
+    if isinstance(reference, dict):
+        assert reference.keys() == batched.keys(), (
+            f"{path}: keys differ ({set(reference) ^ set(batched)})"
+        )
+        for key in reference:
+            assert_equivalent(reference[key], batched[key], f"{path}[{key!r}]")
+        return
+    if isinstance(reference, float) and isinstance(batched, float):
+        assert (reference == batched) or (
+            np.isnan(reference) and np.isnan(batched)
+        ), f"{path}: {batched!r} != reference {reference!r}"
+        return
+    assert reference == batched, (
+        f"{path}: {batched!r} != reference {reference!r}"
+    )
+
+
+def _first_mismatch(a: np.ndarray, b: np.ndarray) -> str:
+    if a.dtype.kind == "f":
+        diff = ~((a == b) | (np.isnan(a) & np.isnan(b)))
+    else:
+        diff = a != b
+    where = np.argwhere(diff)
+    if where.size == 0:
+        return "<none>"
+    idx = tuple(int(i) for i in where[0])
+    return f"{idx}: {b[idx]!r} vs {a[idx]!r}"
+
+
+def assert_allclose(reference: Any, batched: Any, path: str = "result"):
+    """Tight-tolerance comparator for floating-point *recurrence*
+    identities (cumulative-max serialization), where the vectorized
+    algebra is exact in real arithmetic but reassociates roundoff."""
+    np.testing.assert_allclose(batched, reference, rtol=1e-9, atol=1e-12)
+
+
+@dataclass(frozen=True)
+class OraclePair:
+    """One registered ``*_reference`` / batched pair."""
+
+    oracle: str  # dotted path, e.g. "repro.video.zigzag.zigzag_reference"
+    strategy: st.SearchStrategy
+    run_reference: Callable[[Any], Any]
+    run_batched: Callable[[Any], Any]
+    compare: Callable[[Any, Any], None] = assert_equivalent
+
+
+# ----------------------------------------------------- composite domains
+
+
+@st.composite
+def _filterbank_geometry(draw):
+    """(num_bands, taps) kept inside the matrix lru_cache working set."""
+    m = draw(st.sampled_from((8, 32)))
+    taps = draw(st.sampled_from((8, 16)))
+    return m, taps
+
+
+@st.composite
+def _analysis_cases(draw):
+    m, taps = draw(_filterbank_geometry())
+    x = draw(domains.audio_segments(max_samples=1024))
+    return x, m, taps
+
+
+@st.composite
+def _synthesis_cases(draw):
+    m, taps = draw(_filterbank_geometry())
+    rows = draw(st.integers(0, 40))
+    rng = np.random.default_rng(draw(domains.rng_seeds()))
+    sub = rng.uniform(-1.0, 1.0, size=(rows, m))
+    return sub, m, taps
+
+
+@st.composite
+def _bitalloc_cases(draw):
+    smr = draw(domains.smr_arrays(max_bands=48))
+    pool = draw(st.integers(0, 4000))
+    samples = draw(st.integers(4, 16))
+    side = draw(st.integers(0, 8))
+    max_bits = draw(st.sampled_from((4, 8, 15)))
+    return smr, pool, samples, side, max_bits
+
+
+@st.composite
+def _audio_encode_cases(draw):
+    cfg = draw(domains.audio_encoder_configs())
+    pcm = draw(
+        domains.audio_segments(max_samples=3 * cfg.samples_per_frame)
+    )
+    anc = draw(st.binary(max_size=2 * cfg.ancillary_bytes_per_frame + 1))
+    return pcm, cfg, anc
+
+
+@st.composite
+def _video_encode_cases(draw):
+    frames = draw(domains.video_sequences())
+    cfg = draw(domains.video_encoder_configs())
+    return frames, cfg
+
+
+@st.composite
+def _video_streams(draw):
+    frames, cfg = draw(_video_encode_cases())
+    return VideoEncoder(cfg, batched=True).encode(frames).data
+
+
+@st.composite
+def _jpeg_encode_cases(draw):
+    image = draw(domains.luma_frames(max_side=32, even=False))
+    quality = draw(st.integers(5, 95))
+    return image, quality
+
+
+@st.composite
+def _jpeg_streams(draw):
+    image, quality = draw(_jpeg_encode_cases())
+    return JpegLikeCodec(batched=True).encode(image, quality).data
+
+
+@st.composite
+def _motion_cases(draw):
+    current, reference = draw(domains.frame_pairs(max_blocks=3))
+    search_range = draw(st.integers(1, 3))
+    return current, reference, search_range
+
+
+@st.composite
+def _recovery_cases(draw):
+    """(parity packet, surviving packets) with 0, 1, or 2 losses."""
+    _, _, wire = draw(domains.parity_groups())
+    parities = [p for p in wire if p.is_parity]
+    parity = draw(st.sampled_from(parities))
+    covered = [
+        p
+        for p in wire
+        if not p.is_parity
+        and parity.seq - parity.frag_count <= p.seq < parity.seq
+    ]
+    n_drop = draw(st.integers(0, min(2, len(covered))))
+    shuffled = draw(st.permutations(covered))
+    dropped = {p.seq for p in shuffled[:n_drop]}
+    present = {p.seq: p for p in covered if p.seq not in dropped}
+    return parity, present
+
+
+@st.composite
+def _interleave_cases(draw):
+    return draw(st.integers(0, 200)), draw(st.integers(1, 12))
+
+
+# ---------------------------------------------------------------- runners
+
+
+def _video_encode(batched: bool):
+    def run(case):
+        frames, cfg = case
+        out = VideoEncoder(cfg, batched=batched).encode(frames)
+        return out.data, [s.bits for s in out.frame_stats]
+
+    return run
+
+
+def _video_decode(batched: bool):
+    def run(data):
+        decoded = VideoDecoder(batched=batched).decode(data)
+        planes = [(f.y, f.cb, f.cr) for f in decoded.frames]
+        return planes, decoded.frame_types, decoded.concealed
+
+    return run
+
+
+def _audio_encode(batched: bool):
+    def run(case):
+        pcm, cfg, anc = case
+        out = AudioEncoder(cfg, batched=batched).encode(pcm, anc)
+        return out.data, [s.allocation for s in out.frame_stats]
+
+    return run
+
+
+def _jpeg_encode(batched: bool):
+    def run(case):
+        image, quality = case
+        return JpegLikeCodec(batched=batched).encode(image, quality).data
+
+    return run
+
+
+def _bitalloc_reference(case):
+    smr, pool, samples, side, max_bits = case
+    alloc = allocate_bits_reference(smr, pool, samples, side, max_bits)
+    return alloc, alloc
+
+
+def _bitalloc_batched(case):
+    """The incremental rewrite AND the lockstep batch form, together."""
+    smr, pool, samples, side, max_bits = case
+    incremental = allocate_bits(smr, pool, samples, side, max_bits)
+    (batch_row,) = allocate_bits_batch(
+        smr[None, :], pool, samples, side, max_bits
+    )
+    return incremental, batch_row
+
+
+def _filterbank(kernel):
+    def run(case):
+        x, m, taps = case
+        analysis, synthesis, _ = _bank_matrices(m, taps)
+        matrix = analysis if kernel in (_analyze_raw, _analyze_raw_reference) \
+            else synthesis
+        return kernel(x, matrix, m)
+
+    return run
+
+
+# --------------------------------------------------------------- registry
+
+REGISTRY: dict[str, OraclePair] = {}
+
+
+def _register(pair: OraclePair) -> None:
+    if pair.oracle in REGISTRY:
+        raise ValueError(f"duplicate oracle registration: {pair.oracle}")
+    REGISTRY[pair.oracle] = pair
+
+
+# -- video ---------------------------------------------------------------
+
+_register(OraclePair(
+    oracle="repro.video.zigzag.zigzag_reference",
+    strategy=domains.square_blocks(),
+    run_reference=zigzag_reference,
+    run_batched=zigzag,
+))
+
+_register(OraclePair(
+    oracle="repro.video.zigzag.inverse_zigzag_reference",
+    strategy=domains.zigzag_vectors(),
+    run_reference=lambda case: inverse_zigzag_reference(case[0], case[1]),
+    run_batched=lambda case: inverse_zigzag(case[0], case[1]),
+))
+
+_register(OraclePair(
+    oracle="repro.video.motion.full_search_reference",
+    strategy=_motion_cases(),
+    run_reference=lambda c: full_search_reference(
+        c[0], c[1], block_size=8, search_range=c[2]
+    ),
+    run_batched=lambda c: full_search(
+        c[0], c[1], block_size=8, search_range=c[2]
+    ),
+))
+
+_register(OraclePair(
+    oracle="repro.video.encoder.VideoEncoder._code_plane_reference",
+    strategy=_video_encode_cases(),
+    run_reference=_video_encode(batched=False),
+    run_batched=_video_encode(batched=True),
+))
+
+_register(OraclePair(
+    oracle="repro.video.decoder.VideoDecoder._decode_plane_reference",
+    strategy=_video_streams(),
+    run_reference=_video_decode(batched=False),
+    run_batched=_video_decode(batched=True),
+))
+
+# -- image ---------------------------------------------------------------
+
+_register(OraclePair(
+    oracle="repro.image.jpeg.JpegLikeCodec._encode_blocks_reference",
+    strategy=_jpeg_encode_cases(),
+    run_reference=_jpeg_encode(batched=False),
+    run_batched=_jpeg_encode(batched=True),
+))
+
+_register(OraclePair(
+    oracle="repro.image.jpeg.JpegLikeCodec._decode_blocks_reference",
+    strategy=_jpeg_streams(),
+    run_reference=lambda data: JpegLikeCodec(batched=False).decode(data),
+    run_batched=lambda data: JpegLikeCodec(batched=True).decode(data),
+))
+
+# -- audio ---------------------------------------------------------------
+
+_register(OraclePair(
+    oracle="repro.audio.filterbank._analyze_raw_reference",
+    strategy=_analysis_cases(),
+    run_reference=_filterbank(_analyze_raw_reference),
+    run_batched=_filterbank(_analyze_raw),
+))
+
+_register(OraclePair(
+    oracle="repro.audio.filterbank._synthesize_raw_reference",
+    strategy=_synthesis_cases(),
+    run_reference=_filterbank(_synthesize_raw_reference),
+    run_batched=_filterbank(_synthesize_raw),
+))
+
+_register(OraclePair(
+    oracle="repro.audio.bitalloc.allocate_bits_reference",
+    strategy=_bitalloc_cases(),
+    run_reference=_bitalloc_reference,
+    run_batched=_bitalloc_batched,
+))
+
+_register(OraclePair(
+    oracle="repro.audio.encoder.AudioEncoder._encode_frames_reference",
+    strategy=_audio_encode_cases(),
+    run_reference=_audio_encode(batched=False),
+    run_batched=_audio_encode(batched=True),
+))
+
+# -- net -----------------------------------------------------------------
+
+_register(OraclePair(
+    oracle="repro.net.packetizer.crc32_reference",
+    strategy=domains.bitstreams(max_size=2048),
+    run_reference=crc32_reference,
+    run_batched=lambda data: zlib.crc32(data) & 0xFFFFFFFF,
+))
+
+_register(OraclePair(
+    oracle="repro.net.packetizer.packets_to_wire_reference",
+    strategy=domains.packet_batches(),
+    run_reference=packets_to_wire_reference,
+    run_batched=packets_to_wire,
+))
+
+_register(OraclePair(
+    oracle="repro.net.channel.serialization_times_reference",
+    strategy=domains.link_workloads(),
+    run_reference=lambda c: serialization_times_reference(c[0], c[1], c[2]),
+    run_batched=lambda c: serialization_times(c[0], c[1], c[2]),
+    compare=assert_allclose,
+))
+
+_register(OraclePair(
+    oracle="repro.net.fec.xor_parity_reference",
+    strategy=st.lists(
+        domains.seeded_payloads(max_size=256), min_size=1, max_size=8
+    ),
+    run_reference=xor_parity_reference,
+    run_batched=xor_parity,
+))
+
+_register(OraclePair(
+    oracle="repro.net.fec.recover_group_reference",
+    strategy=_recovery_cases(),
+    run_reference=lambda c: recover_group_reference(c[0], c[1]),
+    run_batched=lambda c: recover_group(c[0], c[1]),
+))
+
+_register(OraclePair(
+    oracle="repro.net.fec.interleave_indices_reference",
+    strategy=_interleave_cases(),
+    run_reference=lambda c: interleave_indices_reference(c[0], c[1]),
+    run_batched=lambda c: interleave_indices(c[0], c[1]),
+))
+
+# -- support -------------------------------------------------------------
+
+_register(OraclePair(
+    oracle="repro.support.ipstack.ones_complement_checksum_reference",
+    strategy=domains.bitstreams(max_size=4096),
+    run_reference=ones_complement_checksum_reference,
+    run_batched=ones_complement_checksum,
+))

@@ -1,0 +1,61 @@
+"""Tiered hypothesis settings profiles for the property-test suite.
+
+Tiers (example budgets follow the elspeth-style convention the ROADMAP
+names):
+
+* ``DETERMINISM`` — 500 examples: seed/replay and hash-stability pins;
+* ``STANDARD``    — 100 examples: the default for equivalence and
+  invariant properties (what the acceptance gate of the ``_reference``
+  harness runs);
+* ``QUICK``       —  20 examples: fast validation, what CI selects.
+
+The same tiers are registered as hypothesis *profiles* so a whole run
+can be retiered without touching code::
+
+    REPRO_TEST_PROFILE=quick pytest tests/          # CI
+    REPRO_TEST_PROFILE=determinism pytest tests/    # soak
+
+Tests that decorate with an explicit tier (``@STANDARD``) keep that tier
+regardless of the loaded profile; undecorated ``@given`` tests follow
+the profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+#: Options shared by every tier: no wall-clock deadline (NumPy kernels
+#: have cold-start jitter) and tolerance for chunky seeded generators.
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+DETERMINISM = settings(max_examples=500, **_COMMON)
+STANDARD = settings(max_examples=100, **_COMMON)
+QUICK = settings(max_examples=20, **_COMMON)
+
+settings.register_profile("determinism", DETERMINISM)
+settings.register_profile("standard", STANDARD)
+settings.register_profile("quick", QUICK)
+
+#: Environment variable that selects the profile for a run.
+PROFILE_ENV = "REPRO_TEST_PROFILE"
+
+
+def load_profile_from_env(default: str = "standard") -> str:
+    """Load the profile named by ``REPRO_TEST_PROFILE`` (or ``default``).
+
+    Returns the loaded profile name; raises a clear error for typos so a
+    misspelled CI variable cannot silently run the wrong tier.
+    """
+    name = os.environ.get(PROFILE_ENV, default).strip().lower()
+    if name not in ("determinism", "standard", "quick"):
+        raise ValueError(
+            f"unknown test profile {name!r} (from ${PROFILE_ENV}); "
+            "choose determinism, standard, or quick"
+        )
+    settings.load_profile(name)
+    return name

@@ -90,9 +90,8 @@ class TestModel:
             > analysis.global_threshold_db[probe_bin]
         )
 
-    def test_masked_fraction_higher_for_sparse_content(self, model):
+    def test_masked_fraction_higher_for_sparse_content(self, model, rng):
         sparse = tone(1000.0)[:512]
-        rng = np.random.default_rng(0)
         dense = rng.normal(0, 0.3, 512)
         assert (
             model.analyze(sparse).masked_fraction()

@@ -1,0 +1,168 @@
+"""Property tests: decoders degrade cleanly on damaged streams.
+
+A lossy transport hands decoders truncated prefixes (everything after a
+lost fragment is unusable) and the odd flipped bit.  The contract under
+test, for :class:`VideoDecoder` and :class:`AudioDecoder` alike:
+
+* damage never hangs the decoder or escapes as an uncontrolled
+  exception (``IndexError``, ``struct.error``, ...) — only the clear
+  parse errors (``ValueError``/``EOFError``, plus ``KeyError`` from
+  Huffman tables on video) are acceptable;
+* with ``conceal=True`` a truncated stream whose header survives comes
+  back *without* exception, at full length, with finite samples;
+* concealment only widens acceptance: if the concealing decode raises,
+  the strict decode of the same prefix raises too.
+
+Streams are built by the real encoders over the strategy library's
+domain inputs, so every knob (GOP structure, chroma, psychoacoustics,
+fractional sample rates) is exercised.  Example counts follow the
+loaded settings profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.audio import AudioDecoder, AudioEncoder
+from repro.video import VideoDecoder, VideoEncoder
+
+from strategies import domains
+
+#: The only exception types a damaged video stream may surface.
+VIDEO_ERRORS = (ValueError, EOFError, KeyError)
+#: Likewise for audio (no Huffman tables, so no KeyError).
+AUDIO_ERRORS = (ValueError, EOFError)
+
+
+@st.composite
+def encoded_video(draw):
+    """(coded bytes, frame count, luma shape) from a real encode."""
+    frames = draw(domains.video_sequences())
+    cfg = draw(domains.video_encoder_configs())
+    data = VideoEncoder(cfg).encode(frames).data
+    return data, len(frames), frames[0].shape
+
+
+@st.composite
+def encoded_audio(draw):
+    """(coded bytes, pcm length) from a real encode."""
+    pcm = draw(domains.audio_segments(max_samples=1024))
+    cfg = draw(domains.audio_encoder_configs())
+    data = AudioEncoder(cfg).encode(pcm).data
+    return data, pcm.size
+
+
+def _truncate(draw_fn, data: bytes) -> bytes:
+    """A strict prefix (anywhere from empty to one byte short)."""
+    cut = draw_fn(st.integers(0, len(data) - 1))
+    return data[:cut]
+
+
+def _flip(data: bytes, bit_index: int) -> bytes:
+    out = bytearray(data)
+    out[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(out)
+
+
+# ------------------------------------------------------------------ video
+
+
+@given(stream=encoded_video(), data=st.data())
+def test_video_truncation_clear_error_or_sane_output(stream, data):
+    coded, num_frames, shape = stream
+    cut = _truncate(data.draw, coded)
+    try:
+        decoded = VideoDecoder().decode(cut)
+    except VIDEO_ERRORS:
+        return
+    # Truncation that only removed trailing padding still parses; the
+    # result must then be complete and well-formed.
+    assert len(decoded.frames) == num_frames
+    assert decoded.frames[0].y.shape == shape
+
+
+@given(stream=encoded_video(), data=st.data())
+def test_video_conceal_survives_truncation(stream, data):
+    coded, num_frames, shape = stream
+    cut = _truncate(data.draw, coded)
+    try:
+        decoded = VideoDecoder().decode(cut, conceal=True)
+    except VIDEO_ERRORS:
+        # Only acceptable when the header itself is unreadable — in
+        # which case the strict decode must fail as well.
+        try:
+            VideoDecoder().decode(cut)
+        except VIDEO_ERRORS:
+            return
+        raise AssertionError(
+            "conceal=True raised where conceal=False succeeded"
+        )
+    assert len(decoded.frames) == num_frames
+    assert decoded.concealed <= num_frames
+    for frame in decoded.frames:
+        assert frame.y.shape == shape
+        assert np.all(np.isfinite(frame.y))
+
+
+@given(stream=encoded_video(), data=st.data())
+def test_video_bitflip_clear_error_or_sane_output(stream, data):
+    """A flipped bit may still parse (e.g. it hit a magnitude, padding,
+    or an undetectable header field) — but then the output must be
+    internally consistent: same-shaped, finite frames."""
+    coded, num_frames, shape = stream
+    flipped = _flip(coded, data.draw(st.integers(0, len(coded) * 8 - 1)))
+    try:
+        decoded = VideoDecoder().decode(flipped)
+    except VIDEO_ERRORS:
+        return
+    shapes = {frame.y.shape for frame in decoded.frames}
+    assert len(shapes) <= 1
+    for frame in decoded.frames:
+        assert np.all(np.isfinite(frame.y))
+
+
+# ------------------------------------------------------------------ audio
+
+
+@given(stream=encoded_audio(), data=st.data())
+def test_audio_truncation_clear_error_or_sane_output(stream, data):
+    coded, num_samples = stream
+    cut = _truncate(data.draw, coded)
+    try:
+        decoded = AudioDecoder().decode(cut)
+    except AUDIO_ERRORS:
+        return
+    assert decoded.pcm.size == num_samples
+    assert np.all(np.isfinite(decoded.pcm))
+
+
+@given(stream=encoded_audio(), data=st.data())
+def test_audio_conceal_survives_truncation(stream, data):
+    coded, num_samples = stream
+    cut = _truncate(data.draw, coded)
+    try:
+        decoded = AudioDecoder().decode(cut, conceal=True)
+    except AUDIO_ERRORS:
+        try:
+            AudioDecoder().decode(cut)
+        except AUDIO_ERRORS:
+            return
+        raise AssertionError(
+            "conceal=True raised where conceal=False succeeded"
+        )
+    assert decoded.pcm.size == num_samples
+    assert np.all(np.isfinite(decoded.pcm))
+
+
+@given(stream=encoded_audio(), data=st.data())
+def test_audio_bitflip_clear_error_or_finite_output(stream, data):
+    coded, num_samples = stream
+    assume(len(coded) > 0)
+    flipped = _flip(coded, data.draw(st.integers(0, len(coded) * 8 - 1)))
+    try:
+        decoded = AudioDecoder().decode(flipped)
+    except AUDIO_ERRORS:
+        return
+    assert np.all(np.isfinite(decoded.pcm))

@@ -45,8 +45,7 @@ class TestVideoStreamCorruption:
             with pytest.raises((EOFError, ValueError)):
                 decoder.decode(cut)
 
-    def test_random_bitflips_never_hang_or_crash_uncontrolled(self, stream):
-        rng = np.random.default_rng(1)
+    def test_random_bitflips_never_hang_or_crash_uncontrolled(self, stream, rng):
         decoder = VideoDecoder()
         outcomes = {"ok": 0, "rejected": 0}
         for _ in range(25):
@@ -78,8 +77,7 @@ class TestAudioStreamCorruption:
             with pytest.raises((EOFError, ValueError)):
                 AudioDecoder().decode(stream[: int(len(stream) * frac)])
 
-    def test_bitflips_bounded_behaviour(self, stream):
-        rng = np.random.default_rng(2)
+    def test_bitflips_bounded_behaviour(self, stream, rng):
         for _ in range(15):
             corrupted = flip_bit(stream, int(rng.integers(len(stream) * 8)))
             try:
@@ -90,9 +88,8 @@ class TestAudioStreamCorruption:
 
 
 class TestSpeechStreamCorruption:
-    def test_bitflips(self):
+    def test_bitflips(self, rng):
         stream = RpeLtpEncoder().encode(speech_like(duration=0.2, seed=3)).data
-        rng = np.random.default_rng(3)
         for _ in range(15):
             corrupted = flip_bit(stream, int(rng.integers(len(stream) * 8)))
             try:
@@ -103,10 +100,9 @@ class TestSpeechStreamCorruption:
 
 
 class TestImageCorruption:
-    def test_jpeg_like(self):
+    def test_jpeg_like(self, rng):
         img = natural_like(32, 32, seed=4)
         data = JpegLikeCodec().encode(img, quality=70).data
-        rng = np.random.default_rng(4)
         for _ in range(15):
             corrupted = flip_bit(data, int(rng.integers(len(data) * 8)))
             try:
@@ -115,10 +111,9 @@ class TestImageCorruption:
             except (ValueError, EOFError, KeyError):
                 pass
 
-    def test_wavelet(self):
+    def test_wavelet(self, rng):
         img = natural_like(32, 32, seed=5)
         data = WaveletCodec().encode(img, step=4.0).data
-        rng = np.random.default_rng(5)
         for _ in range(15):
             corrupted = flip_bit(data, int(rng.integers(len(data) * 8)))
             try:

@@ -1,0 +1,112 @@
+"""Property-based equivalence harness for every ``*_reference`` oracle.
+
+The repository's performance story rests on batched-kernel/scalar-oracle
+pairs (the ``_reference`` convention, ``docs/testing.md``).  This module
+is the gate that keeps that convention honest under refactoring:
+
+* :func:`discover_reference_oracles` walks every module under
+  ``repro.*`` and collects each ``*_reference`` callable — module-level
+  functions and class methods alike;
+* every discovered oracle must appear in the strategy registry
+  (``tests/strategies/registry.py``) — landing a new ``_reference``
+  kernel without registering a strategy for it fails the coverage test
+  loudly, with instructions;
+* every registered pair is property-tested for bit-exact equivalence
+  over randomized domain inputs at the loaded settings tier (100
+  examples at ``STANDARD``, 20 at the CI ``quick`` profile).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro
+from strategies.registry import REGISTRY
+
+#: The refactor-enabler floor: at least this many pairs stay fuzzed.
+MIN_PAIRS = 15
+
+
+def discover_reference_oracles() -> set[str]:
+    """Dotted paths of every ``*_reference`` callable under ``repro.*``.
+
+    Functions are attributed to their *defining* module (re-exports in
+    ``__init__`` files are not double-counted); ``__main__`` modules are
+    skipped (importing them runs the CLI).
+    """
+    found: set[str] = set()
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.rsplit(".", 1)[-1] == "__main__":
+            continue
+        module = importlib.import_module(info.name)
+        for name, obj in vars(module).items():
+            if inspect.isfunction(obj) and obj.__module__ == module.__name__:
+                if name.endswith("_reference"):
+                    found.add(f"{module.__name__}.{name}")
+            elif inspect.isclass(obj) and obj.__module__ == module.__name__:
+                for mname, mobj in vars(obj).items():
+                    if (
+                        inspect.isfunction(mobj)
+                        and mname.endswith("_reference")
+                    ):
+                        found.add(f"{module.__name__}.{name}.{mname}")
+    return found
+
+
+def test_discovery_finds_the_known_oracles():
+    """Sanity: the walker sees representative oracles of every subsystem."""
+    discovered = discover_reference_oracles()
+    for expected in (
+        "repro.video.zigzag.zigzag_reference",
+        "repro.video.encoder.VideoEncoder._code_plane_reference",
+        "repro.audio.filterbank._analyze_raw_reference",
+        "repro.net.fec.xor_parity_reference",
+        "repro.support.ipstack.ones_complement_checksum_reference",
+    ):
+        assert expected in discovered
+    assert len(discovered) >= MIN_PAIRS
+
+
+def test_every_reference_oracle_has_a_registered_strategy():
+    """A new ``_reference`` must land together with its strategy."""
+    discovered = discover_reference_oracles()
+    missing = sorted(discovered - set(REGISTRY))
+    assert not missing, (
+        "unregistered _reference oracle(s):\n  "
+        + "\n  ".join(missing)
+        + "\nEvery *_reference kernel must be paired with its batched "
+        "counterpart and an input strategy in "
+        "tests/strategies/registry.py (see docs/testing.md, 'Registering "
+        "a new oracle pair')."
+    )
+    stale = sorted(set(REGISTRY) - discovered)
+    assert not stale, (
+        "registry entries with no matching _reference in repro.*:\n  "
+        + "\n  ".join(stale)
+        + "\nRemove (or rename) the stale entries in "
+        "tests/strategies/registry.py."
+    )
+
+
+PAIRS = sorted(REGISTRY.values(), key=lambda pair: pair.oracle)
+
+
+@pytest.mark.parametrize("pair", PAIRS, ids=[p.oracle for p in PAIRS])
+@given(data=st.data())
+def test_batched_path_matches_reference_oracle(pair, data):
+    """Bit-exact equivalence over randomized inputs, per registered pair.
+
+    Example count follows the loaded settings profile (``STANDARD`` =
+    100 locally, ``quick`` = 20 in CI) — no per-test override, so one
+    environment variable retiers the whole harness.
+    """
+    case = data.draw(pair.strategy, label=pair.oracle)
+    reference = pair.run_reference(case)
+    batched = pair.run_batched(case)
+    pair.compare(reference, batched)

@@ -33,8 +33,7 @@ class TestQuant:
             with pytest.raises(ValueError):
                 quality_scale(bad)
 
-    def test_quantize_dequantize_error_bounded_by_half_step(self):
-        rng = np.random.default_rng(0)
+    def test_quantize_dequantize_error_bounded_by_half_step(self, rng):
         coeffs = rng.uniform(-500, 500, size=(8, 8))
         matrix = uniform_matrix(10.0)
         recon = dequantize(quantize(coeffs, matrix), matrix)
@@ -63,8 +62,7 @@ class TestZigzag:
         order = zigzag_order(8)
         assert len(set(order)) == 64
 
-    def test_roundtrip(self):
-        rng = np.random.default_rng(1)
+    def test_roundtrip(self, rng):
         block = rng.integers(-100, 100, size=(8, 8))
         assert np.array_equal(inverse_zigzag(zigzag(block), 8), block)
 
@@ -88,8 +86,7 @@ class TestRunLength:
         events = encode_block(np.array([0, 0, 5, 0, -3]))
         assert events == [RunLevel(2, 5), RunLevel(1, -3), EOB]
 
-    def test_roundtrip(self):
-        rng = np.random.default_rng(2)
+    def test_roundtrip(self, rng):
         vec = rng.integers(-4, 5, size=63)
         assert np.array_equal(decode_block(encode_block(vec), 63), vec)
 
@@ -132,8 +129,7 @@ class TestHuffman:
                 if a != b:
                     assert not b.startswith(a)
 
-    def test_roundtrip(self):
-        rng = np.random.default_rng(3)
+    def test_roundtrip(self, rng):
         symbols = rng.integers(0, 16, size=500).tolist()
         codec = HuffmanCodec.from_symbols(symbols)
         w = BitWriter()
