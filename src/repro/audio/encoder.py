@@ -466,23 +466,14 @@ class AudioDecoder:
                 reader, frames, num_bands, anc_per_frame
             )
         elif self.batched:
-            blocks, ancillary_bytes = unpack_frames_batch(
+            blocks, ancillary = unpack_frames_batch(
                 reader, frames, num_bands, SAMPLES_PER_BAND, anc_per_frame
             )
             subbands = blocks.reshape(frames * SAMPLES_PER_BAND, num_bands)
-            ancillary = ancillary_bytes
         else:
-            block_list = []
-            anc = bytearray()
-            for _ in range(frames):
-                block_list.append(unpack_frame(reader, num_bands))
-                for _ in range(anc_per_frame):
-                    anc.append(reader.read_bits(8))
-            subbands = (
-                np.vstack(block_list) if block_list
-                else np.zeros((0, num_bands))
+            subbands, ancillary = self._decode_frames_reference(
+                reader, frames, num_bands, anc_per_frame
             )
-            ancillary = bytes(anc)
         pcm = bank.synthesize(subbands)
         # Compensate the analysis+synthesis delay so output aligns to input.
         pcm = pcm[bank.delay:]
@@ -495,6 +486,29 @@ class AudioDecoder:
             delay=bank.delay,
             concealed=concealed,
         )
+
+    def _decode_frames_reference(
+        self, reader: BitReader, frames: int, num_bands: int, anc_per_frame: int
+    ) -> tuple[np.ndarray, bytes]:
+        """Scalar frame-at-a-time unpack: the batched decode oracle.
+
+        One :func:`repro.audio.frame.unpack_frame` (field-by-field
+        ``read_bits``) per frame — the formulation the decoder shipped
+        with, kept per the ``_reference`` convention and pinned against
+        the window-gather :func:`unpack_frames_batch` path by the
+        equivalence harness.
+        """
+        block_list = []
+        anc = bytearray()
+        for _ in range(frames):
+            block_list.append(unpack_frame(reader, num_bands))
+            for _ in range(anc_per_frame):
+                anc.append(reader.read_bits(8))
+        subbands = (
+            np.vstack(block_list) if block_list
+            else np.zeros((0, num_bands))
+        )
+        return subbands, bytes(anc)
 
     @staticmethod
     def _unpack_concealing(

@@ -140,18 +140,40 @@ def _synthesize_raw(sub: np.ndarray, synthesis: np.ndarray, m: int) -> np.ndarra
     contributions in ascending-frame order — the exact addition order of
     the reference loop, so the sums are bit-identical — in ``taps``
     vectorized passes instead of one pass per frame.
+
+    (Fusing the matmul into the lane loop — one m-column slab gemm per
+    tap — looks attractive but is *not* bit-safe: BLAS picks different
+    microkernels by operand shape, and the slab product diverges from the
+    whole-matrix product in the last ulp for small banks.  The pinned R7
+    oracle is exact, so the fusion is rejected.)
     """
     length = synthesis.shape[1]
     num_frames = sub.shape[0]
     if num_frames == 0:
         return np.zeros(0)
-    contribution = sub @ synthesis
     taps = length // m
+    key = (num_frames, length, m)
+    if _synth_scratch.get("key") != key:
+        _synth_scratch["key"] = key
+        _synth_scratch["bufs"] = (
+            np.empty((num_frames, length)),
+            np.empty((num_frames + taps, m)),
+        )
+    contribution, acc = _synth_scratch["bufs"]
+    # Writing the gemm into a kept buffer is the same BLAS call on the
+    # same operands — identical bits — but skips re-faulting the large
+    # intermediate on every decode of a same-shaped stream.
+    np.matmul(sub, synthesis, out=contribution)
+    acc.fill(0.0)
     chunks = contribution.reshape(num_frames, taps, m)
-    acc = np.zeros((num_frames + taps, m))
     for k in range(taps - 1, -1, -1):
         acc[k:k + num_frames] += chunks[:, k, :]
-    return acc.reshape(-1)[:num_frames * m]
+    return acc.reshape(-1)[:num_frames * m].copy()
+
+
+#: Single-slot scratch for :func:`_synthesize_raw` (keyed by shape): the
+#: (frames, taps*m) contribution and the overlap-add accumulator.
+_synth_scratch: dict = {}
 
 
 @dataclass

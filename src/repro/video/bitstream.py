@@ -12,6 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Width (bits) of the :meth:`BitReader.bit_window` peek entries.  16 bits
+#: cover every first-level Huffman LUT probe *and* every magnitude /
+#: scalefactor / allocation field the codecs read, so one window gather
+#: resolves a whole field.
+PEEK_WIDTH = 16
+
 
 class BitWriter:
     """Accumulates bits MSB-first and exposes the packed bytes."""
@@ -147,6 +153,7 @@ class BitReader:
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0  # bit position
+        self._window: np.ndarray | None = None
 
     @property
     def bits_remaining(self) -> int:
@@ -155,6 +162,52 @@ class BitReader:
     @property
     def bit_position(self) -> int:
         return self._pos
+
+    @property
+    def size_bits(self) -> int:
+        """Total number of bits in the underlying buffer."""
+        return len(self._data) * 8
+
+    def seek(self, bit_pos: int) -> None:
+        """Reposition the read cursor to an absolute bit offset."""
+        if not 0 <= bit_pos <= len(self._data) * 8:
+            raise ValueError(
+                f"bit position {bit_pos} outside the "
+                f"{len(self._data) * 8}-bit buffer"
+            )
+        self._pos = bit_pos
+
+    def skip(self, nbits: int) -> None:
+        """Advance past ``nbits`` bits (the bulk parsers' seek-over-body)."""
+        if nbits < 0:
+            raise ValueError(f"cannot skip a negative bit count ({nbits})")
+        if self._pos + nbits > len(self._data) * 8:
+            raise EOFError("bitstream exhausted")
+        self._pos += nbits
+
+    def bit_window(self) -> np.ndarray:
+        """Sliding-window peeks: ``W[i]`` = the :data:`PEEK_WIDTH` bits at
+        absolute bit offset ``i`` (zero-padded past the end of the buffer).
+
+        Built lazily, once per reader, from the whole buffer — this is the
+        primitive that makes table-driven entropy decode possible: the
+        bit-serial parsers index ``W`` at their current offset and resolve
+        a whole Huffman code (plus its magnitude field) in one probe,
+        instead of pulling bits one at a time.  The array is shared by
+        every plane/frame parsed from the same reader.
+        """
+        if self._window is None:
+            data = np.frombuffer(self._data, dtype=np.uint8)
+            ext = np.zeros(data.size + 2, dtype=np.int64)
+            ext[:data.size] = data
+            # 24-bit neighbourhoods: byte j, j+1, j+2 — any PEEK_WIDTH-bit
+            # field starting inside byte j lives in this trio.
+            trio = (ext[:-2] << 16) | (ext[1:-1] << 8) | ext[2:]
+            window = np.empty(data.size * 8, dtype=np.int32)
+            for off in range(8):  # one strided store per intra-byte offset
+                window[off::8] = (trio >> (8 - off)) & 0xFFFF
+            self._window = window
+        return self._window
 
     def read_bit(self) -> int:
         if self._pos >= len(self._data) * 8:
@@ -258,6 +311,52 @@ class BitReader:
         ue = self.read_ue()
         magnitude = (ue + 1) // 2
         return magnitude if ue % 2 else -magnitude
+
+    def read_se_many(self, count: int) -> np.ndarray:
+        """Read ``count`` signed Exp-Golomb codes in bulk.
+
+        The decoder-side twin of the encoder's fused field assembly: one
+        :meth:`bit_window` probe resolves a whole ``z`` zeros + ``1`` +
+        ``z`` suffix-bits code (motion vectors are short, so nearly every
+        code fits a single peek).  Codes too long for the window — or
+        crossing the end of the buffer — fall back to :meth:`read_se`
+        for that element, so values *and* error behaviour are identical
+        to ``count`` successive scalar reads
+        (:meth:`read_se_many_reference`).
+        """
+        if count < 0:
+            raise ValueError(f"cannot read {count} codes")
+        out = np.empty(count, dtype=np.int64)
+        if count == 0:
+            return out
+        window = self.bit_window()
+        nbits = len(self._data) * 8
+        pos = self._pos
+        for k in range(count):
+            w = int(window[pos]) if pos < nbits else 0
+            # Leading-zero count of the peek gives the code length 2z+1.
+            z = PEEK_WIDTH - w.bit_length()
+            total = 2 * z + 1
+            if w == 0 or total > PEEK_WIDTH or pos + total > nbits:
+                # >= PEEK_WIDTH leading zeros, a long suffix, or EOF:
+                # replay the scalar parse for exact semantics.
+                self._pos = pos
+                out[k] = self.read_se()
+                pos = self._pos
+                continue
+            ue = (w >> (PEEK_WIDTH - total)) - 1
+            out[k] = (ue + 1) >> 1 if ue & 1 else -(ue >> 1)
+            pos += total
+        self._pos = pos
+        return out
+
+    def read_se_many_reference(self, count: int) -> np.ndarray:
+        """Scalar one-code-at-a-time loop: the :meth:`read_se_many` oracle."""
+        if count < 0:
+            raise ValueError(f"cannot read {count} codes")
+        return np.array(
+            [self.read_se() for _ in range(count)], dtype=np.int64
+        ).reshape(count)
 
     def align(self) -> None:
         """Skip to the next byte boundary."""

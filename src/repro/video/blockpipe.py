@@ -42,6 +42,7 @@ import numpy as np
 
 from . import codec_tables as tables
 from .dct import blocked_dct_2d, blocked_idct_2d, tile_blocks, untile_blocks
+from .huffman import fast_decoder
 from .quant import dequantize, quantize
 from .rle import batch_run_levels
 from .zigzag import inverse_zigzag_blocks, zigzag_blocks
@@ -236,10 +237,126 @@ def read_plane_vectors(
 ) -> tuple[np.ndarray, int]:
     """Parse a plane's entropy stream into ``(nblocks, n*n)`` vectors.
 
-    The bit-serial half the batched decoders share: Huffman parsing cannot
-    be vectorized (each code's length is only known once decoded), but the
-    coefficients land directly in the batch the vectorized reconstruction
-    (:func:`vectors_to_plane`) consumes.
+    The old "Huffman parsing cannot be vectorized" disclaimer that used
+    to live here was only true of the bit-at-a-time formulation: with the
+    whole buffer unpacked once into :meth:`BitReader.bit_window` peeks,
+    one fused table probe (:func:`repro.video.codec_tables.event_table`)
+    resolves a whole event — Huffman code *plus* magnitude field — so the
+    per-symbol work drops from up to 31 dict probes and as many
+    ``read_bit`` calls to a single list index.  Decoded ``(block, pos,
+    level)`` triples are scattered into the batch tensor in one fancy-
+    index store at the end.
+
+    Rare events the peek cannot resolve (codes past the first-level
+    depth, magnitudes spilling past the window, end-of-buffer inside an
+    event, corrupt patterns) replay the exact scalar parse for that one
+    event, so results *and* errors are bit-identical to
+    :func:`read_plane_vectors_reference` — pinned by the oracle pair in
+    ``tests/strategies/registry.py``.
+    """
+    length = block_size * block_size
+    vectors = np.zeros((nblocks, length), dtype=np.int32)
+    if nblocks == 0:
+        return vectors, prev_dc
+    ac_events = tables.event_table(ac_codec, eob)
+    dc_events = tables.event_table(dc_codec)
+    ac_fast = fast_decoder(ac_codec)
+    dc_fast = fast_decoder(dc_codec)
+    window = reader.bit_window()
+    nbits = reader.size_bits
+    pos = reader.bit_position
+    bias = tables.EVENT_BIAS
+    dc_values: list[int] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    levels: list[int] = []
+    for b in range(nblocks):
+        # --- DC event: category code + magnitude, fused ---------------
+        kind = tables.EVENT_FALLBACK
+        if pos < nbits:
+            entry = dc_events[window[pos]]
+            kind = entry >> tables.EVENT_KIND_SHIFT
+            if kind == 0:
+                after = pos + ((entry >> tables.EVENT_BITS_SHIFT) & 63)
+                if after <= nbits:
+                    prev_dc += (entry & 0xFFFFF) - bias
+                    pos = after
+                else:
+                    kind = tables.EVENT_FALLBACK
+        if kind != 0:
+            reader.seek(pos)
+            cat = dc_fast.decode_symbol(reader)
+            prev_dc += tables.decode_magnitude(cat, reader)
+            pos = reader.bit_position
+        dc_values.append(prev_dc)
+        # --- AC events until end-of-block ------------------------------
+        p = 1
+        while True:
+            kind = tables.EVENT_FALLBACK
+            if pos < nbits:
+                entry = ac_events[window[pos]]
+                kind = entry >> tables.EVENT_KIND_SHIFT
+                if kind == 0:
+                    after = pos + ((entry >> tables.EVENT_BITS_SHIFT) & 63)
+                    if after <= nbits:
+                        p += (entry >> tables.EVENT_RUN_SHIFT) & 0xFFFFF
+                        if p >= length:
+                            raise ValueError(
+                                "corrupt stream: AC coefficients overrun "
+                                "block"
+                            )
+                        rows.append(b)
+                        cols.append(p)
+                        levels.append((entry & 0xFFFFF) - bias)
+                        p += 1
+                        pos = after
+                        continue
+                    kind = tables.EVENT_FALLBACK
+                elif kind == tables.EVENT_EOB:
+                    after = pos + ((entry >> tables.EVENT_BITS_SHIFT) & 63)
+                    if after <= nbits:
+                        pos = after
+                        break
+                    kind = tables.EVENT_FALLBACK
+            if kind != 0:
+                reader.seek(pos)
+                symbol = ac_fast.decode_symbol(reader)
+                if symbol == eob:
+                    pos = reader.bit_position
+                    break
+                run, cat = tables.unpack_ac(symbol)
+                p += run
+                if p >= length:
+                    raise ValueError(
+                        "corrupt stream: AC coefficients overrun block"
+                    )
+                value = tables.decode_magnitude(cat, reader)
+                rows.append(b)
+                cols.append(p)
+                levels.append(value)
+                p += 1
+                pos = reader.bit_position
+    reader.seek(pos)
+    vectors[:, 0] = dc_values
+    if levels:
+        vectors[rows, cols] = levels
+    return vectors, prev_dc
+
+
+def read_plane_vectors_reference(
+    reader,
+    nblocks: int,
+    block_size: int,
+    prev_dc: int,
+    ac_codec,
+    dc_codec,
+    eob: int,
+) -> tuple[np.ndarray, int]:
+    """Scalar bit-serial plane parse: the :func:`read_plane_vectors` oracle.
+
+    One ``decode_symbol`` dict walk per code, one ``decode_magnitude``
+    per level — the formulation the R6 pipeline shipped with, kept per
+    the ``_reference`` convention.
     """
     length = block_size * block_size
     vectors = np.zeros((nblocks, length), dtype=np.int32)

@@ -12,6 +12,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from .bitstream import PEEK_WIDTH
 from .huffman import HuffmanCodec
 
 #: Magnitude categories 0..15 (JPEG-style: category = bit_length(|level|)).
@@ -105,3 +106,91 @@ def decode_magnitude(category: int, reader) -> int:
     if bits >= 1 << (category - 1):
         return bits
     return bits - (1 << category) + 1
+
+
+# ------------------------------------------------- fused event tables (R9)
+#
+# The table-driven decode path (experiment R9) goes one step past the
+# symbol LUT of :class:`repro.video.huffman.FastHuffmanDecoder`: because a
+# PEEK_WIDTH-bit window usually covers a whole *event* — the Huffman code
+# AND the magnitude field that follows it — a single lookup indexed by the
+# raw window value can return the fully decoded ``(run, value, bits
+# consumed)`` triple.  :func:`decode_magnitude` is thereby folded into the
+# LUT: the magnitude bits are part of the table index, so every possible
+# payload pattern under a code gets its own pre-decoded entry.
+#
+# Entry packing (int64): ``value + EVENT_BIAS`` in the low 20 bits, the
+# run (AC) in the next 20, the total consumed bit count at
+# :data:`EVENT_BITS_SHIFT`, and a 2-bit kind at :data:`EVENT_KIND_SHIFT`
+# (0 = run/value event, 1 = end-of-block, 2 = fall back to the exact
+# scalar parse: code or magnitude beyond the peek, or an unassigned
+# pattern).
+
+EVENT_BIAS = 1 << 19
+EVENT_RUN_SHIFT = 20
+EVENT_BITS_SHIFT = 40
+EVENT_KIND_SHIFT = 46
+EVENT_EOB = 1
+EVENT_FALLBACK = 2
+
+#: Every index resolves to "fall back" until a code claims it.
+_FALLBACK_ENTRY = EVENT_FALLBACK << EVENT_KIND_SHIFT
+
+
+def _magnitude_values(category: int) -> np.ndarray:
+    """Decoded values for every ``category``-bit magnitude payload, in
+    payload order (the inverse of :func:`magnitude_bits`)."""
+    if category == 0:
+        return np.zeros(1, dtype=np.int64)
+    payloads = np.arange(1 << category, dtype=np.int64)
+    return np.where(
+        payloads >= 1 << (category - 1),
+        payloads,
+        payloads - (1 << category) + 1,
+    )
+
+
+def build_event_table(codec: HuffmanCodec, eob: int | None = None) -> list[int]:
+    """Fused ``window -> (kind, run, value, bits)`` decode table.
+
+    ``codec``'s symbols are interpreted as packed ``(run, category)`` AC
+    events when ``eob`` is given (with ``eob`` itself the end-of-block
+    marker) and as bare DC categories otherwise, with ``run`` fixed at 0.
+    Returned as a plain list: the entropy hot loop indexes it with Python
+    integers, where list access beats ndarray scalar boxing.
+    """
+    table = np.full(1 << PEEK_WIDTH, _FALLBACK_ENTRY, dtype=np.int64)
+    for symbol, (code, length) in codec.codes.items():
+        if length > PEEK_WIDTH:
+            continue  # prefix indexes keep the fallback entry
+        base = code << (PEEK_WIDTH - length)
+        span = 1 << (PEEK_WIDTH - length)
+        if eob is not None and symbol == eob:
+            table[base:base + span] = (
+                (EVENT_EOB << EVENT_KIND_SHIFT)
+                | (length << EVENT_BITS_SHIFT)
+                | EVENT_BIAS
+            )
+            continue
+        run, category = unpack_ac(symbol) if eob is not None else (0, symbol)
+        if length + category > PEEK_WIDTH:
+            continue  # magnitude spills past the peek: keep the fallback
+        values = _magnitude_values(category)
+        entries = (
+            ((length + category) << EVENT_BITS_SHIFT)
+            | (run << EVENT_RUN_SHIFT)
+            | (values + EVENT_BIAS)
+        )
+        repeat = 1 << (PEEK_WIDTH - length - category)
+        table[base:base + span] = np.repeat(entries, repeat)
+    return table.tolist()
+
+
+def event_table(codec: HuffmanCodec, eob: int | None = None) -> list[int]:
+    """Cached :func:`build_event_table` (stashed on the codec instance,
+    mirroring :func:`repro.video.huffman.fast_decoder`)."""
+    cache = codec.__dict__.setdefault("_event_tables", {})
+    table = cache.get(eob)
+    if table is None:
+        table = cache[eob] = build_event_table(codec, eob)
+    return table

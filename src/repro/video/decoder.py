@@ -16,9 +16,9 @@ from . import codec_tables as tables
 from .bitstream import BitReader
 from .blockpipe import read_plane_vectors, resolve_batched, vectors_to_plane
 from .dct import idct_2d
-from .encoder import MAGIC, VERSION
+from .encoder import MAGIC, VERSION, _halve_motion
 from .frames import Frame
-from .motion import MotionField, motion_compensate
+from .motion import MotionField, motion_compensate, motion_compensate_reference
 from .quant import INTRA_BASE, dequantize, uniform_matrix
 from .zigzag import inverse_zigzag
 
@@ -157,31 +157,35 @@ class VideoDecoder:
         motion: MotionField | None = None
         if is_inter:
             by, bx = pad_h // n, pad_w // n
-            dy = np.zeros((by, bx), dtype=np.int32)
-            dx = np.zeros((by, bx), dtype=np.int32)
-            for i in range(by):
-                for j in range(bx):
-                    dy[i, j] = reader.read_se()
-                    dx[i, j] = reader.read_se()
-            motion = MotionField(dy=dy, dx=dx, block_size=n)
+            if self.batched:
+                pairs = reader.read_se_many(by * bx * 2)
+            else:
+                pairs = reader.read_se_many_reference(by * bx * 2)
+            pairs = pairs.astype(np.int32).reshape(by, bx, 2)
+            motion = MotionField(
+                dy=pairs[:, :, 0].copy(),
+                dx=pairs[:, :, 1].copy(),
+                block_size=n,
+            )
 
         recon: dict[str, np.ndarray] = {}
         plane_specs = [("y", pad_h, pad_w)]
         if code_chroma:
             plane_specs += [("cb", cpad_h, cpad_w), ("cr", cpad_h, cpad_w)]
+        compensate = (
+            motion_compensate if self.batched else motion_compensate_reference
+        )
         for name, ph, pw in plane_specs:
             if not is_inter or motion is None:
                 prediction = np.full((ph, pw), 128.0)
             elif name == "y":
-                prediction = motion_compensate(reference["y"], motion)
+                prediction = compensate(reference["y"], motion)
                 frame_ops["motion_compensation"] = (
                     frame_ops.get("motion_compensation", 0.0) + ph * pw
                 )
             else:
-                from .encoder import _halve_motion
-
                 chroma_field = _halve_motion(motion, (ph, pw), n)
-                prediction = motion_compensate(reference[name], chroma_field)
+                prediction = compensate(reference[name], chroma_field)
             matrix = inter_matrix if is_inter else intra_matrix
             plane, blocks = self._decode_plane(
                 reader, ph, pw, n, matrix, prediction,

@@ -12,7 +12,9 @@ from __future__ import annotations
 import heapq
 from collections.abc import Iterable, Mapping
 
-from .bitstream import BitReader, BitWriter
+import numpy as np
+
+from .bitstream import PEEK_WIDTH, BitReader, BitWriter
 
 #: Longest admissible code; tables are rebuilt with damped frequencies if the
 #: optimal tree is deeper (5-bit length fields in serialized tables).
@@ -128,13 +130,16 @@ class HuffmanCodec:
             self.encode_symbol(symbol, writer)
 
     def decode_symbol(self, reader: BitReader) -> int:
+        start = reader.bit_position
         code = 0
         for length in range(1, MAX_CODE_LENGTH + 1):
             code = (code << 1) | reader.read_bit()
             symbol = self._decode_map.get((length, code))
             if symbol is not None:
                 return symbol
-        raise ValueError("invalid Huffman code in bitstream")
+        raise ValueError(
+            f"invalid Huffman code in bitstream at bit offset {start}"
+        )
 
     def decode(self, reader: BitReader, count: int) -> list[int]:
         return [self.decode_symbol(reader) for _ in range(count)]
@@ -164,6 +169,113 @@ class HuffmanCodec:
             if length:
                 lengths[symbol] = length
         return cls(lengths)
+
+
+class FastHuffmanDecoder:
+    """Table-driven canonical Huffman decoder (experiment R9).
+
+    The scalar :meth:`HuffmanCodec.decode_symbol` pulls one bit at a time
+    and probes a ``(length, code)`` dict per bit — up to
+    :data:`MAX_CODE_LENGTH` probes per symbol.  This decoder resolves a
+    symbol in (usually) **one** probe instead: a first-level lookup table
+    indexed by a :data:`~repro.video.bitstream.PEEK_WIDTH`-bit peek from
+    :meth:`BitReader.bit_window` returns ``(symbol, length)`` directly for
+    every code that fits the peek; longer codes land in small second-level
+    tables keyed by the bits that follow.
+
+    Decoding is **bit-identical** to the scalar path, errors included:
+    any probe that cannot be resolved cleanly — end-of-buffer inside a
+    code, an unassigned pattern — replays the scalar
+    :meth:`HuffmanCodec.decode_symbol`, so exception types, messages, and
+    the consumed bit count match exactly.  The equivalence is fuzzed
+    across randomly generated canonical tables (skewed, single-symbol,
+    beyond-peek-depth) in ``tests/test_huffman_fast.py``.
+    """
+
+    def __init__(self, codec: HuffmanCodec) -> None:
+        self._codec = codec
+        lengths = codec.lengths
+        max_length = max(lengths.values())
+        #: First-level index width: the top ``first_bits`` of the peek.
+        self.first_bits = min(PEEK_WIDTH, max_length)
+        self._shift = PEEK_WIDTH - self.first_bits
+        size = 1 << self.first_bits
+        # length 0 = unassigned, > 0 = resolved, < 0 = -(subtable idx + 1).
+        sym1 = np.full(size, -1, dtype=np.int64)
+        len1 = np.zeros(size, dtype=np.int64)
+        long_codes: dict[int, list[tuple[int, int, int]]] = {}
+        for symbol, (code, length) in codec.codes.items():
+            if length <= self.first_bits:
+                base = code << (self.first_bits - length)
+                span = 1 << (self.first_bits - length)
+                sym1[base:base + span] = symbol
+                len1[base:base + span] = length
+            else:
+                prefix = code >> (length - self.first_bits)
+                long_codes.setdefault(prefix, []).append(
+                    (symbol, code, length)
+                )
+        self._subtables: list[tuple[list[int], list[int], int]] = []
+        for prefix, entries in long_codes.items():
+            sub_bits = max(length for _, _, length in entries) - self.first_bits
+            sub_sym = np.full(1 << sub_bits, -1, dtype=np.int64)
+            sub_len = np.zeros(1 << sub_bits, dtype=np.int64)
+            for symbol, code, length in entries:
+                extra = length - self.first_bits
+                rem = code & ((1 << extra) - 1)
+                base = rem << (sub_bits - extra)
+                span = 1 << (sub_bits - extra)
+                sub_sym[base:base + span] = symbol
+                sub_len[base:base + span] = length  # total length
+            len1[prefix] = -(len(self._subtables) + 1)
+            self._subtables.append(
+                (sub_sym.tolist(), sub_len.tolist(), sub_bits)
+            )
+        # Python lists index faster than ndarrays in the per-symbol loop.
+        self._sym1 = sym1.tolist()
+        self._len1 = len1.tolist()
+
+    @property
+    def codec(self) -> HuffmanCodec:
+        return self._codec
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """LUT-resolved :meth:`HuffmanCodec.decode_symbol` (bit-identical)."""
+        pos = reader.bit_position
+        nbits = reader.size_bits
+        if pos < nbits:
+            w = int(reader.bit_window()[pos]) >> self._shift
+            length = self._len1[w]
+            if length > 0:
+                if pos + length <= nbits:
+                    reader.seek(pos + length)
+                    return self._sym1[w]
+            elif length < 0:
+                sub_sym, sub_len, sub_bits = self._subtables[-length - 1]
+                follow = pos + self.first_bits
+                nxt = int(reader.bit_window()[follow]) if follow < nbits else 0
+                idx = nxt >> (PEEK_WIDTH - sub_bits)
+                total = sub_len[idx]
+                if total > 0 and pos + total <= nbits:
+                    reader.seek(pos + total)
+                    return sub_sym[idx]
+        # Unassigned pattern or the code crosses the end of the buffer:
+        # replay the scalar parse so errors (and EOF behaviour) match.
+        return self._codec.decode_symbol(reader)
+
+
+def fast_decoder(codec: HuffmanCodec) -> FastHuffmanDecoder:
+    """The (cached) table-driven decoder for ``codec``.
+
+    Tables are built once per codec instance and stashed on it — the
+    default codecs are themselves ``lru_cache``d per block size, so the
+    whole engine shares one table set per alphabet.
+    """
+    decoder = codec.__dict__.get("_fast_decoder")
+    if decoder is None:
+        decoder = FastHuffmanDecoder(codec)
+        codec._fast_decoder = decoder
+    return decoder
 
 
 def _validate_kraft(lengths: Mapping[int, int]) -> None:

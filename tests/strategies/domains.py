@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.audio.encoder import AudioEncoderConfig
 from repro.net.channel import GilbertElliott, IIDLoss
+from repro.video.huffman import HuffmanCodec
 from repro.net.fec import add_parity
 from repro.net.packetizer import (
     FLAG_PARITY,
@@ -192,6 +193,48 @@ def smr_arrays(draw, max_bands=48, max_rows=1):
     rng = np.random.default_rng(draw(rng_seeds()))
     smr = rng.uniform(-30.0, 60.0, size=(rows, bands))
     return smr[0] if max_rows == 1 else smr
+
+
+# ---------------------------------------------------------- huffman tables
+
+
+@st.composite
+def huffman_codecs(draw):
+    """Canonical Huffman codecs spanning the decoder's table shapes.
+
+    Four families, chosen to hit every branch of the two-level LUT
+    decoder (``repro.video.huffman.FastHuffmanDecoder``):
+
+    * ``single`` — a one-symbol alphabet (the degenerate 1-bit code);
+    * ``uniform`` — random near-flat frequencies (every code fits the
+      first-level table);
+    * ``skewed`` — powers-of-two frequencies, the maximally unbalanced
+      chain tree (code lengths up to ``n - 1``, past the peek width for
+      ``n > 17``, so second-level subtables are exercised);
+    * ``deep`` — Fibonacci frequencies, the classic worst case packing
+      many distinct beyond-peek lengths into one table.
+    """
+    kind = draw(st.sampled_from(("single", "uniform", "skewed", "deep")))
+    if kind == "single":
+        return HuffmanCodec.from_frequencies({draw(st.integers(0, 500)): 1})
+    if kind == "uniform":
+        n = draw(st.integers(2, 300))
+        rng = np.random.default_rng(draw(rng_seeds()))
+        return HuffmanCodec.from_frequencies(
+            {s: int(f) for s, f in enumerate(rng.integers(1, 1000, size=n))}
+        )
+    if kind == "skewed":
+        n = draw(st.integers(2, 24))  # depth n-1 stays within MAX_CODE_LENGTH
+        return HuffmanCodec.from_frequencies(
+            {s: 1 << (n - s) for s in range(n)}
+        )
+    n = draw(st.integers(18, 28))
+    a, b = 1, 2
+    freqs = {}
+    for s in range(n):
+        freqs[s] = a
+        a, b = b, a + b
+    return HuffmanCodec.from_frequencies(freqs)
 
 
 # ------------------------------------------------------------- bitstreams

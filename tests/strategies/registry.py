@@ -28,7 +28,7 @@ from repro.audio.bitalloc import (
     allocate_bits_batch,
     allocate_bits_reference,
 )
-from repro.audio.encoder import AudioEncoder
+from repro.audio.encoder import AudioDecoder, AudioEncoder
 from repro.audio.filterbank import (
     _analyze_raw,
     _analyze_raw_reference,
@@ -58,9 +58,21 @@ from repro.support.ipstack import (
     ones_complement_checksum,
     ones_complement_checksum_reference,
 )
+from repro.video import codec_tables
+from repro.video.bitstream import BitReader, BitWriter
+from repro.video.blockpipe import (
+    read_plane_vectors,
+    read_plane_vectors_reference,
+)
 from repro.video.decoder import VideoDecoder
 from repro.video.encoder import VideoEncoder
-from repro.video.motion import full_search, full_search_reference
+from repro.video.motion import (
+    MotionField,
+    full_search,
+    full_search_reference,
+    motion_compensate,
+    motion_compensate_reference,
+)
 from repro.video.zigzag import (
     inverse_zigzag,
     inverse_zigzag_reference,
@@ -236,6 +248,91 @@ def _jpeg_streams(draw):
 
 
 @st.composite
+def _se_bitstreams(draw):
+    """(bytes, count): ``count`` signed-Exp-Golomb codes + trailing noise.
+
+    A sprinkle of large magnitudes pushes codes past the 16-bit peek so
+    the bulk parse's scalar fallback is exercised; the trailing noise
+    bits pin the final reader position (the parse must stop exactly
+    after code ``count``).
+    """
+    count = draw(st.integers(0, 120))
+    rng = np.random.default_rng(draw(domains.rng_seeds()))
+    values = rng.integers(-40, 41, size=count)
+    big_at = rng.random(count) < 0.08
+    values[big_at] = rng.integers(-60_000, 60_001, size=int(big_at.sum()))
+    writer = BitWriter()
+    for v in values:
+        writer.write_se(int(v))
+    trailing = draw(st.integers(0, 17))
+    if trailing:
+        writer.write_bits(draw(st.integers(0, (1 << trailing) - 1)), trailing)
+    return writer.getvalue(), count
+
+
+@st.composite
+def _plane_vector_streams(draw):
+    """(bytes, nblocks, n): an entropy-coded plane + trailing noise.
+
+    Built symbol by symbol against the default codecs — sparse AC
+    levels with categories across the full 1..12 range, DC differences
+    over the whole admissible span — so the fused event tables see
+    first-level hits, magnitude spills, and end-of-block codes.
+    """
+    n = draw(st.sampled_from((4, 8)))
+    nblocks = draw(st.integers(0, 6))
+    rng = np.random.default_rng(draw(domains.rng_seeds()))
+    ac = codec_tables.default_ac_codec(n)
+    dc = codec_tables.default_dc_codec(n)
+    eob = codec_tables.eob_symbol(n)
+    writer = BitWriter()
+    total = n * n
+    for _ in range(nblocks):
+        diff = int(rng.integers(-2048, 2049))
+        dc.encode_symbol(codec_tables.magnitude_category(diff), writer)
+        codec_tables.encode_magnitude(diff, writer)
+        k = int(rng.integers(0, min(9, total)))
+        positions = sorted(
+            int(p)
+            for p in rng.choice(np.arange(1, total), size=k, replace=False)
+        ) if k else []
+        last = 0
+        for p in positions:
+            value = int(rng.integers(1, 4096)) * (-1 if rng.random() < 0.5 else 1)
+            symbol = codec_tables.pack_ac(
+                p - last - 1, codec_tables.magnitude_category(value)
+            )
+            ac.encode_symbol(symbol, writer)
+            codec_tables.encode_magnitude(value, writer)
+            last = p
+        ac.encode_symbol(eob, writer)
+    trailing = draw(st.integers(0, 17))
+    if trailing:
+        writer.write_bits(draw(st.integers(0, (1 << trailing) - 1)), trailing)
+    return writer.getvalue(), nblocks, n
+
+
+@st.composite
+def _compensate_cases(draw):
+    """(reference plane, motion field), vectors spilling past the edges."""
+    n = draw(st.sampled_from((4, 8)))
+    by = draw(st.integers(1, 4))
+    bx = draw(st.integers(1, 4))
+    rng = np.random.default_rng(draw(domains.rng_seeds()))
+    reference = np.floor(rng.uniform(0.0, 256.0, size=(by * n, bx * n)))
+    span = draw(st.integers(1, 3 * n))  # beyond-frame vectors must clamp
+    dy = rng.integers(-span, span + 1, size=(by, bx)).astype(np.int32)
+    dx = rng.integers(-span, span + 1, size=(by, bx)).astype(np.int32)
+    return reference, MotionField(dy=dy, dx=dx, block_size=n)
+
+
+@st.composite
+def _audio_streams(draw):
+    pcm, cfg, anc = draw(_audio_encode_cases())
+    return AudioEncoder(cfg, batched=True).encode(pcm, anc).data
+
+
+@st.composite
 def _motion_cases(draw):
     current, reference = draw(domains.frame_pairs(max_blocks=3))
     search_range = draw(st.integers(1, 3))
@@ -283,6 +380,56 @@ def _video_decode(batched: bool):
         decoded = VideoDecoder(batched=batched).decode(data)
         planes = [(f.y, f.cb, f.cr) for f in decoded.frames]
         return planes, decoded.frame_types, decoded.concealed
+
+    return run
+
+
+def _read_se(batched: bool):
+    def run(case):
+        data, count = case
+        reader = BitReader(data)
+        values = (
+            reader.read_se_many(count)
+            if batched
+            else reader.read_se_many_reference(count)
+        )
+        return values, reader.bit_position
+
+    return run
+
+
+def _plane_vectors(batched: bool):
+    def run(case):
+        data, nblocks, n = case
+        reader = BitReader(data)
+        fn = read_plane_vectors if batched else read_plane_vectors_reference
+        vectors, prev_dc = fn(
+            reader,
+            nblocks,
+            n,
+            0,
+            codec_tables.default_ac_codec(n),
+            codec_tables.default_dc_codec(n),
+            codec_tables.eob_symbol(n),
+        )
+        return vectors, prev_dc, reader.bit_position
+
+    return run
+
+
+def _compensate(batched: bool):
+    def run(case):
+        reference, field = case
+        fn = motion_compensate if batched else motion_compensate_reference
+        return fn(reference, field)
+
+    return run
+
+
+def _audio_decode(batched: bool):
+    def run(data):
+        out = AudioDecoder(batched=batched).decode(data)
+        return out.pcm, out.sample_rate, out.ancillary, out.delay
 
     return run
 
@@ -383,6 +530,27 @@ _register(OraclePair(
     run_batched=_video_decode(batched=True),
 ))
 
+_register(OraclePair(
+    oracle="repro.video.bitstream.BitReader.read_se_many_reference",
+    strategy=_se_bitstreams(),
+    run_reference=_read_se(batched=False),
+    run_batched=_read_se(batched=True),
+))
+
+_register(OraclePair(
+    oracle="repro.video.blockpipe.read_plane_vectors_reference",
+    strategy=_plane_vector_streams(),
+    run_reference=_plane_vectors(batched=False),
+    run_batched=_plane_vectors(batched=True),
+))
+
+_register(OraclePair(
+    oracle="repro.video.motion.motion_compensate_reference",
+    strategy=_compensate_cases(),
+    run_reference=_compensate(batched=False),
+    run_batched=_compensate(batched=True),
+))
+
 # -- image ---------------------------------------------------------------
 
 _register(OraclePair(
@@ -427,6 +595,13 @@ _register(OraclePair(
     strategy=_audio_encode_cases(),
     run_reference=_audio_encode(batched=False),
     run_batched=_audio_encode(batched=True),
+))
+
+_register(OraclePair(
+    oracle="repro.audio.encoder.AudioDecoder._decode_frames_reference",
+    strategy=_audio_streams(),
+    run_reference=_audio_decode(batched=False),
+    run_batched=_audio_decode(batched=True),
 ))
 
 # -- net -----------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Fuzzes the table-driven Huffman decoder against the scalar oracle.
+
+``FastHuffmanDecoder`` (experiment R9) promises *bit identity* with
+``HuffmanCodec.decode_symbol`` — same symbols, same consumed bit counts,
+same exceptions — across every canonical table shape: flat, skewed to
+the maximum chain depth, single-symbol, and beyond-peek-width codes that
+land in the second-level subtables.  The table generator lives in
+``tests/strategies/domains.py`` (:func:`strategies.domains.huffman_codecs`)
+so other suites can reuse the same families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video.bitstream import PEEK_WIDTH, BitReader, BitWriter
+from repro.video.huffman import FastHuffmanDecoder, HuffmanCodec, fast_decoder
+from strategies import domains
+
+
+@st.composite
+def _coded_streams(draw):
+    """(codec, symbols, data): a valid symbol run plus trailing noise."""
+    codec = draw(domains.huffman_codecs())
+    alphabet = sorted(codec.lengths)
+    rng = np.random.default_rng(draw(domains.rng_seeds()))
+    count = draw(st.integers(0, 80))
+    symbols = [alphabet[i] for i in rng.integers(0, len(alphabet), size=count)]
+    writer = BitWriter()
+    codec.encode(symbols, writer)
+    trailing = draw(st.integers(0, 17))
+    if trailing:
+        writer.write_bits(draw(st.integers(0, (1 << trailing) - 1)), trailing)
+    return codec, symbols, writer.getvalue()
+
+
+@given(case=_coded_streams())
+def test_fast_decoder_is_bit_identical_on_valid_streams(case):
+    """Same symbols, same bit positions after every decode."""
+    codec, symbols, data = case
+    fast = FastHuffmanDecoder(codec)
+    slow_reader = BitReader(data)
+    fast_reader = BitReader(data)
+    for i, expected in enumerate(symbols):
+        assert codec.decode_symbol(slow_reader) == expected
+        assert fast.decode_symbol(fast_reader) == expected, f"symbol {i}"
+        assert fast_reader.bit_position == slow_reader.bit_position, (
+            f"position diverged after symbol {i}"
+        )
+
+
+@given(
+    codec=domains.huffman_codecs(),
+    payload=st.binary(min_size=0, max_size=64),
+)
+def test_fast_decoder_matches_errors_on_arbitrary_bytes(codec, payload):
+    """Draining arbitrary bytes: same symbols, then the same exception.
+
+    Random input eventually hits an unassigned pattern or runs off the
+    end of the buffer; the fast path must raise the same exception type
+    with the same message at the same position as the scalar parse.
+    """
+    fast = FastHuffmanDecoder(codec)
+    slow_reader = BitReader(payload)
+    fast_reader = BitReader(payload)
+    while True:
+        try:
+            expected = codec.decode_symbol(slow_reader)
+            slow_error = None
+        except (EOFError, ValueError) as exc:
+            slow_error = (type(exc), str(exc))
+        try:
+            got = fast.decode_symbol(fast_reader)
+            fast_error = None
+        except (EOFError, ValueError) as exc:
+            fast_error = (type(exc), str(exc))
+        assert fast_error == slow_error
+        if slow_error is not None:
+            break
+        assert got == expected
+        assert fast_reader.bit_position == slow_reader.bit_position
+
+
+def test_subtables_built_for_beyond_peek_codes():
+    """A chain-shaped table deeper than the peek really uses level two."""
+    n = 24  # powers-of-two frequencies: lengths 1..23, beyond PEEK_WIDTH
+    codec = HuffmanCodec.from_frequencies({s: 1 << (n - s) for s in range(n)})
+    assert max(codec.lengths.values()) > PEEK_WIDTH
+    decoder = FastHuffmanDecoder(codec)
+    assert decoder._subtables, "expected second-level tables"
+
+
+def test_fast_decoder_is_cached_per_codec():
+    codec = HuffmanCodec.from_frequencies({0: 3, 1: 2, 2: 1})
+    assert fast_decoder(codec) is fast_decoder(codec)
+
+
+def test_invalid_code_error_names_the_bit_offset():
+    """Satellite: corrupt-stream reports carry the failing bit offset."""
+    codec = HuffmanCodec.from_frequencies({0: 1, 1: 1})  # codes 0 and 1...
+    # ...of length 1: every pattern decodes, so use a gappy table instead.
+    codec = HuffmanCodec({0: 2, 1: 2, 2: 2})  # pattern 0b11 is unassigned
+    # '00' then 38 one-bits: enough for the full MAX_CODE_LENGTH probe.
+    reader = BitReader(bytes([0b00111111, 0xFF, 0xFF, 0xFF, 0xFF]))
+    assert codec.decode_symbol(reader) == 0  # consumes '00'
+    with pytest.raises(ValueError, match=r"bit offset 2"):
+        codec.decode_symbol(reader)
