@@ -31,6 +31,7 @@ from .scenarios import (
     ui_application,
     video_wall_scenario,
 )
+from .rng import coerce_rng
 from .system import ApplicationReport, MultimediaSystem, SystemReport
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "audio_player_scenario",
     "camera_scenario",
     "cell_phone_scenario",
+    "coerce_rng",
     "conference_bridge_scenario",
     "drm_application",
     "dvr_scenario",

@@ -1,0 +1,36 @@
+"""The one blessed seed-coercion helper.
+
+Every API in this repository that takes randomness accepts *either* an
+``np.random.Generator`` (share or replay a stream) *or* a plain seed —
+and must never fall back to numpy's hidden global state.  Four copies
+of that coercion had grown across ``net.channel``, and the three
+``workloads`` generators (plus inline variants in ``mapping`` and
+``support``); this module unifies them, and the ``rng-discipline`` lint
+rule (``docs/static_analysis.md``) makes this the only place in
+``src/`` allowed to turn a literal default seed into a generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coerce_rng(
+    rng: "np.random.Generator | int | None" = None,
+    default_seed: int = 0,
+) -> np.random.Generator:
+    """Accept a Generator or a seed; never fall back to global state.
+
+    * a ``Generator`` passes through untouched (caller keeps control of
+      the stream);
+    * any other value is used as the seed;
+    * ``None`` seeds with ``default_seed`` (0) — deterministic by
+      default, matching the repository's replay-everything creed, and
+      never ``default_rng(None)``'s fresh OS entropy.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(default_seed if rng is None else rng)
+
+
+__all__ = ["coerce_rng"]

@@ -11,7 +11,7 @@ them is part of the cost model.  Two bounds are provided:
 
 from __future__ import annotations
 
-from .analysis import check_deadlock, repetition_vector
+from .analysis import DeadlockError, check_deadlock, repetition_vector
 from .graph import SDFGraph
 from .schedule import simulate_self_timed
 
@@ -85,8 +85,8 @@ def minimum_feasible_uniform_bound(graph: SDFGraph, limit: int = 4096) -> int:
             try:
                 check_deadlock(bounded)
                 return capacity
-            except Exception:
-                pass
+            except DeadlockError:
+                pass  # this capacity deadlocks; try the next one
         capacity += max(1, base // 2)
     raise RuntimeError(
         f"no uniform buffer bound below {limit} keeps {graph.name!r} live"

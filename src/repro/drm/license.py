@@ -76,9 +76,13 @@ def verify_license(
     wrapped = licence.payload[2 + glen:]
     if len(wrapped) != 16:
         raise LicenseError("content key missing")
+    # ``RightsGrant.from_bytes`` parses ``title|plays|devices|nb|na``:
+    # a bad field count or non-numeric field raises ValueError, non-UTF-8
+    # bytes raise UnicodeDecodeError.  Anything else is a real bug and
+    # must propagate, not masquerade as tampering.
     try:
         grant = RightsGrant.from_bytes(grant_bytes)
-    except Exception as exc:
+    except (ValueError, UnicodeDecodeError) as exc:
         raise LicenseError(f"malformed grant: {exc}") from exc
     nonce = cbc_mac(grant.title_id.encode(), license_key)[:4]
     return grant, ctr_crypt(wrapped, license_key, nonce)

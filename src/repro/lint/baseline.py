@@ -1,0 +1,149 @@
+"""Baseline suppression: accepted findings, each with a justification.
+
+A finding that cannot (or should not) be fixed is recorded in the
+baseline file — JSON, committed at the project root — together with a
+one-line human justification.  ``--check`` then enforces three things:
+
+* every *current* finding is either baselined or reported as **new**;
+* every baseline entry still matches a current finding — an entry whose
+  file/line no longer produces the finding is **stale** and fails the
+  check (the suppression must be deleted, not quietly forgotten);
+* every entry carries a real justification — an empty one or the
+  ``TODO`` placeholder that ``--write-baseline`` emits is rejected.
+
+Matching identity is ``(rule, file, line)``; see
+:mod:`repro.lint.findings`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+#: Placeholder ``--write-baseline`` emits; ``--check`` refuses it.
+TODO_JUSTIFICATION = "TODO: justify this suppression"
+
+DEFAULT_BASELINE_NAME = "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    line: int
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        return (self.rule, self.file, self.line)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read entries; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = []
+    for raw in payload.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                file=raw["file"],
+                line=int(raw["line"]),
+                message=raw.get("message", ""),
+                justification=raw.get("justification", ""),
+            )
+        )
+    return entries
+
+
+def write_baseline(
+    path: Path, findings: list[Finding], previous: list[BaselineEntry]
+) -> list[BaselineEntry]:
+    """Rewrite the baseline from current findings.
+
+    Justifications of entries that still match are preserved; new
+    entries get the ``TODO`` placeholder so ``--check`` fails until a
+    human writes the real reason.
+    """
+    kept = {e.key: e.justification for e in previous}
+    entries = [
+        BaselineEntry(
+            rule=f.rule,
+            file=f.file,
+            line=f.line,
+            message=f.message,
+            justification=kept.get(f.key, TODO_JUSTIFICATION),
+        )
+        for f in sorted(findings)
+    ]
+    payload = {
+        "_comment": (
+            "Accepted lint findings. Every entry needs a one-line "
+            "justification; stale entries fail --check. See "
+            "docs/static_analysis.md."
+        ),
+        "entries": [e.to_dict() for e in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of applying a baseline to the current findings."""
+
+    new: list[Finding]
+    stale: list[BaselineEntry]
+    unjustified: list[BaselineEntry]
+    suppressed: list[Finding]
+
+    @property
+    def clean(self) -> bool:
+        return not (self.new or self.stale or self.unjustified)
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> BaselineReport:
+    by_key = {e.key: e for e in entries}
+    new = [f for f in findings if f.key not in by_key]
+    suppressed = [f for f in findings if f.key in by_key]
+    current_keys = {f.key for f in findings}
+    stale = [e for e in entries if e.key not in current_keys]
+    unjustified = [
+        e
+        for e in entries
+        if e.key in current_keys
+        and (not e.justification.strip() or e.justification == TODO_JUSTIFICATION)
+    ]
+    return BaselineReport(
+        new=new, stale=stale, unjustified=unjustified, suppressed=suppressed
+    )
+
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineReport",
+    "DEFAULT_BASELINE_NAME",
+    "TODO_JUSTIFICATION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,274 @@
+"""Analysis framework: parsed modules, scope-tracking visitor, runner.
+
+The linter is deliberately *static*: it parses source with :mod:`ast`
+and never imports the code under analysis, so it runs in milliseconds,
+needs no third-party packages, and cannot be fooled by import-time side
+effects.  Three pieces:
+
+* :class:`ModuleContext` — one parsed source file (path, source, tree);
+* :class:`Project` — the whole analysis input: every module context
+  plus cross-file facts (today: the set of oracle paths registered in
+  ``tests/strategies/registry.py``, parsed statically);
+* :class:`Checker` / :class:`ScopedVisitor` — the per-rule base
+  classes.  A checker yields :class:`~repro.lint.findings.Finding`
+  objects for one module at a time; the scoped visitor maintains the
+  enclosing class/function stack so rules can reason about qualnames
+  ("is this loop inside a ``*_reference`` oracle?").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .findings import Finding
+
+#: Where the analyzed sources live, relative to the project root.
+SRC_PREFIX = "src/repro"
+
+#: The statically-parsed registration side table (see
+#: :func:`load_registered_oracles`).
+REGISTRY_PATH = "tests/strategies/registry.py"
+
+
+@dataclass
+class ModuleContext:
+    """One parsed python source file."""
+
+    path: Path  # absolute
+    relpath: str  # POSIX, relative to the project root
+    source: str
+    tree: ast.Module
+
+    @property
+    def module_name(self) -> str:
+        """Dotted import path (``src/repro/a/b.py`` -> ``repro.a.b``)."""
+        parts = Path(self.relpath).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    @property
+    def stem(self) -> str:
+        return Path(self.relpath).stem
+
+    @property
+    def subpackage(self) -> str:
+        """First package under ``repro`` (``repro.video.dct`` -> ``video``)."""
+        parts = self.module_name.split(".")
+        return parts[1] if len(parts) > 1 else ""
+
+
+@dataclass
+class Project:
+    """Everything a checker may consult beyond the module at hand."""
+
+    root: Path
+    modules: list[ModuleContext] = field(default_factory=list)
+    #: Oracle dotted paths registered in the strategy registry, or
+    #: ``None`` when the registry file is absent (e.g. linting fixture
+    #: trees) — ``None`` disables the registration check.
+    registered_oracles: frozenset[str] | None = None
+
+
+class Checker:
+    """Base class for one lint rule."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            file=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """A visitor that tracks the enclosing class/function scopes.
+
+    Subclasses get ``self.class_stack`` and ``self.func_stack`` (names,
+    outermost first) and may override ``visit_*`` as usual — the scope
+    bookkeeping wraps the class/function visits, and subclasses that
+    need to hook those override :meth:`handle_function` /
+    :meth:`handle_class` instead of the raw ``visit_FunctionDef``.
+    """
+
+    def __init__(self) -> None:
+        self.class_stack: list[str] = []
+        self.func_stack: list[str] = []
+
+    # -- scope bookkeeping -------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.handle_class(node)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.handle_function(node)
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def handle_class(self, node: ast.ClassDef) -> None:
+        pass
+
+    def handle_function(self, node) -> None:
+        pass
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def at_module_level(self) -> bool:
+        return not self.func_stack
+
+    @property
+    def qualname(self) -> str:
+        """``Class.method`` / ``function`` / ``""`` at module level."""
+        return ".".join(self.class_stack + self.func_stack)
+
+    def inside_reference_oracle(self) -> bool:
+        return any(name.endswith("_reference") for name in self.func_stack)
+
+
+# ---------------------------------------------------------------- loading
+
+
+def discover_files(root: Path, paths: Iterable[str] | None = None) -> list[Path]:
+    """Python files to analyze: ``src/repro`` by default, else ``paths``.
+
+    ``paths`` entries may be files or directories, absolute or relative
+    to ``root``.
+    """
+    if not paths:
+        base = root / SRC_PREFIX
+        return sorted(base.rglob("*.py")) if base.is_dir() else []
+    out: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if not p.is_absolute():
+            p = root / p
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def parse_module(path: Path, root: Path) -> ModuleContext | Finding:
+    """Parse one file; a syntax error becomes a finding, not a crash."""
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            file=relpath,
+            line=exc.lineno or 1,
+            rule="parse-error",
+            message=f"could not parse: {exc.msg}",
+        )
+    return ModuleContext(path=path, relpath=relpath, source=source, tree=tree)
+
+
+def load_registered_oracles(root: Path) -> frozenset[str] | None:
+    """Oracle dotted paths from the strategy registry, statically.
+
+    Reads every ``oracle="..."`` keyword string in
+    ``tests/strategies/registry.py`` without importing it (the registry
+    imports numpy and hypothesis; the linter must not).  Returns
+    ``None`` when the file does not exist, which disables the
+    registration half of the oracle-pairing rule.
+    """
+    path = root / REGISTRY_PATH
+    if not path.is_file():
+        return None
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    oracles: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.keyword) and node.arg == "oracle":
+            if isinstance(node.value, ast.Constant) and isinstance(
+                node.value.value, str
+            ):
+                oracles.add(node.value.value)
+    return frozenset(oracles)
+
+
+def build_project(
+    root: Path, paths: Iterable[str] | None = None
+) -> tuple[Project, list[Finding]]:
+    """Parse the tree once; returns the project + any parse-error findings."""
+    project = Project(root=root)
+    parse_failures: list[Finding] = []
+    for path in discover_files(root, paths):
+        parsed = parse_module(path, root)
+        if isinstance(parsed, Finding):
+            parse_failures.append(parsed)
+        else:
+            project.modules.append(parsed)
+    project.registered_oracles = load_registered_oracles(root)
+    return project, parse_failures
+
+
+def run_checkers(
+    project: Project, checkers: Iterable[Checker]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for checker in checkers:
+        for ctx in project.modules:
+            findings.extend(checker.check(ctx, project))
+    return sorted(findings)
+
+
+def run_lint(
+    root: Path,
+    paths: Iterable[str] | None = None,
+    checkers: Iterable[Checker] | None = None,
+) -> list[Finding]:
+    """Full pipeline: discover, parse, run every (or the given) rule."""
+    from .rules import default_checkers
+
+    project, findings = build_project(root, paths)
+    findings.extend(
+        run_checkers(
+            project,
+            default_checkers() if checkers is None else checkers,
+        )
+    )
+    return sorted(findings)
+
+
+__all__ = [
+    "Checker",
+    "ModuleContext",
+    "Project",
+    "ScopedVisitor",
+    "build_project",
+    "discover_files",
+    "load_registered_oracles",
+    "parse_module",
+    "run_checkers",
+    "run_lint",
+]

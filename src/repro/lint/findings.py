@@ -1,0 +1,42 @@
+"""The unit of lint output: one finding at one file/line.
+
+Findings are plain value objects so every layer above them — checkers,
+the baseline, the CLI, the tests — can compare, sort, and serialize
+them without ceremony.  The identity used for baseline matching is
+``(rule, file, line)``: messages may be reworded without invalidating a
+suppression, but a finding that moves (or whose file disappears) makes
+its baseline entry stale, which ``--check`` treats as an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    file: str  # repo-relative POSIX path
+    line: int  # 1-indexed
+    rule: str  # rule id, e.g. "rng-discipline"
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """Baseline-matching identity (message excluded, see module doc)."""
+        return (self.rule, self.file, self.line)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,49 @@
+"""The rule catalogue: one checker class per machine-enforced convention.
+
+| rule id             | protects                                        |
+|---------------------|-------------------------------------------------|
+| `oracle-pairing`    | the ``*_reference`` oracle convention           |
+| `rng-discipline`    | explicit, plumbed randomness                    |
+| `determinism`       | virtual-time + order-independent serialization  |
+| `shard-readiness`   | picklable sessions, no per-process module state |
+| `hot-path-purity`   | the batched modules stay vectorized             |
+| `exception-hygiene` | no silently-swallowed broad excepts             |
+
+See ``docs/static_analysis.md`` for the full catalogue and how to add
+a checker.
+"""
+
+from __future__ import annotations
+
+from ..core import Checker
+from .determinism import DeterminismChecker
+from .exceptions import ExceptionHygieneChecker
+from .hotpath import HotPathPurityChecker
+from .oracle import OraclePairingChecker
+from .rng import RngDisciplineChecker
+from .shard import ShardReadinessChecker
+
+ALL_CHECKERS: tuple[type[Checker], ...] = (
+    OraclePairingChecker,
+    RngDisciplineChecker,
+    DeterminismChecker,
+    ShardReadinessChecker,
+    HotPathPurityChecker,
+    ExceptionHygieneChecker,
+)
+
+
+def default_checkers() -> list[Checker]:
+    return [cls() for cls in ALL_CHECKERS]
+
+
+__all__ = [
+    "ALL_CHECKERS",
+    "DeterminismChecker",
+    "ExceptionHygieneChecker",
+    "HotPathPurityChecker",
+    "OraclePairingChecker",
+    "RngDisciplineChecker",
+    "ShardReadinessChecker",
+    "default_checkers",
+]

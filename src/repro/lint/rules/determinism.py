@@ -1,0 +1,135 @@
+"""Rule ``determinism``: no wall-clock, no set-order dependence.
+
+The engine runs on a *virtual* timeline; bitstreams are pinned
+bit-identical across schedulers and (next) across worker processes.
+Two statically-detectable ways to lose that:
+
+* **wall-clock reads** (``time.time``, ``time.perf_counter``, ...)
+  anywhere outside the engine's measured-report block — real time in a
+  decision path makes output depend on machine load.  The one blessed
+  site is ``StreamEngine.run``, which times the run *after* all
+  scheduling decisions are made, purely for the report;
+* **iterating a bare set** in the codec/bitstream/net serialization
+  subpackages — set order is hash-seed- and history-dependent, so a
+  loop over one can reorder emitted bits between processes.  Sort
+  first, or keep a list.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..findings import Finding
+
+WALL_CLOCK = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: (relpath suffix, qualname) pairs allowed to read the wall clock.
+MEASURED_BLOCKS = frozenset(
+    {
+        ("repro/runtime/engine.py", "StreamEngine.run"),
+    }
+)
+
+#: Subpackages whose emitted bytes must not depend on set order.
+SERIALIZATION_SUBPACKAGES = frozenset({"video", "audio", "image", "net"})
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, checker: "DeterminismChecker", ctx: ModuleContext):
+        super().__init__()
+        self.checker = checker
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.time_aliases: set[str] = set()  # names bound by `from time import ...`
+        self.check_sets = ctx.subpackage in SERIALIZATION_SUBPACKAGES
+
+    def _allowed_here(self) -> bool:
+        qual = self.qualname
+        return any(
+            self.ctx.relpath.endswith(suffix) and qual == qualname
+            for suffix, qualname in MEASURED_BLOCKS
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK:
+                    self.time_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        clocky = (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in WALL_CLOCK
+        ) or (isinstance(func, ast.Name) and func.id in self.time_aliases)
+        if clocky and not self._allowed_here():
+            shown = (
+                f"time.{func.attr}"
+                if isinstance(func, ast.Attribute)
+                else func.id
+            )
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"{shown}() reads the wall clock outside the engine's "
+                    "measured-report block (StreamEngine.run); use the "
+                    "virtual timeline",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.check_sets and _is_set_expr(node.iter):
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    "iteration over a bare set in a serialization path: "
+                    "set order is hash-seed-dependent; sort it or use a "
+                    "sequence",
+                )
+            )
+        self.generic_visit(node)
+
+
+class DeterminismChecker(Checker):
+    rule_id = "determinism"
+    description = (
+        "no wall-clock reads outside StreamEngine.run; no bare-set "
+        "iteration in codec/bitstream/net serialization paths"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+__all__ = ["DeterminismChecker"]

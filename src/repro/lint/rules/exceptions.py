@@ -1,0 +1,82 @@
+"""Rule ``exception-hygiene``: no silent broad catches.
+
+A bare ``except:`` or ``except Exception`` that neither re-raises nor
+logs swallows everything — including the typed errors this codebase
+treats as contract (``DeadlockError``, ``LicenseError``, the decoders'
+truncation errors with pinned bit offsets).  The rule flags broad
+handlers unless the handler body
+
+* re-raises (``raise`` anywhere in the handler, including an
+  exception-chaining ``raise X(...) from exc``), or
+* visibly reports (a ``logging``/``logger``/``log`` call or
+  ``warnings.warn``).
+
+Narrow handlers (``except DeadlockError:``) are always fine — naming
+the failure mode is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project
+from ..findings import Finding
+
+BROAD = frozenset({"Exception", "BaseException"})
+LOGGERS = frozenset({"logging", "logger", "log", "warnings"})
+
+
+def _broad_names(handler: ast.ExceptHandler) -> list[str]:
+    """The broad names a handler catches; [''] means a bare except."""
+    if handler.type is None:
+        return [""]
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return [t.id for t in types if isinstance(t, ast.Name) and t.id in BROAD]
+
+
+def _handler_mitigates(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in LOGGERS
+            ):
+                return True
+    return False
+
+
+class ExceptionHygieneChecker(Checker):
+    rule_id = "exception-hygiene"
+    description = (
+        "bare/broad `except Exception` must re-raise or log; otherwise "
+        "narrow it to the actual failure mode"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_names(node)
+            if not broad or _handler_mitigates(node):
+                continue
+            caught = "bare except" if broad == [""] else (
+                f"except {', '.join(broad)}"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} swallows all errors without re-raise or "
+                "logging; narrow it to the exception(s) this site can "
+                "actually handle",
+            )
+
+
+__all__ = ["ExceptionHygieneChecker"]

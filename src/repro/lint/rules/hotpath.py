@@ -1,0 +1,69 @@
+"""Rule ``hot-path-purity``: batched modules stay batched.
+
+The performance claims (R6–R9) rest on four modules doing their work in
+NumPy batch operations: ``video.blockpipe``, ``audio.subbandpipe``,
+``net.packetizer``, ``net.fec``.  A Python-level ``for`` statement over
+frames/blocks/packets inside one of them is either a scalar regression
+sneaking into a hot path — or a deliberate, measured exception
+(sequential entropy decode, one-time table builds), which belongs in
+the baseline with its justification.
+
+``*_reference`` oracles are exempt: they are *defined* as the readable
+scalar loop.  Module-level loops (import-time table construction) are
+exempt too — they run once, not per frame.  Comprehensions are not
+flagged: the rule targets statement loops, where per-element bit I/O
+and codec calls hide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..findings import Finding
+
+#: Module stems whose function bodies must stay vectorized.
+BATCHED_MODULES = frozenset({"blockpipe", "subbandpipe", "packetizer", "fec"})
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, checker: "HotPathPurityChecker", ctx: ModuleContext):
+        super().__init__()
+        self.checker = checker
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def visit_For(self, node: ast.For) -> None:
+        if not self.at_module_level and not self.inside_reference_oracle():
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"Python-level for loop in batched module "
+                    f"{self.ctx.stem!r} ({self.qualname}); vectorize it, "
+                    "move it into a *_reference oracle, or baseline it "
+                    "with the measured justification",
+                )
+            )
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+
+class HotPathPurityChecker(Checker):
+    rule_id = "hot-path-purity"
+    description = (
+        "no Python-level for loops in the batched modules "
+        "(blockpipe/subbandpipe/packetizer/fec) outside *_reference oracles"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        if ctx.stem not in BATCHED_MODULES:
+            return
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+__all__ = ["HotPathPurityChecker"]

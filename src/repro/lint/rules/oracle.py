@@ -1,0 +1,127 @@
+"""Rule ``oracle-pairing``: the ``*_reference`` convention, enforced.
+
+Every scalar oracle must be (a) discoverable, (b) paired, and (c)
+fuzzed:
+
+* **not a** ``@staticmethod`` — the equivalence harness inspects
+  ``vars(cls)`` with ``inspect.isfunction``, so a staticmethod oracle is
+  invisible to discovery (the PR 7 blind spot this rule exists for);
+* a batched counterpart — ``X`` or ``X_batched`` — must live in the
+  same scope, with the same parameter names in the same order (the
+  pairs are driven by shared runners, so a signature drift breaks the
+  harness at a distance);
+* the oracle's dotted path must be registered in
+  ``tests/strategies/registry.py`` (checked statically; the runtime
+  twin of this check is ``test_every_reference_oracle_has_a_registered_strategy``).
+
+Oracles whose batched half legitimately lives elsewhere (``zlib.crc32``
+for ``crc32_reference``) are baselined with a justification naming it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project
+from ..findings import Finding
+
+SUFFIX = "_reference"
+
+
+def _param_names(node) -> tuple[str, ...]:
+    a = node.args
+    names = [p.arg for p in a.posonlyargs + a.args]
+    if a.vararg:
+        names.append("*" + a.vararg.arg)
+    names.extend(p.arg for p in a.kwonlyargs)
+    if a.kwarg:
+        names.append("**" + a.kwarg.arg)
+    return tuple(names)
+
+
+def _is_staticmethod(node) -> bool:
+    return any(
+        isinstance(d, ast.Name) and d.id == "staticmethod"
+        for d in node.decorator_list
+    )
+
+
+def _functions(body) -> dict[str, ast.AST]:
+    return {
+        stmt.name: stmt
+        for stmt in body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class OraclePairingChecker(Checker):
+    rule_id = "oracle-pairing"
+    description = (
+        "*_reference oracles must be plain (non-static) callables with a "
+        "same-signature batched counterpart in scope and a registered "
+        "strategy in tests/strategies/registry.py"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, project, ctx.tree.body, prefix="")
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._check_scope(
+                    ctx, project, stmt.body, prefix=stmt.name + "."
+                )
+
+    def _check_scope(
+        self, ctx: ModuleContext, project: Project, body, prefix: str
+    ) -> Iterator[Finding]:
+        functions = _functions(body)
+        for name, node in functions.items():
+            if not name.endswith(SUFFIX):
+                continue
+            base = name[: -len(SUFFIX)]
+            dotted = f"{ctx.module_name}.{prefix}{name}"
+
+            if _is_staticmethod(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{prefix}{name} is a @staticmethod: invisible to "
+                    "oracle discovery (inspect.isfunction over vars(cls)); "
+                    "write it as a plain method that ignores self",
+                )
+
+            counterpart = functions.get(base) or functions.get(base + "_batched")
+            if counterpart is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{prefix}{name} has no batched counterpart "
+                    f"({base!r} or {base + '_batched'!r}) in the same scope",
+                )
+            else:
+                ref_params = _param_names(node)
+                fast_params = _param_names(counterpart)
+                if ref_params != fast_params:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{prefix}{name} signature {list(ref_params)} does "
+                        f"not match its batched counterpart "
+                        f"{counterpart.name}{list(fast_params)}",
+                    )
+
+            if (
+                project.registered_oracles is not None
+                and dotted not in project.registered_oracles
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted} is not registered in "
+                    "tests/strategies/registry.py — every oracle pair "
+                    "must be fuzzed (docs/testing.md, 'Registering a new "
+                    "oracle pair')",
+                )
+
+
+__all__ = ["OraclePairingChecker"]

@@ -1,0 +1,143 @@
+"""Rule ``rng-discipline``: explicit, plumbed randomness only.
+
+The repository's determinism story requires that every random draw
+flows from an explicitly-seeded ``np.random.Generator`` an API caller
+controls.  Two ways to break that, both caught statically:
+
+* calling the **legacy global-state API** (``np.random.seed``,
+  ``np.random.rand``, ...) — hidden process-wide state that makes runs
+  order-dependent and un-replayable;
+* calling ``default_rng(<literal>)`` with a hardcoded seed inside
+  ``src/`` — a magic constant that silently couples call sites which
+  should be independent streams.  Seed coercion belongs in the one
+  blessed helper, :func:`repro.core.rng.coerce_rng`; everything else
+  receives a Generator or a caller-chosen seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..findings import Finding
+
+#: numpy.random functions that touch the hidden global RandomState.
+LEGACY_GLOBAL = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "poisson",
+        "binomial",
+        "exponential",
+        "beta",
+        "gamma",
+    }
+)
+
+#: The one module allowed to call ``default_rng`` with a literal seed.
+BLESSED_SUFFIX = "repro/core/rng.py"
+
+
+def _is_np_random_attr(func: ast.AST) -> bool:
+    """True for ``<anything>.random.<attr>`` — e.g. ``np.random.seed``."""
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Attribute)
+        and func.value.attr == "random"
+    )
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, checker: "RngDisciplineChecker", ctx: ModuleContext):
+        super().__init__()
+        self.checker = checker
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.blessed = ctx.relpath.endswith(BLESSED_SUFFIX)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random":
+            legacy = sorted(
+                a.name for a in node.names if a.name in LEGACY_GLOBAL
+            )
+            if legacy:
+                self.findings.append(
+                    self.checker.finding(
+                        self.ctx,
+                        node,
+                        "imports numpy.random global-state function(s) "
+                        f"{legacy}; draw from an explicit "
+                        "np.random.Generator instead",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if _is_np_random_attr(func) and func.attr in LEGACY_GLOBAL:
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"np.random.{func.attr}() uses the hidden global "
+                    "RandomState; take an explicit seeded Generator "
+                    "(repro.core.rng.coerce_rng)",
+                )
+            )
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else ""
+        )
+        if (
+            name == "default_rng"
+            and not self.blessed
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, (int, float))
+        ):
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"default_rng({node.args[0].value!r}) hardcodes a seed "
+                    "outside repro.core.rng.coerce_rng; plumb the seed or "
+                    "Generator from the caller",
+                )
+            )
+        self.generic_visit(node)
+
+
+class RngDisciplineChecker(Checker):
+    rule_id = "rng-discipline"
+    description = (
+        "no numpy global-state randomness; no literal default_rng seeds "
+        "outside the blessed coerce_rng helper"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+
+
+__all__ = ["RngDisciplineChecker"]

@@ -1,0 +1,201 @@
+"""Rule ``shard-readiness``: the worklist for the multi-core engine.
+
+The ROADMAP's next tentpole shards the ``StreamEngine`` across worker
+processes: sessions become picklable segment jobs, and anything that
+relies on *process-local module state* silently diverges between
+workers.  This rule flags, ahead of that refactor:
+
+* **module-level mutable containers that are mutated at runtime** —
+  a dict/list/set bound at module scope and written from inside a
+  function is per-process state (caches, scratch buffers, registries)
+  that a worker pool will not share;
+* **``global`` rebinding** — a function that rebinds a module-level
+  name (``global _FLAG; _FLAG = x``) is the same hazard for scalars;
+* **statically unpicklable session attributes** — inside
+  ``repro.runtime``, assigning a lambda, a generator expression, or an
+  ``open()`` handle onto ``self`` makes the session/job unpicklable and
+  the dispatch to workers fail at runtime.
+
+Intentional per-process caches stay, baselined with a justification —
+the baseline *is* the migration worklist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..findings import Finding
+
+MUTABLE_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict",
+     "Counter", "bytearray"}
+)
+
+MUTATOR_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "setdefault", "pop",
+     "popitem", "clear", "remove", "discard", "appendleft"}
+)
+
+#: Subpackage whose classes must stay picklable for worker dispatch.
+PICKLED_SUBPACKAGE = "runtime"
+
+
+def _is_mutable_initializer(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in MUTABLE_CALLS
+    )
+
+
+def _module_level_mutables(tree: ast.Module) -> dict[str, ast.stmt]:
+    """Name -> defining statement for module-level mutable containers."""
+    out: dict[str, ast.stmt] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        else:
+            continue
+        if isinstance(target, ast.Name) and _is_mutable_initializer(value):
+            out[target.id] = stmt
+    return out
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, checker: "ShardReadinessChecker", ctx: ModuleContext):
+        super().__init__()
+        self.checker = checker
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.mutables = _module_level_mutables(ctx.tree)
+        self.mutated: dict[str, ast.AST] = {}  # name -> first mutation site
+        self.check_pickle = ctx.subpackage == PICKLED_SUBPACKAGE
+
+    # -- module-state mutation from functions ------------------------------
+
+    def _record_mutation(self, name: str, node: ast.AST) -> None:
+        if name in self.mutables and name not in self.mutated:
+            self.mutated[name] = node
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"`global {name}` rebinds module-level state from "
+                    f"{self.qualname or '<module>'}(): per-process state "
+                    "diverges across engine workers; thread it through "
+                    "the session/engine instead",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            not self.at_module_level
+            and isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+            and isinstance(func.value, ast.Name)
+        ):
+            self._record_mutation(func.value.id, node)
+        self.generic_visit(node)
+
+    def _record_store_targets(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            self._record_mutation(target.value.id, node)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store_targets(elt, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self.at_module_level:
+            for target in node.targets:
+                self._record_store_targets(target, node)
+            self._check_unpicklable_attr(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self.at_module_level:
+            self._record_store_targets(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if not self.at_module_level:
+            for target in node.targets:
+                self._record_store_targets(target, node)
+        self.generic_visit(node)
+
+    # -- unpicklable session attributes ------------------------------------
+
+    def _check_unpicklable_attr(self, node: ast.Assign) -> None:
+        if not self.check_pickle:
+            return
+        attr_targets = [
+            t
+            for t in node.targets
+            if isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ]
+        if not attr_targets:
+            return
+        value = node.value
+        what = None
+        if isinstance(value, ast.Lambda):
+            what = "a lambda"
+        elif isinstance(value, ast.GeneratorExp):
+            what = "a generator expression"
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "open"
+        ):
+            what = "an open file handle"
+        if what:
+            names = ", ".join(f"self.{t.attr}" for t in attr_targets)
+            self.findings.append(
+                self.checker.finding(
+                    self.ctx,
+                    node,
+                    f"{names} holds {what}: statically unpicklable, so "
+                    "the session/segment job cannot be dispatched to a "
+                    "worker process",
+                )
+            )
+
+
+class ShardReadinessChecker(Checker):
+    rule_id = "shard-readiness"
+    description = (
+        "flag module-level mutable state (and `global` rebinding) plus "
+        "unpicklable session attributes ahead of the multi-process engine"
+    )
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings
+        for name, site in visitor.mutated.items():
+            defining = visitor.mutables[name]
+            yield self.finding(
+                ctx,
+                defining,
+                f"module-level mutable {name!r} is mutated at runtime "
+                f"(first at line {site.lineno}): per-process state the "
+                "sharded engine will not share; move it into an object "
+                "the engine owns",
+            )
+
+
+__all__ = ["ShardReadinessChecker"]

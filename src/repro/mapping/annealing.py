@@ -42,11 +42,10 @@ def anneal_mapping(
 ) -> MappingResult:
     """Run simulated annealing; returns the best mapping found."""
     cfg = config or AnnealingConfig()
-    rng = (
-        seed
-        if isinstance(seed, np.random.Generator)
-        else np.random.default_rng(seed)
-    )
+    # Deferred: repro.core's package init imports repro.mapping.
+    from ..core.rng import coerce_rng
+
+    rng = coerce_rng(seed)
     actors = list(problem.graph.actors)
     movable = [a for a in actors if len(problem.compatible_pes(a)) > 1]
 

@@ -59,11 +59,10 @@ def greedy_load_balance(problem: MappingProblem) -> MappingResult:
 
 def random_mapping(problem: MappingProblem, seed=0) -> MappingResult:
     """Uniform random compatible assignment (search seeding / baseline)."""
-    rng = (
-        seed
-        if isinstance(seed, np.random.Generator)
-        else np.random.default_rng(seed)
-    )
+    # Deferred: repro.core's package init imports repro.mapping.
+    from ..core.rng import coerce_rng
+
+    rng = coerce_rng(seed)
     mapping = {
         actor: int(rng.choice(problem.compatible_pes(actor)))
         for actor in problem.graph.actors

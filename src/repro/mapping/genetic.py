@@ -43,11 +43,10 @@ def genetic_mapping(
     seed=0,
 ) -> MappingResult:
     cfg = config or GeneticConfig()
-    rng = (
-        seed
-        if isinstance(seed, np.random.Generator)
-        else np.random.default_rng(seed)
-    )
+    # Deferred: repro.core's package init imports repro.mapping.
+    from ..core.rng import coerce_rng
+
+    rng = coerce_rng(seed)
     actors = list(problem.graph.actors)
 
     def cost_of(mapping: dict[str, int]) -> float:

@@ -29,12 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-
-def _as_rng(rng: "np.random.Generator | int | None") -> np.random.Generator:
-    """Accept a Generator or a seed; never fall back to global state."""
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(0 if rng is None else rng)
+from ..core.rng import coerce_rng
 
 
 class LossProcess:
@@ -63,7 +58,7 @@ class IIDLoss(LossProcess):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
         self.loss_rate = loss_rate
-        self.rng = _as_rng(rng)
+        self.rng = coerce_rng(rng)
 
     def sample(self, n: int) -> np.ndarray:
         if n == 0:
@@ -109,7 +104,7 @@ class GilbertElliott(LossProcess):
         self.p_bad_to_good = p_bad_to_good
         self.loss_good = loss_good
         self.loss_bad = loss_bad
-        self.rng = _as_rng(rng)
+        self.rng = coerce_rng(rng)
         self._bad = bool(start_bad)
 
     def sample(self, n: int) -> np.ndarray:
@@ -238,7 +233,7 @@ class Channel:
             raise ValueError("bandwidth must be positive")
         if self.base_delay_s < 0 or self.jitter_s < 0:
             raise ValueError("delays cannot be negative")
-        self.rng = _as_rng(self.rng)
+        self.rng = coerce_rng(self.rng)
         self._link_free_s = 0.0
         self.packets_sent = 0
         self.packets_lost = 0

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.rng import coerce_rng
+
 PROTO_UDP = 17
 PROTO_TCP = 6
 
@@ -185,10 +187,7 @@ class LossyLink:
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
-        self._rng = (
-            self.rng if self.rng is not None
-            else np.random.default_rng(self.seed)
-        )
+        self._rng = coerce_rng(self.rng, default_seed=self.seed)
 
     def send(self, raw: bytes, now: int) -> None:
         if self._rng.random() < self.loss_rate:

@@ -76,6 +76,10 @@ class VideoDecoder:
         block_size = reader.read_bits(8)
         num_frames = reader.read_bits(16)
         code_chroma = bool(reader.read_bits(1))
+        if block_size == 0:
+            # A corrupted header field must fail like any other parse
+            # error, not as a ZeroDivisionError in the padding math.
+            raise ValueError("corrupt stream header: block size 0")
 
         ac_codec = tables.default_ac_codec(block_size)
         dc_codec = tables.default_dc_codec(block_size)

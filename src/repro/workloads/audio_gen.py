@@ -10,10 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..audio import lpc
-
-
-def _rng(seed) -> np.random.Generator:
-    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+from ..core.rng import coerce_rng
 
 
 def tone(
@@ -57,7 +54,7 @@ def multitone(
     seed=0,
 ) -> np.ndarray:
     """A handful of unrelated partials (sparse spectrum)."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     freqs = frequencies or [220.0, 880.0, 3520.0, 9000.0]
     t = np.arange(int(duration * sample_rate)) / sample_rate
     out = np.zeros_like(t)
@@ -81,7 +78,7 @@ def voiced_speech(
     model: an impulse train (glottal excitation) coloured by formant
     resonances implemented as cascaded two-pole sections.
     """
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     n = int(duration * sample_rate)
     period = max(2, int(sample_rate / pitch_hz))
     excitation = np.zeros(n)
@@ -100,7 +97,7 @@ def unvoiced_speech(
     seed=0,
 ) -> np.ndarray:
     """Noise excitation through a broad filter ("broader frequency content")."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     n = int(duration * sample_rate)
     noise = rng.normal(0.0, 1.0, size=n)
     out = _resonator(noise, 2500.0, 1000.0, sample_rate)
@@ -114,7 +111,7 @@ def speech_like(
     seed=0,
 ) -> np.ndarray:
     """Alternating voiced/unvoiced segments, like running speech."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     chunks = []
     remaining = int(duration * sample_rate)
     voiced = True
@@ -144,7 +141,7 @@ def music_like(
     seed=0,
 ) -> np.ndarray:
     """Note events with harmonics and exponential decay envelopes."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     n = int(duration * sample_rate)
     out = np.zeros(n)
     beat = int(sample_rate * 60.0 / tempo_bpm / 2.0)

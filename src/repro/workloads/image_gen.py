@@ -4,9 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-
-def _rng(seed) -> np.random.Generator:
-    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+from ..core.rng import coerce_rng
 
 
 def smooth_gradient(height: int = 64, width: int = 64) -> np.ndarray:
@@ -20,7 +18,7 @@ def natural_like(height: int = 64, width: int = 64, seed=0) -> np.ndarray:
     Built by low-pass filtering noise at several scales and adding a couple
     of hard-edged shapes, which is enough structure for codec comparisons.
     """
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     img = np.zeros((height, width))
     for scale, weight in ((4, 0.5), (8, 0.3), (16, 0.2)):
         small = rng.normal(size=(height // scale + 2, width // scale + 2))
@@ -46,7 +44,7 @@ def checkerboard(height: int = 64, width: int = 64, cell: int = 8) -> np.ndarray
 
 def texture(height: int = 64, width: int = 64, seed=0) -> np.ndarray:
     """Band-limited noise texture."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     img = rng.normal(size=(height, width))
     kernel = np.outer(np.hanning(5), np.hanning(5))
     kernel /= kernel.sum()

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.rng import coerce_rng
+
 PROGRAM = "program"
 COMMERCIAL = "commercial"
 BLACK = "black"
@@ -105,11 +107,7 @@ def _segment_frames(
 def generate_tv_stream(config: TvStreamConfig | None = None, seed=0) -> TvStream:
     """Program / black / commercial-break / black / program / ..."""
     cfg = config or TvStreamConfig()
-    rng = (
-        seed
-        if isinstance(seed, np.random.Generator)
-        else np.random.default_rng(seed)
-    )
+    rng = coerce_rng(seed)
     frames: list[np.ndarray] = []
     labels: list[str] = []
 

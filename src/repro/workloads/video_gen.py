@@ -11,11 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.rng import coerce_rng
+
 from ..video.frames import Frame
-
-
-def _rng(seed) -> np.random.Generator:
-    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
 
 def moving_blocks_sequence(
@@ -33,7 +31,7 @@ def moving_blocks_sequence(
     so this sequence maximises the ME-on vs ME-off contrast (experiment C4
     in DESIGN.md).
     """
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     background = rng.uniform(40.0, 90.0, size=(height, width))
     background += rng.normal(0.0, 3.0, size=(height, width))
     objects = []
@@ -74,7 +72,7 @@ def gradient_pan_sequence(
     seed=0,
 ) -> list[np.ndarray]:
     """A smooth 2-D gradient panning horizontally (global motion)."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     big = np.outer(
         np.linspace(30, 220, height),
         np.ones(width + num_frames * abs(pan_per_frame) + 1),
@@ -96,7 +94,7 @@ def noise_sequence(
     seed=0,
 ) -> list[np.ndarray]:
     """Pure noise: the incompressible worst case for any predictor."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     return [
         np.clip(128.0 + rng.normal(0.0, sigma, size=(height, width)), 0, 255)
         for _ in range(num_frames)
@@ -110,7 +108,7 @@ def static_sequence(
     seed=0,
 ) -> list[np.ndarray]:
     """A completely static scene: P-frames should cost almost nothing."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     frame = rng.uniform(0.0, 255.0, size=(height, width))
     frame = np.clip(frame, 0, 255)
     return [frame.copy() for _ in range(num_frames)]
@@ -123,7 +121,7 @@ def colour_sequence(
     seed=0,
 ) -> list[Frame]:
     """Full-colour frames (moving hue field) exercising the 4:2:0 path."""
-    rng = _rng(seed)
+    rng = coerce_rng(seed)
     base = rng.uniform(60.0, 200.0, size=(height, width, 3))
     frames = []
     for t in range(num_frames):
