@@ -48,6 +48,8 @@ VERSION = 2
 
 MAX_FRAMES = 0xFFFF  # 16-bit frame count
 MAX_SAMPLES = 0xFFFFFFFF  # 32-bit PCM length
+MAX_BANDS = 0xFF  # 8-bit band-count field
+MAX_ANCILLARY = 0xFF  # 8-bit ancillary-bytes-per-frame field
 
 
 @dataclass
@@ -134,6 +136,16 @@ def write_stream_header(
         raise ValueError(
             f"{num_samples} samples exceed the 32-bit PCM-length field "
             f"(max {MAX_SAMPLES})"
+        )
+    if not 0 < config.num_bands <= MAX_BANDS:
+        raise ValueError(
+            f"{config.num_bands} bands do not fit the 8-bit band-count "
+            f"field (max {MAX_BANDS})"
+        )
+    if not 0 <= config.ancillary_bytes_per_frame <= MAX_ANCILLARY:
+        raise ValueError(
+            f"{config.ancillary_bytes_per_frame} ancillary bytes/frame do "
+            f"not fit the 8-bit field (max {MAX_ANCILLARY})"
         )
     writer.write_bits(MAGIC, 16)
     writer.write_bits(VERSION, 4)

@@ -48,6 +48,10 @@ LTP_GAINS = np.array([0.1, 0.35, 0.65, 1.0])
 
 MAGIC = 0x5250  # "RP"
 
+#: Header field capacities (16-bit frame count, 32-bit sample count).
+MAX_FRAMES = 0xFFFF
+MAX_SAMPLES = 0xFFFF_FFFF
+
 
 @dataclass
 class RpeFrameInfo:
@@ -96,11 +100,27 @@ class RpeLtpEncoder:
         pad = (-pcm.size) % FRAME_SIZE
         padded = np.concatenate([pcm, np.zeros(pad)])
         num_frames = padded.size // FRAME_SIZE
+        # Both header counts must fit their fields *before* any bits are
+        # written: masking (the seed's `pcm.size & 0xFFFFFFFF`) would
+        # silently truncate long signals into a decodable-but-wrong
+        # stream, and an unchecked frame count would die inside
+        # write_bits with no hint of which input is at fault.
+        if num_frames > MAX_FRAMES:
+            raise ValueError(
+                f"signal needs {num_frames} frames but the 16-bit "
+                f"frame-count field holds at most {MAX_FRAMES}; split the "
+                f"input (~{MAX_FRAMES * FRAME_SIZE} samples per stream)"
+            )
+        if pcm.size > MAX_SAMPLES:
+            raise ValueError(
+                f"{pcm.size} samples exceed the 32-bit sample-count "
+                f"field (max {MAX_SAMPLES})"
+            )
 
         writer = BitWriter()
         writer.write_bits(MAGIC, 16)
         writer.write_bits(num_frames, 16)
-        writer.write_bits(pcm.size & 0xFFFFFFFF, 32)
+        writer.write_bits(pcm.size, 32)
 
         st_history = np.zeros(LPC_ORDER)
         residual_history = np.zeros(MAX_LAG)
@@ -246,6 +266,14 @@ class RpeLtpDecoder:
             raise ValueError(f"bad speech stream magic 0x{magic:04x}")
         num_frames = reader.read_bits(16)
         num_samples = reader.read_bits(32)
+        if num_samples > num_frames * FRAME_SIZE:
+            # An inconsistent header (corruption, or a stream from the
+            # seed encoder's masked sample count) would otherwise
+            # silently return fewer samples than the header promises.
+            raise ValueError(
+                f"corrupt speech header: {num_samples} samples do not fit "
+                f"in {num_frames} frames of {FRAME_SIZE}"
+            )
 
         st_history = np.zeros(LPC_ORDER)
         residual_history = np.zeros(MAX_LAG)

@@ -32,6 +32,7 @@ from ..video.zigzag import inverse_zigzag, zigzag
 
 MAGIC = 0x4A49  # "JI"
 BLOCK = 8
+MAX_DIMENSION = 0xFFFF  # 16-bit width/height header fields
 
 
 @dataclass
@@ -68,6 +69,11 @@ class JpegLikeCodec:
         if not 1 <= quality <= 100:
             raise ValueError("quality must be in 1..100")
         height, width = image.shape
+        if width > MAX_DIMENSION or height > MAX_DIMENSION:
+            raise ValueError(
+                f"image {width}x{height} exceeds the 16-bit header "
+                f"dimension fields (max {MAX_DIMENSION})"
+            )
         padded = pad_to_multiple(image, BLOCK)
         matrix = scaled_matrix(INTRA_BASE, quality)
 

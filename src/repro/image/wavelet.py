@@ -22,6 +22,8 @@ import numpy as np
 from ..video.bitstream import BitReader, BitWriter
 
 MAGIC = 0x5741  # "WA"
+MAX_DIMENSION = 0xFFFF  # 16-bit width/height header fields
+MAX_LEVELS = 0xF  # 4-bit levels header field
 
 
 def _lift_1d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -209,6 +211,16 @@ class WaveletCodec:
         if step <= 0:
             raise ValueError("quantizer step must be positive")
         height, width = image.shape
+        if width > MAX_DIMENSION or height > MAX_DIMENSION:
+            raise ValueError(
+                f"image {width}x{height} exceeds the 16-bit header "
+                f"dimension fields (max {MAX_DIMENSION})"
+            )
+        if not 0 <= levels <= MAX_LEVELS:
+            raise ValueError(
+                f"{levels} decomposition levels do not fit the 4-bit "
+                f"header field (max {MAX_LEVELS})"
+            )
         pyramid = decompose(image - 128.0, levels)
 
         writer = BitWriter()

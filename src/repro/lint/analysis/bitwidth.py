@@ -1,0 +1,230 @@
+"""Bitstream width-parity model: encoder writes vs. decoder reads.
+
+The PR 4 audio bug was a *format* bug invisible to per-module walks: an
+encoder masked a frame count to 16 bits (silent truncation past ~65k)
+while the decoder trusted the field.  This module gives the lint layer
+a static picture of every function's bit-I/O behavior so a rule can
+cross-check writer and reader field-by-field:
+
+* :class:`FieldSeq` — the statically ordered straight-line prefix of a
+  function's bit-I/O operations.  Loops, branches that touch the
+  stream, cursor motions (``seek``/``align``/table reads), and calls
+  that receive the stream object all *end* the comparable prefix (a
+  "barrier"): everything before the first barrier is order-exact and
+  safe to compare, everything after is not modeled.
+* :class:`BitWidthModel` — per-function sequences plus width/constant
+  resolution (``LAG_BITS`` and friends resolve through module
+  constants and imports).
+
+The parity rule in :mod:`repro.lint.rules.widthparity` consumes this
+to (a) diff writer vs. reader widths and (b) flag *unvalidated
+narrowing*: a masked value always (masking defeats the writer's own
+range check — the PR 4 class), and a plain variable written at literal
+width with no visible guard on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .facts import ModuleFacts
+
+
+@dataclass(frozen=True)
+class Field:
+    """One comparable bit-I/O operation."""
+
+    op: str  # "bits" | "signed" | "ue" | "se" | "unary" | "bit"
+    width: int | None  # resolved literal width; None for ue/se/unary/bit
+    lineno: int
+    #: Writer side only: {"class": "const"|"name"|"masked"|...}.
+    value: dict | None = None
+    #: Human label for messages ("field 3", "width LAG_BITS").
+    label: str = ""
+
+
+@dataclass
+class FieldSeq:
+    """The straight-line prefix of one function's bit I/O."""
+
+    func_id: str
+    direction: str  # "w" | "r" | "mixed"
+    fields: list[Field] = field(default_factory=list)
+    #: True when the function body ended with no barrier: the sequence
+    #: is the *whole* field list, so length mismatches are meaningful.
+    complete: bool = True
+    barrier_lineno: int | None = None
+
+
+class BitWidthModel:
+    """Resolved bit-I/O sequences for every function in the project."""
+
+    def __init__(self, modules: dict[str, ModuleFacts]) -> None:
+        self.modules = modules
+        self._sequences: dict[str, FieldSeq] = {}
+        for mod in modules.values():
+            for qual, fn in mod.functions.items():
+                if not fn.bitio:
+                    continue
+                func_id = f"{mod.module}.{qual}"
+                seq = self._build_sequence(func_id, fn.bitio, mod)
+                if seq is not None:
+                    self._sequences[func_id] = seq
+
+    def sequence(self, func_id: str) -> FieldSeq | None:
+        return self._sequences.get(func_id)
+
+    def writers(self) -> list[FieldSeq]:
+        return [
+            s for s in sorted(self._sequences.values(),
+                              key=lambda s: s.func_id)
+            if s.direction == "w" and s.fields
+        ]
+
+    # ------------------------------------------------------- resolution
+
+    def resolve_constant(self, name: str, mod: ModuleFacts,
+                         _seen: frozenset = frozenset()) -> object | None:
+        """A (dotted) constant name in ``mod`` -> int or int tuple."""
+        if name in _seen:
+            return None
+        if name in mod.constants:
+            return mod.constants[name]
+        head = name.split(".")[0]
+        if head in mod.imports:
+            absolute = mod.imports[head] + name[len(head):]
+            target_mod, leaf = self._split(absolute)
+            if target_mod is not None:
+                return self.resolve_constant(
+                    leaf, target_mod, _seen | {name}
+                )
+        return None
+
+    def _split(self, dotted: str) -> tuple[ModuleFacts | None, str]:
+        if "." in dotted:
+            head, leaf = dotted.rsplit(".", 1)
+            if head in self.modules:
+                return self.modules[head], leaf
+        return None, dotted
+
+    def _resolve_width(self, width: object, mod: ModuleFacts) -> int | None:
+        if isinstance(width, int):
+            return width
+        if isinstance(width, str):
+            value = self.resolve_constant(width, mod)
+            if isinstance(value, int):
+                return value
+        return None
+
+    # ----------------------------------------------------- construction
+
+    def _build_sequence(self, func_id: str, events: list[dict],
+                        mod: ModuleFacts) -> FieldSeq | None:
+        fields: list[Field] = []
+        direction = None
+        complete = True
+        barrier_lineno = None
+        for event in events:
+            op = event["op"]
+            if op == "barrier":
+                complete = False
+                barrier_lineno = event["lineno"]
+                break
+            direction = (
+                event["dir"] if direction in (None, event["dir"])
+                else "mixed"
+            )
+            if op == "many":
+                expanded = self._expand_many(event, mod)
+                if expanded is None:
+                    # Dynamic width vector: not statically comparable.
+                    complete = False
+                    barrier_lineno = event["lineno"]
+                    break
+                fields.extend(expanded)
+                continue
+            width = None
+            label = ""
+            if op in {"bits", "signed"}:
+                raw = event.get("width")
+                width = self._resolve_width(raw, mod)
+                if isinstance(raw, str):
+                    label = f"width {raw}"
+                if width is None:
+                    # write_bits with a computed width: barrier.
+                    complete = False
+                    barrier_lineno = event["lineno"]
+                    break
+            fields.append(
+                Field(
+                    op=op,
+                    width=width,
+                    lineno=event["lineno"],
+                    value=event.get("value"),
+                    label=label,
+                )
+            )
+        if direction is None:
+            return None
+        return FieldSeq(
+            func_id=func_id,
+            direction=direction,
+            fields=fields,
+            complete=complete,
+            barrier_lineno=barrier_lineno,
+        )
+
+    def _expand_many(self, event: dict, mod: ModuleFacts) -> list[Field] | None:
+        widths = event.get("widths")
+        if isinstance(widths, str):
+            resolved = self.resolve_constant(widths, mod)
+            if isinstance(resolved, tuple):
+                widths = list(resolved)
+            else:
+                return None
+        if not isinstance(widths, list):
+            return None
+        values: list[dict | None] = [None] * len(widths)
+        label_suffix = ""
+        raw_values = event.get("values")
+        if event["dir"] == "w" and isinstance(raw_values, dict):
+            if raw_values["kind"] == "literal" \
+                    and len(raw_values["items"]) == len(widths):
+                values = list(raw_values["items"])
+            elif raw_values["kind"] == "call":
+                label_suffix = f" (values from {raw_values['func']}())"
+                values = self._values_from_provider(
+                    raw_values["func"], mod, len(widths)
+                )
+        out = []
+        for index, width in enumerate(widths):
+            if not isinstance(width, int):
+                return None
+            out.append(
+                Field(
+                    op="bits",
+                    width=width,
+                    lineno=event["lineno"],
+                    value=values[index] if index < len(values) else None,
+                    label=f"field {index}{label_suffix}",
+                )
+            )
+        return out
+
+    def _values_from_provider(self, func: str, mod: ModuleFacts,
+                              count: int) -> list[dict | None]:
+        """write_many(provider(...), WIDTHS): classify via the provider's
+        return tuple when it is a single local function returning a
+        literal tuple of the right arity."""
+        head = func.split(".")[0]
+        fn = mod.functions.get(func) if "." not in func else None
+        if fn is None and head in mod.imports:
+            target_mod, leaf = self._split(mod.imports[head])
+            if target_mod is not None:
+                fn = target_mod.functions.get(leaf)
+        if fn is not None and len(fn.return_tuple) == count:
+            return [dict(v, provider=func) for v in fn.return_tuple]
+        return [None] * count
+
+
+__all__ = ["BitWidthModel", "Field", "FieldSeq"]

@@ -1,0 +1,88 @@
+"""ProjectAnalysis: the composed interprocedural view rules consume.
+
+Built once per lint run from the parsed modules (optionally through the
+facts cache) and attached to :class:`repro.lint.core.Project` as
+``project.analysis``.  Rules never touch the sub-passes' construction —
+they read :attr:`graph`, :attr:`summaries`, and :attr:`bitwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitwidth import BitWidthModel
+from .cache import FactsCache, content_hash
+from .callgraph import CallGraph, build_call_graph
+from .facts import ModuleFacts, extract_facts
+from .summaries import EffectSummaries, build_summaries
+
+#: Effect sites sanctioned by design, mirrored from the intraprocedural
+#: rules' allow-lists (kept literal here so analysis never imports the
+#: rule modules): the engine's measured run loop owns its perf_counter
+#: calls.
+SANCTIONED_EFFECTS = {
+    "wall_clock": {"repro.runtime.engine.StreamEngine.run"},
+}
+
+
+@dataclass
+class ProjectAnalysis:
+    """Facts + call graph + summaries + width model for one project."""
+
+    facts: dict[str, ModuleFacts]
+    graph: CallGraph
+    summaries: EffectSummaries
+    bitwidth: BitWidthModel
+
+    def function_line(self, func_id: str) -> tuple[str, int]:
+        """(relpath, def lineno) for anchoring findings at entry points."""
+        fn = self.graph.functions.get(func_id)
+        relpath = self.graph.relpath_of(func_id)
+        return relpath, fn.lineno if fn else 1
+
+
+def _module_name(relpath: str) -> str:
+    # "src/repro/video/encoder.py" -> "repro.video.encoder"
+    trimmed = relpath
+    if trimmed.startswith("src/"):
+        trimmed = trimmed[len("src/"):]
+    if trimmed.endswith("/__init__.py"):
+        trimmed = trimmed[: -len("/__init__.py")]
+    elif trimmed.endswith(".py"):
+        trimmed = trimmed[: -len(".py")]
+    return trimmed.replace("/", ".")
+
+
+def build_analysis(contexts, cache: FactsCache | None = None) -> ProjectAnalysis:
+    """Run the interprocedural passes over parsed module contexts.
+
+    ``contexts`` is an iterable of :class:`repro.lint.core.ModuleContext`
+    (duck-typed: ``relpath``, ``source``, ``tree``).  With a ``cache``,
+    unchanged modules (by content hash) skip fact extraction; derived
+    passes always recompute, so warm output is identical to cold.
+    """
+    facts: dict[str, ModuleFacts] = {}
+    for ctx in sorted(contexts, key=lambda c: c.relpath):
+        module = _module_name(ctx.relpath)
+        record = None
+        digest = None
+        if cache is not None:
+            digest = content_hash(ctx.source.encode("utf-8"))
+            record = cache.get(ctx.relpath, digest)
+        if record is None:
+            record = extract_facts(module, ctx.relpath, ctx.tree)
+            if cache is not None and digest is not None:
+                cache.put(ctx.relpath, digest, record)
+        facts[module] = record
+    if cache is not None:
+        cache.save()
+
+    graph = build_call_graph(facts)
+    summaries = build_summaries(graph, exclusions=SANCTIONED_EFFECTS)
+    bitwidth = BitWidthModel(facts)
+    return ProjectAnalysis(
+        facts=facts, graph=graph, summaries=summaries, bitwidth=bitwidth
+    )
+
+
+__all__ = ["ProjectAnalysis", "build_analysis", "SANCTIONED_EFFECTS"]

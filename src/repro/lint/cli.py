@@ -11,6 +11,13 @@ Modes:
   line)``; new entries get a ``TODO`` placeholder that ``--check``
   rejects until a human writes the one-line reason.
 * ``--json``: machine-readable report on stdout (same exit codes).
+* ``--format=github``: one ``::error file=...,line=...`` workflow
+  annotation per problem, so findings land on the PR diff in CI.
+
+The interprocedural analysis caches per-module facts (keyed by file
+content hash) under ``<root>/.lint_cache`` so warm runs only re-analyze
+changed modules; ``--no-cache`` forces a cold run and ``--cache-dir``
+relocates the cache.  Findings are byte-identical either way.
 
 The project root is auto-detected by walking up from the current
 directory to the first ``pyproject.toml``; override with ``--root``.
@@ -23,6 +30,8 @@ import json
 import sys
 from pathlib import Path
 
+from .analysis import FactsCache
+from .analysis.cache import DEFAULT_CACHE_DIRNAME
 from .baseline import (
     DEFAULT_BASELINE_NAME,
     apply_baseline,
@@ -75,9 +84,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", help="JSON report")
     parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="finding output style: plain text, or GitHub workflow "
+        "::error annotations (default: text)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk analysis cache (always analyze cold)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help=f"analysis cache directory "
+        f"(default: <root>/{DEFAULT_CACHE_DIRNAME})",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     return parser
+
+
+def _github_annotation(file: str, line: int, rule: str, message: str) -> str:
+    """One GitHub Actions workflow-command error annotation.
+
+    Newlines and the command's reserved characters must be URL-encoded
+    or the runner truncates the message at the first one.
+    """
+    def escape(text: str, extra: str = "") -> str:
+        for char, code in (
+            ("%", "%25"), ("\r", "%0D"), ("\n", "%0A"),
+            *((c, f"%{ord(c):02X}") for c in extra),
+        ):
+            text = text.replace(char, code)
+        return text
+
+    return (
+        f"::error file={escape(file, ',:')},line={line},"
+        f"title={escape(rule, ',:')}::{escape(message)}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -93,7 +136,16 @@ def main(argv: list[str] | None = None) -> int:
     if not baseline_path.is_absolute():
         baseline_path = root / baseline_path
 
-    findings = run_lint(root, paths=args.paths or None)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or root / DEFAULT_CACHE_DIRNAME
+        if not cache_dir.is_absolute():
+            cache_dir = root / cache_dir
+        cache = FactsCache(str(cache_dir))
+
+    findings = run_lint(root, paths=args.paths or None, cache=cache)
+    if cache is not None:
+        cache.save()
 
     if args.write_baseline:
         previous = load_baseline(baseline_path)
@@ -122,24 +174,53 @@ def main(argv: list[str] | None = None) -> int:
                     ],
                     "suppressed": len(report.suppressed),
                     "clean": report.clean,
+                    "cache": (
+                        None
+                        if cache is None
+                        else {"hits": cache.hits, "misses": cache.misses}
+                    ),
                 },
                 indent=2,
             )
         )
         return 0 if report.clean else 1
 
-    for finding in report.new:
-        print(finding.render())
-    for entry in report.stale:
-        print(
-            f"{entry.render()}  [stale baseline entry: finding no longer "
-            "present — delete it from the baseline]"
-        )
-    for entry in report.unjustified:
-        print(
-            f"{entry.render()}  [baseline entry has no justification — "
-            "write the one-line reason]"
-        )
+    if args.format == "github":
+        for finding in report.new:
+            print(
+                _github_annotation(
+                    finding.file, finding.line, finding.rule, finding.message
+                )
+            )
+        for entry in report.stale:
+            print(
+                _github_annotation(
+                    entry.file, entry.line, entry.rule,
+                    f"stale baseline entry ({entry.message}) — the finding "
+                    "is gone, delete the suppression",
+                )
+            )
+        for entry in report.unjustified:
+            print(
+                _github_annotation(
+                    entry.file, entry.line, entry.rule,
+                    "baseline entry has no justification — write the "
+                    "one-line reason",
+                )
+            )
+    else:
+        for finding in report.new:
+            print(finding.render())
+        for entry in report.stale:
+            print(
+                f"{entry.render()}  [stale baseline entry: finding no longer "
+                "present — delete it from the baseline]"
+            )
+        for entry in report.unjustified:
+            print(
+                f"{entry.render()}  [baseline entry has no justification — "
+                "write the one-line reason]"
+            )
     suppressed = len(report.suppressed)
     if report.clean:
         print(

@@ -73,6 +73,10 @@ class Project:
     #: ``None`` when the registry file is absent (e.g. linting fixture
     #: trees) — ``None`` disables the registration check.
     registered_oracles: frozenset[str] | None = None
+    #: The interprocedural view (call graph, effect summaries, bit-width
+    #: model), built by :func:`build_project` over the same parsed
+    #: modules.  ``None`` only if construction was explicitly skipped.
+    analysis: "ProjectAnalysis | None" = None
 
 
 class Checker:
@@ -91,6 +95,29 @@ class Checker:
             rule=self.rule_id,
             message=message,
         )
+
+
+class ProjectChecker(Checker):
+    """Base class for a whole-program rule.
+
+    The runner is per-module (``check(ctx, project)``), but an
+    interprocedural rule computes its findings from the project-wide
+    analysis in one shot.  This base computes once per project and then
+    serves each module its slice, so whole-program rules drop into the
+    same runner unchanged.
+    """
+
+    def project_check(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        token = id(project)
+        if getattr(self, "_project_token", None) != token:
+            self._project_token = token
+            self._project_findings = sorted(self.project_check(project))
+        for found in self._project_findings:
+            if found.file == ctx.relpath:
+                yield found
 
 
 class ScopedVisitor(ast.NodeVisitor):
@@ -217,9 +244,20 @@ def load_registered_oracles(root: Path) -> frozenset[str] | None:
 
 
 def build_project(
-    root: Path, paths: Iterable[str] | None = None
+    root: Path,
+    paths: Iterable[str] | None = None,
+    cache: "FactsCache | None" = None,
 ) -> tuple[Project, list[Finding]]:
-    """Parse the tree once; returns the project + any parse-error findings."""
+    """Parse the tree once; returns the project + any parse-error findings.
+
+    The interprocedural analysis is built over whatever was parsed (a
+    partial ``paths`` selection gives a partial call graph — calls into
+    unparsed modules simply don't resolve).  ``cache`` is an optional
+    :class:`~repro.lint.analysis.cache.FactsCache`: unchanged files skip
+    fact extraction; findings are identical either way.
+    """
+    from .analysis.project import build_analysis
+
     project = Project(root=root)
     parse_failures: list[Finding] = []
     for path in discover_files(root, paths):
@@ -229,6 +267,7 @@ def build_project(
         else:
             project.modules.append(parsed)
     project.registered_oracles = load_registered_oracles(root)
+    project.analysis = build_analysis(project.modules, cache)
     return project, parse_failures
 
 
@@ -246,11 +285,12 @@ def run_lint(
     root: Path,
     paths: Iterable[str] | None = None,
     checkers: Iterable[Checker] | None = None,
+    cache: "FactsCache | None" = None,
 ) -> list[Finding]:
     """Full pipeline: discover, parse, run every (or the given) rule."""
     from .rules import default_checkers
 
-    project, findings = build_project(root, paths)
+    project, findings = build_project(root, paths, cache=cache)
     findings.extend(
         run_checkers(
             project,
@@ -264,6 +304,7 @@ __all__ = [
     "Checker",
     "ModuleContext",
     "Project",
+    "ProjectChecker",
     "ScopedVisitor",
     "build_project",
     "discover_files",

@@ -21,6 +21,12 @@ class Finding:
     line: int  # 1-indexed
     rule: str  # rule id, e.g. "rng-discipline"
     message: str
+    #: Interprocedural findings carry the witness call chain — dotted
+    #: function ids from the flagged entry point down to the site that
+    #: produces the effect.  Empty for intraprocedural findings.  The
+    #: chain also appears (shortened) in ``message``; this field keeps
+    #: it machine-readable for the JSON report.
+    chain: tuple[str, ...] = ()
 
     @property
     def key(self) -> tuple[str, str, int]:
@@ -31,12 +37,15 @@ class Finding:
         return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "file": self.file,
             "line": self.line,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.chain:
+            out["chain"] = list(self.chain)
+        return out
 
 
 __all__ = ["Finding"]

@@ -8,6 +8,13 @@
 | `shard-readiness`   | picklable sessions, no per-process module state |
 | `hot-path-purity`   | the batched modules stay vectorized             |
 | `exception-hygiene` | no silently-swallowed broad excepts             |
+| `width-parity`      | encoder field widths match decoder reads        |
+
+``determinism``, ``rng-discipline``, ``exception-hygiene``,
+``shard-readiness``, and ``hot-path-purity`` are *transitive* since
+PR 9: they follow call chains through the project-wide analysis layer
+(``repro.lint.analysis``) and flag entry points whose helpers violate
+the convention, with the witness chain in the message.
 
 See ``docs/static_analysis.md`` for the full catalogue and how to add
 a checker.
@@ -22,6 +29,7 @@ from .hotpath import HotPathPurityChecker
 from .oracle import OraclePairingChecker
 from .rng import RngDisciplineChecker
 from .shard import ShardReadinessChecker
+from .widthparity import WidthParityChecker
 
 ALL_CHECKERS: tuple[type[Checker], ...] = (
     OraclePairingChecker,
@@ -30,6 +38,7 @@ ALL_CHECKERS: tuple[type[Checker], ...] = (
     ShardReadinessChecker,
     HotPathPurityChecker,
     ExceptionHygieneChecker,
+    WidthParityChecker,
 )
 
 
@@ -45,5 +54,6 @@ __all__ = [
     "OraclePairingChecker",
     "RngDisciplineChecker",
     "ShardReadinessChecker",
+    "WidthParityChecker",
     "default_checkers",
 ]

@@ -13,6 +13,13 @@ Two statically-detectable ways to lose that:
   subpackages — set order is hash-seed- and history-dependent, so a
   loop over one can reorder emitted bits between processes.  Sort
   first, or keep a list.
+
+Since PR 9 the rule is *transitive*: a serialization-path function
+whose call chain reaches a wall-clock read or bare-set iteration —
+anywhere, through any number of helpers in any module — is flagged at
+the entry point, with the witness chain in the message.  Direct sites
+are still reported where they occur; the transitive half only surfaces
+what a per-module walk cannot see.
 """
 
 from __future__ import annotations
@@ -20,8 +27,14 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..analysis import facts as F
+from ..core import ModuleContext, Project, ProjectChecker, ScopedVisitor
 from ..findings import Finding
+from ._transitive import (
+    SERIALIZATION_PREFIXES,
+    entry_filter_for,
+    transitive_findings,
+)
 
 WALL_CLOCK = frozenset(
     {
@@ -119,17 +132,38 @@ class _Visitor(ScopedVisitor):
         self.generic_visit(node)
 
 
-class DeterminismChecker(Checker):
+class DeterminismChecker(ProjectChecker):
     rule_id = "determinism"
     description = (
-        "no wall-clock reads outside StreamEngine.run; no bare-set "
-        "iteration in codec/bitstream/net serialization paths"
+        "no wall-clock reads outside StreamEngine.run, and no bare-set "
+        "iteration, anywhere in the call chain of a codec/bitstream/net "
+        "serialization path"
     )
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
         visitor = _Visitor(self, ctx)
         visitor.visit(ctx.tree)
         yield from visitor.findings
+        yield from super().check(ctx, project)
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        entry = entry_filter_for(project, SERIALIZATION_PREFIXES)
+        yield from transitive_findings(
+            project, self.rule_id, F.WALL_CLOCK, entry,
+            lambda name, chain, w: (
+                f"serialization entry point {name}() reaches a wall-clock "
+                f"read through its call chain: {chain}; real time in a "
+                "coding path breaks bit-exact replay"
+            ),
+        )
+        yield from transitive_findings(
+            project, self.rule_id, F.SET_ITERATION, entry,
+            lambda name, chain, w: (
+                f"serialization entry point {name}() reaches bare-set "
+                f"iteration through its call chain: {chain}; set order is "
+                "hash-seed-dependent, so emitted bits can reorder"
+            ),
+        )
 
 
 __all__ = ["DeterminismChecker"]

@@ -13,6 +13,11 @@ handlers unless the handler body
 
 Narrow handlers (``except DeadlockError:``) are always fine — naming
 the failure mode is the point.
+
+Since PR 9 the rule is *transitive* as well: a serialization- or
+runtime-path function whose call chain reaches a silently-swallowing
+broad handler is flagged at the entry point with the witness chain —
+a helper that eats errors corrupts streams for every caller above it.
 """
 
 from __future__ import annotations
@@ -20,8 +25,15 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Checker, ModuleContext, Project
+from ..analysis import facts as F
+from ..core import ModuleContext, Project, ProjectChecker
 from ..findings import Finding
+from ._transitive import (
+    RUNTIME_PREFIXES,
+    SERIALIZATION_PREFIXES,
+    entry_filter_for,
+    transitive_findings,
+)
 
 BROAD = frozenset({"Exception", "BaseException"})
 LOGGERS = frozenset({"logging", "logger", "log", "warnings"})
@@ -53,14 +65,29 @@ def _handler_mitigates(handler: ast.ExceptHandler) -> bool:
     return False
 
 
-class ExceptionHygieneChecker(Checker):
+class ExceptionHygieneChecker(ProjectChecker):
     rule_id = "exception-hygiene"
     description = (
-        "bare/broad `except Exception` must re-raise or log; otherwise "
-        "narrow it to the actual failure mode"
+        "bare/broad `except Exception` must re-raise or log — in the "
+        "handler itself and anywhere in the call chain of "
+        "serialization/runtime paths"
     )
 
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        entry = entry_filter_for(
+            project, SERIALIZATION_PREFIXES + RUNTIME_PREFIXES
+        )
+        yield from transitive_findings(
+            project, self.rule_id, F.SWALLOW_BROAD, entry,
+            lambda name, chain, w: (
+                f"{name}() reaches a silently-swallowing broad except "
+                f"through its call chain: {chain}; errors vanish for "
+                "every caller above that handler"
+            ),
+        )
+
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        yield from super().check(ctx, project)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue

@@ -13,6 +13,11 @@ scalar loop.  Module-level loops (import-time table construction) are
 exempt too — they run once, not per frame.  Comprehensions are not
 flagged: the rule targets statement loops, where per-element bit I/O
 and codec calls hide.
+
+Since PR 9 the rule also looks *through* calls: a batched-module
+function whose call chain reaches a Python-level statement loop in any
+helper module is flagged at the batched entry point with the witness
+chain — the hot path is only as vectorized as its callees.
 """
 
 from __future__ import annotations
@@ -20,8 +25,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..analysis import facts as F
+from ..core import ModuleContext, Project, ProjectChecker, ScopedVisitor
 from ..findings import Finding
+from ._transitive import entry_filter_for, transitive_findings
 
 #: Module stems whose function bodies must stay vectorized.
 BATCHED_MODULES = frozenset({"blockpipe", "subbandpipe", "packetizer", "fec"})
@@ -51,19 +58,38 @@ class _Visitor(ScopedVisitor):
     visit_AsyncFor = visit_For
 
 
-class HotPathPurityChecker(Checker):
+class HotPathPurityChecker(ProjectChecker):
     rule_id = "hot-path-purity"
     description = (
         "no Python-level for loops in the batched modules "
-        "(blockpipe/subbandpipe/packetizer/fec) outside *_reference oracles"
+        "(blockpipe/subbandpipe/packetizer/fec) outside *_reference "
+        "oracles — in their bodies or anywhere in their call chains"
     )
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
+        yield from super().check(ctx, project)
         if ctx.stem not in BATCHED_MODULES:
             return
         visitor = _Visitor(self, ctx)
         visitor.visit(ctx.tree)
         yield from visitor.findings
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        batched = tuple(
+            f"repro.{sub}.{stem}."
+            for stem in sorted(BATCHED_MODULES)
+            for sub in ("video", "audio", "net")
+        )
+        entry = entry_filter_for(project, batched, include_reference=False)
+        yield from transitive_findings(
+            project, self.rule_id, F.PY_LOOP, entry,
+            lambda name, chain, w: (
+                f"batched-module function {name}() reaches a Python-level "
+                f"statement loop through its call chain: {chain}; the hot "
+                "path is only as vectorized as its callees — vectorize "
+                "the helper or baseline with the measured justification"
+            ),
+        )
 
 
 __all__ = ["HotPathPurityChecker"]

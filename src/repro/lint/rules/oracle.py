@@ -7,9 +7,10 @@ fuzzed:
   ``vars(cls)`` with ``inspect.isfunction``, so a staticmethod oracle is
   invisible to discovery (the PR 7 blind spot this rule exists for);
 * a batched counterpart — ``X`` or ``X_batched`` — must live in the
-  same scope, with the same parameter names in the same order (the
-  pairs are driven by shared runners, so a signature drift breaks the
-  harness at a distance);
+  same scope *or, since PR 9, on a base class* (resolved through the
+  analysis layer's class-hierarchy pass), with the same parameter names
+  in the same order (the pairs are driven by shared runners, so a
+  signature drift breaks the harness at a distance);
 * the oracle's dotted path must be registered in
   ``tests/strategies/registry.py`` (checked statically; the runtime
   twin of this check is ``test_every_reference_oracle_has_a_registered_strategy``).
@@ -71,6 +72,23 @@ class OraclePairingChecker(Checker):
                     ctx, project, stmt.body, prefix=stmt.name + "."
                 )
 
+    def _inherited_counterpart(
+        self, ctx: ModuleContext, project: Project, prefix: str, base: str
+    ) -> tuple[str, tuple[str, ...]] | None:
+        """(found id, param names) for ``base``/``base_batched`` on a
+        base class, via the class-hierarchy pass."""
+        if not prefix or project.analysis is None:
+            return None
+        graph = project.analysis.graph
+        class_id = f"{ctx.module_name}.{prefix[:-1]}"
+        for candidate in (base, base + "_batched"):
+            found = graph.inherited_method(class_id, candidate)
+            if found and not found.startswith(class_id + "."):
+                fn = graph.functions.get(found)
+                if fn is not None:
+                    return found, tuple(fn.params)
+        return None
+
     def _check_scope(
         self, ctx: ModuleContext, project: Project, body, prefix: str
     ) -> Iterator[Finding]:
@@ -91,14 +109,7 @@ class OraclePairingChecker(Checker):
                 )
 
             counterpart = functions.get(base) or functions.get(base + "_batched")
-            if counterpart is None:
-                yield self.finding(
-                    ctx,
-                    node,
-                    f"{prefix}{name} has no batched counterpart "
-                    f"({base!r} or {base + '_batched'!r}) in the same scope",
-                )
-            else:
+            if counterpart is not None:
                 ref_params = _param_names(node)
                 fast_params = _param_names(counterpart)
                 if ref_params != fast_params:
@@ -109,6 +120,29 @@ class OraclePairingChecker(Checker):
                         f"not match its batched counterpart "
                         f"{counterpart.name}{list(fast_params)}",
                     )
+            else:
+                inherited = self._inherited_counterpart(
+                    ctx, project, prefix, base
+                )
+                if inherited is None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{prefix}{name} has no batched counterpart "
+                        f"({base!r} or {base + '_batched'!r}) in the same "
+                        "scope or on a base class",
+                    )
+                else:
+                    found, fast_params = inherited
+                    ref_params = _param_names(node)
+                    if ref_params != fast_params:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{prefix}{name} signature {list(ref_params)} "
+                            f"does not match its inherited batched "
+                            f"counterpart {found}{list(fast_params)}",
+                        )
 
             if (
                 project.registered_oracles is not None

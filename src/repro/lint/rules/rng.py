@@ -12,6 +12,11 @@ controls.  Two ways to break that, both caught statically:
   should be independent streams.  Seed coercion belongs in the one
   blessed helper, :func:`repro.core.rng.coerce_rng`; everything else
   receives a Generator or a caller-chosen seed.
+
+Since PR 9 the global-state half is *transitive*: a serialization- or
+runtime-path function whose call chain reaches a legacy
+``np.random.*`` call — through any number of helpers — is flagged at
+the entry point with the witness chain.
 """
 
 from __future__ import annotations
@@ -19,8 +24,15 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..analysis import facts as F
+from ..core import ModuleContext, Project, ProjectChecker, ScopedVisitor
 from ..findings import Finding
+from ._transitive import (
+    RUNTIME_PREFIXES,
+    SERIALIZATION_PREFIXES,
+    entry_filter_for,
+    transitive_findings,
+)
 
 #: numpy.random functions that touch the hidden global RandomState.
 LEGACY_GLOBAL = frozenset(
@@ -127,17 +139,32 @@ class _Visitor(ScopedVisitor):
         self.generic_visit(node)
 
 
-class RngDisciplineChecker(Checker):
+class RngDisciplineChecker(ProjectChecker):
     rule_id = "rng-discipline"
     description = (
-        "no numpy global-state randomness; no literal default_rng seeds "
-        "outside the blessed coerce_rng helper"
+        "no numpy global-state randomness (directly or through the call "
+        "chain of serialization/runtime paths); no literal default_rng "
+        "seeds outside the blessed coerce_rng helper"
     )
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
         visitor = _Visitor(self, ctx)
         visitor.visit(ctx.tree)
         yield from visitor.findings
+        yield from super().check(ctx, project)
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        entry = entry_filter_for(
+            project, SERIALIZATION_PREFIXES + RUNTIME_PREFIXES
+        )
+        yield from transitive_findings(
+            project, self.rule_id, F.GLOBAL_RNG, entry,
+            lambda name, chain, w: (
+                f"{name}() reaches the hidden numpy global RandomState "
+                f"through its call chain: {chain}; plumb an explicit "
+                "seeded Generator instead (repro.core.rng.coerce_rng)"
+            ),
+        )
 
 
 __all__ = ["RngDisciplineChecker"]

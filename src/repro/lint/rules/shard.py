@@ -18,6 +18,16 @@ workers.  This rule flags, ahead of that refactor:
 
 Intentional per-process caches stay, baselined with a justification —
 the baseline *is* the migration worklist.
+
+Since PR 9 the rule additionally *certifies the runtime boundary
+whole-program*: every function under ``repro.runtime`` — the
+session/engine surface the worker pool will actually dispatch — is
+checked for call chains that reach module-state mutation, ``global``
+rebinding, or unpicklable attribute construction anywhere in the
+project, and flagged at the boundary with the witness chain.  The
+per-module half keeps anchoring findings at the offending definitions;
+the certification half says which of them the sharded engine would
+actually hit.
 """
 
 from __future__ import annotations
@@ -25,8 +35,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from ..core import Checker, ModuleContext, Project, ScopedVisitor
+from ..analysis import facts as F
+from ..core import ModuleContext, Project, ProjectChecker, ScopedVisitor
 from ..findings import Finding
+from ._transitive import RUNTIME_PREFIXES, entry_filter_for, transitive_findings
 
 MUTABLE_CALLS = frozenset(
     {"dict", "list", "set", "defaultdict", "deque", "OrderedDict",
@@ -175,11 +187,12 @@ class _Visitor(ScopedVisitor):
             )
 
 
-class ShardReadinessChecker(Checker):
+class ShardReadinessChecker(ProjectChecker):
     rule_id = "shard-readiness"
     description = (
         "flag module-level mutable state (and `global` rebinding) plus "
-        "unpicklable session attributes ahead of the multi-process engine"
+        "unpicklable session attributes, and certify whole-program that "
+        "no call chain from the repro.runtime boundary reaches them"
     )
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:
@@ -195,6 +208,23 @@ class ShardReadinessChecker(Checker):
                 f"(first at line {site.lineno}): per-process state the "
                 "sharded engine will not share; move it into an object "
                 "the engine owns",
+            )
+        yield from super().check(ctx, project)
+
+    def project_check(self, project: Project) -> Iterator[Finding]:
+        entry = entry_filter_for(project, RUNTIME_PREFIXES)
+        for kind, what in (
+            (F.MODULE_MUTATION, "module-level state mutation"),
+            (F.GLOBAL_REBIND, "`global` rebinding"),
+            (F.UNPICKLABLE_ATTR, "an unpicklable attribute assignment"),
+        ):
+            yield from transitive_findings(
+                project, self.rule_id, kind, entry,
+                lambda name, chain, w, what=what: (
+                    f"runtime boundary {name}() reaches {what} through "
+                    f"its call chain: {chain}; a worker pool dispatching "
+                    "this path will diverge between processes"
+                ),
             )
 
 

@@ -46,6 +46,9 @@ HEADER_BYTES = PREFIX_BYTES + 4
 MAX_PAYLOAD = 0xFFFF  # 16-bit length field
 MAX_SEGMENT = 0xFFFFFF  # 24-bit segment index
 MAX_FRAG = 0xFFFF  # 16-bit fragment fields
+MAX_FLAGS = 0xF  # 4-bit flags field
+MAX_STREAM_ID = 0xFFFF  # 16-bit stream id
+MAX_SEQ = 0xFFFF_FFFF  # 32-bit sequence number
 
 #: Header field widths in wire order (prefix only; CRC is appended after).
 _FIELD_WIDTHS = (16, 4, 4, 16, 32, 24, 16, 16, 16)
@@ -82,6 +85,24 @@ def _field_values(packet: Packet) -> tuple[int, ...]:
     if packet.segment > MAX_SEGMENT or packet.frag > MAX_FRAG \
             or packet.frag_count > MAX_FRAG:
         raise ValueError("segment/fragment index exceeds its header field")
+    # Identity fields were previously unvalidated: an out-of-range
+    # stream_id/seq/flags died in write_many's batch-level error (with
+    # no field named, and a *different* error on the scalar reference
+    # path) instead of a clear message here.
+    if not 0 <= packet.flags <= MAX_FLAGS:
+        raise ValueError(
+            f"flags 0x{packet.flags:x} do not fit the 4-bit flags field"
+        )
+    if not 0 <= packet.stream_id <= MAX_STREAM_ID:
+        raise ValueError(
+            f"stream id {packet.stream_id} does not fit its 16-bit field "
+            f"(max {MAX_STREAM_ID})"
+        )
+    if not 0 <= packet.seq <= MAX_SEQ:
+        raise ValueError(
+            f"sequence number {packet.seq} does not fit its 32-bit field "
+            f"(max {MAX_SEQ})"
+        )
     return (
         MAGIC,
         VERSION,

@@ -43,6 +43,10 @@ from .zigzag import zigzag
 MAGIC = 0x5657  # "VW"
 VERSION = 1
 
+#: Header field capacities (16-bit frame count, 8-bit block size).
+MAX_HEADER_FRAMES = 0xFFFF
+MAX_BLOCK_SIZE = 0xFF
+
 
 @dataclass
 class EncoderConfig:
@@ -199,6 +203,16 @@ class VideoEncoder:
 
     def _write_header(self, writer: BitWriter, frames: list[Frame]) -> None:
         cfg = self.config
+        if len(frames) > MAX_HEADER_FRAMES:
+            raise ValueError(
+                f"{len(frames)} frames exceed the 16-bit frame-count "
+                f"field (max {MAX_HEADER_FRAMES}); split the sequence"
+            )
+        if cfg.block_size > MAX_BLOCK_SIZE:
+            raise ValueError(
+                f"block size {cfg.block_size} does not fit its 8-bit "
+                f"header field (max {MAX_BLOCK_SIZE})"
+            )
         writer.write_bits(MAGIC, 16)
         writer.write_bits(VERSION, 4)
         writer.write_bits(frames[0].width, 16)

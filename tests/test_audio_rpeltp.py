@@ -7,10 +7,13 @@ from repro.audio import lpc
 from repro.audio.metrics import segmental_snr_db, snr_db
 from repro.audio.rpeltp import (
     FRAME_SIZE,
+    MAGIC,
+    MAX_FRAMES,
     RpeLtpDecoder,
     RpeLtpEncoder,
     frame_bits,
 )
+from repro.video.bitstream import BitWriter
 from repro.workloads.audio_gen import (
     lpc_residual_energy_ratio,
     speech_like,
@@ -162,3 +165,25 @@ class TestRpeLtpCodec:
     def test_deterministic(self):
         x = speech_like(duration=0.2, seed=11)
         assert RpeLtpEncoder().encode(x).data == RpeLtpEncoder().encode(x).data
+
+    def test_overlong_signal_rejected_not_truncated(self):
+        # Regression: the seed encoder masked the header counts
+        # (`pcm.size & 0xFFFFFFFF`), so a stream needing more than
+        # MAX_FRAMES frames silently wrote a wrong frame count instead
+        # of failing.  The count must be rejected before any bits are
+        # written.
+        x = np.zeros((MAX_FRAMES + 1) * FRAME_SIZE)
+        with pytest.raises(ValueError, match="frame-count"):
+            RpeLtpEncoder().encode(x)
+
+    def test_inconsistent_header_rejected(self):
+        # Regression: a header whose sample count exceeds what its frame
+        # count can carry (corruption, or a seed-era masked stream)
+        # previously decoded to silently fewer samples than promised.
+        writer = BitWriter()
+        writer.write_bits(MAGIC, 16)
+        writer.write_bits(1, 16)  # one frame ...
+        writer.write_bits(FRAME_SIZE + 1, 32)  # ... cannot hold this
+        writer.align()
+        with pytest.raises(ValueError, match="corrupt speech header"):
+            RpeLtpDecoder().decode(writer.getvalue())

@@ -666,7 +666,7 @@ class TestFramework:
 
     def test_every_rule_has_id_and_description(self):
         ids = [cls.rule_id for cls in ALL_CHECKERS]
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 7
         assert all(cls.description for cls in ALL_CHECKERS)
 
 
@@ -807,8 +807,33 @@ class TestCli:
         for rule in (
             "oracle-pairing", "rng-discipline", "determinism",
             "shard-readiness", "hot-path-purity", "exception-hygiene",
+            "width-parity",
         ):
             assert rule in out
+
+    def test_github_format_annotations(self, tmp_path, capsys):
+        self.materialize(tmp_path, CLEAN_TREE)
+        (tmp_path / "src/repro/video/bad.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        assert main(
+            ["--root", str(tmp_path), "--check", "--format=github"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/repro/video/bad.py,line=2," in out
+        assert "title=rng-discipline::" in out
+
+    def test_cache_roundtrip_preserves_findings(self, tmp_path, capsys):
+        self.materialize(tmp_path, CLEAN_TREE)
+        (tmp_path / "src/repro/video/bad.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        assert main(["--root", str(tmp_path), "--json"]) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["--root", str(tmp_path), "--json"]) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["new"] == cold["new"]
+        assert warm["cache"]["misses"] == 0 and warm["cache"]["hits"] > 0
 
 
 # ------------------------------------------------------------ self-check
@@ -832,6 +857,32 @@ class TestCommittedTree:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "lint clean" in result.stdout
+
+    def _invoke(self, *flags, tmp_path=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint",
+             "--root", str(REPO_ROOT), *flags],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+
+    def test_warm_cache_output_is_byte_identical(self, tmp_path):
+        cache_dir = str(tmp_path / "lint_cache")
+        cold = self._invoke("--check", "--no-cache", "--format=github")
+        first = self._invoke("--check", "--cache-dir", cache_dir,
+                             "--format=github")
+        warm = self._invoke("--check", "--cache-dir", cache_dir,
+                            "--format=github")
+        assert cold.returncode == first.returncode == warm.returncode == 0, (
+            cold.stdout + first.stdout + warm.stdout
+        )
+        assert cold.stdout == first.stdout == warm.stdout
 
     def test_committed_baseline_is_fully_justified(self):
         entries = load_baseline(REPO_ROOT / "lint_baseline.json")

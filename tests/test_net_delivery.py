@@ -217,6 +217,33 @@ class TestPacketizer:
         assert parse_packet(wire[:-1]) is None  # truncated
         assert parse_packet(b"") is None
 
+    def test_out_of_range_identity_fields_rejected(self):
+        # Regression: flags/stream_id/seq were unvalidated, so an
+        # out-of-range value died inside write_many's batch-level error
+        # (no field named) on the bulk path and with a *different*
+        # error on the scalar reference path.  Both paths must now
+        # raise the same per-field ValueError.
+        bad = [
+            (dict(flags=0x10), "flags"),
+            (dict(stream_id=0x1_0000), "stream id"),
+            (dict(stream_id=-1), "stream id"),
+            (dict(seq=1 << 32), "sequence number"),
+        ]
+        for overrides, needle in bad:
+            fields = dict(
+                stream_id=1, seq=2, segment=3, frag=0, frag_count=1,
+                payload=b"x",
+            )
+            fields.update(overrides)
+            packet = Packet(**fields)
+            with pytest.raises(ValueError, match=needle) as bulk:
+                packets_to_wire([packet])
+            with pytest.raises(ValueError, match=needle) as scalar:
+                packets_to_wire_reference([packet])
+            with pytest.raises(ValueError, match=needle):
+                packet_to_wire(packet)
+            assert str(bulk.value) == str(scalar.value)
+
     def test_reassembly_truncates_at_first_gap(self):
         data = bytes(range(200)) * 3
         packets = packetize(0, 0, data, mtu=100)
