@@ -42,6 +42,7 @@ ARTIFACTS = (
     "BENCH_block_pipeline.json",
     "BENCH_audio_pipeline.json",
     "BENCH_net_delivery.json",
+    "BENCH_obs_overhead.json",
 )
 
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"

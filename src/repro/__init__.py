@@ -12,7 +12,10 @@ Reproduction of Wolf, DATE 2005.  Subpackages:
 - :mod:`repro.workloads` — synthetic content generators;
 - :mod:`repro.runtime` — the streaming engine: many concurrent media
   sessions, a shared segment cache, and the scenario registry behind
-  ``python -m repro.runtime.run``.
+  ``python -m repro.runtime.run``;
+- :mod:`repro.obs` — observability: virtual-time span tracing, the
+  metrics registry, Perfetto-compatible trace export, and the
+  injectable clock that is the codebase's single wall-clock boundary.
 """
 
 __version__ = "1.1.0"
@@ -26,6 +29,7 @@ __all__ = [
     "image",
     "mapping",
     "mpsoc",
+    "obs",
     "runtime",
     "support",
     "video",

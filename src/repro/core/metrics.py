@@ -35,7 +35,7 @@ def render_table(
 ) -> str:
     """Plain-text table (the benches print these; no plotting deps)."""
     cells = [[str(h) for h in headers]] + [
-        [_fmt(v) for v in row] for row in rows
+        [format_value(v) for v in row] for row in rows
     ]
     widths = [
         max(len(row[i]) for row in cells) for i in range(len(headers))
@@ -51,7 +51,8 @@ def render_table(
     return "\n".join(lines)
 
 
-def _fmt(value) -> str:
+def format_value(value) -> str:
+    """Human-scaled cell formatting shared by tables and metric dumps."""
     if isinstance(value, float):
         if value == 0:
             return "0"
@@ -62,3 +63,7 @@ def _fmt(value) -> str:
             return f"{value:.1f}"
         return f"{value:.3f}"
     return str(value)
+
+
+#: Backwards-compatible alias (pre-obs name).
+_fmt = format_value

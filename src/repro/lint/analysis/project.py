@@ -18,10 +18,10 @@ from .summaries import EffectSummaries, build_summaries
 
 #: Effect sites sanctioned by design, mirrored from the intraprocedural
 #: rules' allow-lists (kept literal here so analysis never imports the
-#: rule modules): the engine's measured run loop owns its perf_counter
-#: calls.
+#: rule modules): the injectable production clock owns the codebase's
+#: one perf_counter call.
 SANCTIONED_EFFECTS = {
-    "wall_clock": {"repro.runtime.engine.StreamEngine.run"},
+    "wall_clock": {"repro.obs.clock.WallClock.now"},
 }
 
 

@@ -5,10 +5,13 @@ bit-identical across schedulers and (next) across worker processes.
 Two statically-detectable ways to lose that:
 
 * **wall-clock reads** (``time.time``, ``time.perf_counter``, ...)
-  anywhere outside the engine's measured-report block — real time in a
+  anywhere outside the injectable clock boundary — real time in a
   decision path makes output depend on machine load.  The one blessed
-  site is ``StreamEngine.run``, which times the run *after* all
-  scheduling decisions are made, purely for the report;
+  site is ``repro.obs.clock.WallClock.now``, the production
+  :class:`~repro.obs.clock.Clock`; everything else (including
+  ``StreamEngine.run``, which used to own this exemption) takes a
+  ``Clock`` and stays deterministic under an injected
+  :class:`~repro.obs.clock.ManualClock`;
 * **iterating a bare set** in the codec/bitstream/net serialization
   subpackages — set order is hash-seed- and history-dependent, so a
   loop over one can reorder emitted bits between processes.  Sort
@@ -52,7 +55,7 @@ WALL_CLOCK = frozenset(
 #: (relpath suffix, qualname) pairs allowed to read the wall clock.
 MEASURED_BLOCKS = frozenset(
     {
-        ("repro/runtime/engine.py", "StreamEngine.run"),
+        ("repro/obs/clock.py", "WallClock.now"),
     }
 )
 
@@ -111,9 +114,9 @@ class _Visitor(ScopedVisitor):
                 self.checker.finding(
                     self.ctx,
                     node,
-                    f"{shown}() reads the wall clock outside the engine's "
-                    "measured-report block (StreamEngine.run); use the "
-                    "virtual timeline",
+                    f"{shown}() reads the wall clock outside the blessed "
+                    "clock boundary (repro.obs.clock.WallClock.now); take "
+                    "an injectable Clock or use the virtual timeline",
                 )
             )
         self.generic_visit(node)
@@ -135,9 +138,9 @@ class _Visitor(ScopedVisitor):
 class DeterminismChecker(ProjectChecker):
     rule_id = "determinism"
     description = (
-        "no wall-clock reads outside StreamEngine.run, and no bare-set "
-        "iteration, anywhere in the call chain of a codec/bitstream/net "
-        "serialization path"
+        "no wall-clock reads outside repro.obs.clock.WallClock.now, and "
+        "no bare-set iteration, anywhere in the call chain of a "
+        "codec/bitstream/net serialization path"
     )
 
     def check(self, ctx: ModuleContext, project: Project) -> Iterator[Finding]:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..mpsoc.interconnect import InterconnectSpec
+from ..obs.tracer import NULL_TRACER, Tracer
 from .channel import Channel, make_channel
 from .fec import _BLOB_PREFIX, add_parity, interleave, recover_packets
 from .jitterbuffer import JitterBuffer
@@ -133,6 +134,8 @@ class DeliveryPipe:
         stream_id: int = 0,
         playout_delay_s: float = 0.25,
         cost_model: DeliveryCostModel | None = None,
+        tracer: Tracer | None = None,
+        trace_track: str | None = None,
     ) -> None:
         if mtu < 1:
             raise ValueError("mtu must cover at least one payload byte")
@@ -150,6 +153,12 @@ class DeliveryPipe:
         self.stream_id = stream_id
         self.jitter = JitterBuffer(playout_delay_s)
         self.cost_model = cost_model or DeliveryCostModel()
+        #: Span tracer (:mod:`repro.obs`): per-packet link-occupancy
+        #: spans on :attr:`trace_track`.  The engine binds its own
+        #: tracer here at run start when none was given; the default
+        #: records nothing and costs nothing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_track = trace_track
         self._seq = 0
         self._segment = 0
 
@@ -190,6 +199,8 @@ class DeliveryPipe:
         # and contract deadlines.
         send_start = max(release_s, self.channel.link_free_s)
         trace = self.channel.transmit(sizes, release_s)
+        if self.tracer.enabled:
+            self._trace_packets(segment_index, ordered, trace)
 
         survivors: list[Packet] = []
         arrivals: list[float] = []
@@ -228,6 +239,40 @@ class DeliveryPipe:
             arrival_s=arrival_s,
         )
 
+    def _trace_packets(self, segment_index: int, ordered, trace) -> None:
+        """Per-packet link-occupancy spans on the pipe's trace track.
+
+        Each span covers the packet's *serialization* window
+        (``tx_done - size*8/bw .. tx_done`` — FIFO windows never
+        overlap, so the lane reads as true link occupancy); queueing
+        shows as the gap after the segment's release.  Lost packets
+        additionally get an instant marker at their would-be arrival.
+        """
+        track = self.trace_track or f"net/{self.stream_id}"
+        bw = self.channel.bandwidth_bps
+        for packet, size, lost, done, arrival in zip(
+            ordered, trace.sizes, trace.lost, trace.tx_done_s, trace.arrival_s
+        ):
+            size = float(size)
+            done = float(done)
+            self.tracer.span(
+                track,
+                f"pkt{packet.seq}",
+                done - size * 8.0 / bw,
+                done,
+                cat="packet",
+                args={
+                    "segment": segment_index,
+                    "bytes": int(size),
+                    "lost": bool(lost),
+                },
+            )
+            if lost:
+                self.tracer.instant(
+                    track, "lost", done, cat="packet",
+                    args={"seq": packet.seq},
+                )
+
 
 def attach_delivery(
     sessions,
@@ -244,6 +289,7 @@ def attach_delivery(
     mean_burst: float = 4.0,
     cost_model: DeliveryCostModel | None = None,
     platform=None,
+    tracer: Tracer | None = None,
 ) -> list:
     """Give every transport-capable session its own seeded pipe.
 
@@ -252,6 +298,11 @@ def attach_delivery(
     seed is derived from ``seed`` and the session's position, so traces
     are uncorrelated across sessions yet fully reproducible.  Returns
     the sessions, for chaining inside scenario build functions.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) makes each pipe emit
+    per-packet spans on a ``net/<session>`` track; without one the
+    engine's own tracer is bound at run start, so passing it here is
+    only needed for pipes used outside an engine.
     """
     sessions = list(sessions)
     if cost_model is None and platform is not None:
@@ -279,6 +330,8 @@ def attach_delivery(
                 stream_id=i,
                 playout_delay_s=playout_delay_s,
                 cost_model=cost_model,
+                tracer=tracer,
+                trace_track=f"net/{session.name}",
             )
         )
     return sessions

@@ -1,0 +1,68 @@
+"""Injectable clocks: the runtime's single wall-clock boundary.
+
+The engine runs on a *virtual* timeline — scheduling decisions, segment
+costs, deadlines, and traces are all virtual seconds, so a run replays
+bit-identically regardless of machine load.  The one legitimate use of
+real time is the engine report's ``elapsed_s`` throughput figure, and
+that read now lives here, behind an injectable interface:
+
+* :class:`WallClock` — the production clock.  ``WallClock.now`` is the
+  **only** place in ``src/repro`` allowed to read the wall clock; the
+  lint ``determinism`` rule pins this (``MEASURED_BLOCKS`` in
+  ``repro.lint.rules.determinism``), so any new ``time.*`` call
+  anywhere else fails ``python -m repro.lint --check``.
+* :class:`ManualClock` — a deterministic stand-in for tests and
+  reproducible reports: time advances only when the test says so, so
+  even ``elapsed_s`` becomes a pinnable value.
+
+Anything needing a timestamp takes a :class:`Clock` (default
+``WallClock()``) instead of importing :mod:`time` — that is what keeps
+the determinism contract auditable as the codebase grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing seconds counter."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin unspecified, monotonic)."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """The production clock — the one blessed wall-clock read."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """Deterministic clock for tests: advances only via :meth:`tick`.
+
+    ``ManualClock(start=0.0, tick_s=0.0)`` returns ``start`` forever;
+    with a non-zero ``tick_s`` every :meth:`now` call advances the
+    clock by that amount *after* reading it, so "elapsed" intervals
+    measured across N reads are exactly ``(N - 1) * tick_s``.
+    """
+
+    def __init__(self, start: float = 0.0, tick_s: float = 0.0) -> None:
+        self._now = float(start)
+        self.tick_s = float(tick_s)
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.tick_s
+        return current
+
+    def tick(self, seconds: float) -> None:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("a clock cannot run backwards")
+        self._now += float(seconds)
+
+
+__all__ = ["Clock", "ManualClock", "WallClock"]

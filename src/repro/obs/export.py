@@ -1,0 +1,212 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and flat JSONL.
+
+Chrome trace-event format is the lingua franca of timeline viewers:
+load the emitted file in https://ui.perfetto.dev (or chrome://tracing)
+and every session, platform PE, and network link renders as its own
+swim-lane with nested segment/stage spans, instant markers for lost
+packets, and counter tracks for cache behaviour.
+
+Track-to-lane mapping: tracks are grouped into *processes* by prefix —
+``pe*`` tracks under a "platform" process, ``net/*`` under "network",
+the engine counter track under "engine", everything else (the sessions)
+under "sessions".  Within a process each track is one named thread, in
+first-appearance order.  Timestamps are the engine's **virtual**
+seconds converted to trace microseconds, so the rendered timeline is
+the deterministic schedule itself, not a wall-clock profile — the same
+seed yields byte-identical files (``tests/test_obs.py`` pins this; the
+JSON is dumped with sorted keys and fixed separators for exactly that
+reason).
+
+The JSONL exporter writes the same events one JSON object per line
+(``{"type": "span", ...}``), the grep-and-pandas-friendly form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from .tracer import TraceRecorder
+
+#: Process ids (and their display names) the exporter groups tracks into.
+_PROCESSES = (
+    ("engine", "engine"),
+    ("sessions", "sessions"),
+    ("platform", "platform"),
+    ("network", "network"),
+)
+_PIDS = {name: pid for pid, (name, _) in enumerate(_PROCESSES)}
+
+
+def _process_of(track: str) -> str:
+    if track == "engine":
+        return "engine"
+    if track.startswith("pe") and track[2:].isdigit():
+        return "platform"
+    if track.startswith("net/"):
+        return "network"
+    return "sessions"
+
+
+def _us(seconds: float) -> float:
+    """Virtual seconds -> trace microseconds, rounded for stable JSON."""
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(recorder: TraceRecorder) -> list[dict]:
+    """The ``traceEvents`` list for one recorded run.
+
+    Metadata events name every process and thread; complete (``X``)
+    events carry the spans, instants map to ``i``, counter samples to
+    ``C``.  Event order is: metadata first (stable track enumeration),
+    then spans/instants/counters in emission order — deterministic
+    because the engine's schedule is.
+    """
+    tracks = recorder.tracks()
+    tids: dict[str, int] = {}
+    events: list[dict] = []
+    for pid_name, display in _PROCESSES:
+        events.append({
+            "args": {"name": display},
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PIDS[pid_name],
+        })
+    for track in tracks:
+        pid = _PIDS[_process_of(track)]
+        tid = tids.setdefault(track, len(tids))
+        events.append({
+            "args": {"name": track},
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+        })
+    for span in recorder.spans:
+        events.append({
+            "args": span.args,
+            "cat": span.cat or "span",
+            "dur": _us(span.dur_s),
+            "name": span.name,
+            "ph": "X",
+            "pid": _PIDS[_process_of(span.track)],
+            "tid": tids[span.track],
+            "ts": _us(span.start_s),
+        })
+    for instant in recorder.instants:
+        events.append({
+            "args": instant.args,
+            "cat": instant.cat or "instant",
+            "name": instant.name,
+            "ph": "i",
+            "pid": _PIDS[_process_of(instant.track)],
+            "s": "t",
+            "tid": tids[instant.track],
+            "ts": _us(instant.ts_s),
+        })
+    for sample in recorder.counters:
+        events.append({
+            "args": {"value": sample.value},
+            "name": sample.name,
+            "ph": "C",
+            "pid": _PIDS[_process_of(sample.track)],
+            "tid": tids[sample.track],
+            "ts": _us(sample.ts_s),
+        })
+    return events
+
+
+def to_chrome_trace(recorder: TraceRecorder, metadata: dict | None = None) -> dict:
+    """The full trace document (``traceEvents`` + display unit)."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+        "traceEvents": chrome_trace_events(recorder),
+    }
+    return doc
+
+
+def dumps_chrome_trace(
+    recorder: TraceRecorder, metadata: dict | None = None
+) -> str:
+    """Serialized trace with canonical key order and separators.
+
+    Byte-identical output for identical recorders is part of the
+    determinism contract, so the dump pins every JSON-writer degree of
+    freedom instead of leaving it to dict insertion order.
+    """
+    return json.dumps(
+        to_chrome_trace(recorder, metadata),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def write_chrome_trace(
+    path, recorder: TraceRecorder, metadata: dict | None = None
+) -> None:
+    """Write a Perfetto-loadable trace file (the CLI's ``--trace-out``)."""
+    with open(path, "w") as fh:
+        fh.write(dumps_chrome_trace(recorder, metadata))
+        fh.write("\n")
+
+
+def iter_jsonl_events(recorder: TraceRecorder) -> Iterator[str]:
+    """One canonical JSON line per recorded event, in emission order."""
+    for span in recorder.spans:
+        yield json.dumps(
+            {
+                "args": span.args,
+                "cat": span.cat,
+                "end_s": span.end_s,
+                "name": span.name,
+                "start_s": span.start_s,
+                "track": span.track,
+                "type": "span",
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    for instant in recorder.instants:
+        yield json.dumps(
+            {
+                "args": instant.args,
+                "cat": instant.cat,
+                "name": instant.name,
+                "track": instant.track,
+                "ts_s": instant.ts_s,
+                "type": "instant",
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    for sample in recorder.counters:
+        yield json.dumps(
+            {
+                "name": sample.name,
+                "track": sample.track,
+                "ts_s": sample.ts_s,
+                "type": "counter",
+                "value": sample.value,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def write_jsonl(path, recorder: TraceRecorder) -> None:
+    """Write the flat event log (the CLI's ``--trace-jsonl``)."""
+    with open(path, "w") as fh:
+        for line in iter_jsonl_events(recorder):
+            fh.write(line)
+            fh.write("\n")
+
+
+__all__ = [
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "iter_jsonl_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

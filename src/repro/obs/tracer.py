@@ -1,0 +1,199 @@
+"""Span tracer over the engine's virtual timeline.
+
+A *span* is one named interval on one *track* — a session, a platform
+PE, or a per-session network link — measured in **virtual seconds** (the
+engine's deterministic timeline), never wall-clock.  Spans nest by
+containment: the engine emits ``session -> segment -> stage`` hierarchies
+per session track, per-segment busy windows on PE tracks, and
+:class:`repro.net.delivery.DeliveryPipe` adds per-packet link-occupancy
+spans.  Because every timestamp is virtual, the same seed and scenario
+produce byte-identical traces run after run (``tests/test_obs.py`` pins
+this across all four schedulers).
+
+The zero-overhead-when-off contract: :data:`NULL_TRACER` (an instance of
+the base :class:`Tracer`) is the default everywhere, its methods are
+empty, and its ``enabled`` flag is ``False`` so instrumented code can
+skip even the argument-building work::
+
+    if tracer.enabled:
+        tracer.span(track, name, start_s, end_s, args={...})
+
+``benchmarks/bench_obs_overhead.py`` holds the engine to that contract.
+:class:`TraceRecorder` is the real collector; feed it to
+:mod:`repro.obs.export` for Chrome-trace (Perfetto) or JSONL output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of virtual time on one track."""
+
+    track: str
+    name: str
+    start_s: float
+    end_s: float
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+    @property
+    def dur_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def contains(self, other: "Span", tol: float = 1e-9) -> bool:
+        """Interval containment (the span-nesting invariant)."""
+        return (
+            other.start_s >= self.start_s - tol
+            and other.end_s <= self.end_s + tol
+        )
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration event (a lost packet, an admission verdict)."""
+
+    track: str
+    name: str
+    ts_s: float
+    cat: str = ""
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One sample of a named counter series (renders as a Perfetto
+    counter track: cache hits over virtual time, deadline misses...)."""
+
+    track: str
+    name: str
+    ts_s: float
+    value: float
+
+
+class Tracer:
+    """No-op tracer: the default, and the zero-overhead-off contract.
+
+    Subclasses that actually record set :attr:`enabled` to ``True``;
+    instrumented code checks that flag before building span arguments,
+    so a disabled engine run does no tracing work at all beyond one
+    attribute read per segment.
+    """
+
+    enabled = False
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        cat: str = "",
+        args: dict | None = None,
+    ) -> None:
+        """Record a closed virtual-time interval."""
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        ts_s: float,
+        cat: str = "",
+        args: dict | None = None,
+    ) -> None:
+        """Record a zero-duration event."""
+
+    def counter(self, track: str, name: str, ts_s: float, value: float) -> None:
+        """Record one sample of a counter series."""
+
+
+#: The shared default: tracing off.  Stateless, so one instance serves
+#: every engine/pipe in the process.
+NULL_TRACER = Tracer()
+
+
+class TraceRecorder(Tracer):
+    """Collects spans/instants/counters in memory, in emission order.
+
+    Emission order is deterministic (the engine's schedule is), so two
+    identical runs produce identical recorders — the exporters preserve
+    that order and the byte-identity tests lean on it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.counters: list[CounterSample] = []
+
+    def span(
+        self,
+        track: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        cat: str = "",
+        args: dict | None = None,
+    ) -> None:
+        if end_s < start_s:
+            raise ValueError(
+                f"span {name!r} on {track!r} ends before it starts "
+                f"({end_s} < {start_s})"
+            )
+        self.spans.append(
+            Span(track, name, float(start_s), float(end_s), cat, args or {})
+        )
+
+    def instant(
+        self,
+        track: str,
+        name: str,
+        ts_s: float,
+        cat: str = "",
+        args: dict | None = None,
+    ) -> None:
+        self.instants.append(
+            Instant(track, name, float(ts_s), cat, args or {})
+        )
+
+    def counter(self, track: str, name: str, ts_s: float, value: float) -> None:
+        self.counters.append(
+            CounterSample(track, name, float(ts_s), float(value))
+        )
+
+    def tracks(self) -> list[str]:
+        """Track names in first-appearance order (stable across runs)."""
+        seen: dict[str, None] = {}
+        for event in (*self.spans, *self.instants, *self.counters):
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+    def spans_on(self, track: str) -> list[Span]:
+        return [s for s in self.spans if s.track == track]
+
+    def busy_s(self, track: str, cat: str | None = None) -> float:
+        """Total span time on one track (optionally one category).
+
+        With the engine's conventions, ``busy_s(session, "segment")``
+        equals that session's reported ``virtual_busy_s`` and
+        ``busy_s("pe3")`` equals PE 3's busy time — the reconciliation
+        the acceptance tests check.
+        """
+        return sum(
+            s.dur_s
+            for s in self.spans
+            if s.track == track and (cat is None or s.cat == cat)
+        )
+
+
+__all__ = [
+    "CounterSample",
+    "Instant",
+    "NULL_TRACER",
+    "Span",
+    "TraceRecorder",
+    "Tracer",
+]

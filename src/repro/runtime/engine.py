@@ -29,12 +29,15 @@ measured rather than analytic numbers (see
 
 from __future__ import annotations
 
-import time
+import math
 from dataclasses import dataclass, field
 
 from ..core.application import ApplicationModel
 from ..core.metrics import render_table
 from ..mpsoc.rtos import AdmissionReport, admission_test
+from ..obs.clock import Clock, WallClock
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from .cache import CacheStats, SegmentCache
 from .profiles import stage_application
 from .schedulers import Scheduler, SessionClock, make_scheduler
@@ -109,8 +112,8 @@ def aggregate_delivery(summaries: "list[dict | None]") -> dict | None:
         key: sum(s[key] for s in present)
         for key in (
             "segments", "segments_intact", "packets_sent", "packets_lost",
-            "packets_late", "packets_recovered", "bytes_on_wire",
-            "concealed_frames",
+            "packets_late", "packets_duplicate", "packets_recovered",
+            "bytes_on_wire", "concealed_frames",
         )
     }
     totals["virtual_cost_s"] = sum(s["virtual_cost_s"] for s in present)
@@ -147,6 +150,11 @@ class EngineReport:
     #: Run-level transport scorecard (:func:`aggregate_delivery`), ``None``
     #: when no session carried a delivery pipe.
     delivery: dict | None = None
+    #: The run's metric registry (:class:`repro.obs.MetricsRegistry`):
+    #: cache counters, delivery counters, deadline-slack histograms,
+    #: per-PE busy gauges, per-stage op totals.  The canonical queryable
+    #: form of everything this report renders.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def total_frames(self) -> int:
@@ -185,11 +193,14 @@ class EngineReport:
             "cache": {
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
+                "lookups": self.cache.lookups,
                 "evictions": self.cache.evictions,
                 "hit_rate": self.cache.hit_rate,
                 "ops_saved": dict(self.cache.ops_saved),
+                "ops_saved_total": sum(self.cache.ops_saved.values()),
             },
             "delivery": self.delivery,
+            "metrics": self.metrics.to_dict(),
             "stage_totals": dict(self.stage_totals),
             "pe_utilization": {
                 str(pe): u for pe, u in sorted(self.pe_utilization.items())
@@ -285,6 +296,19 @@ class StreamEngine:
     ``"warn"`` (run it, attach the report, keep going) or ``"strict"``
     (raise :class:`AdmissionError` when the rated sessions over-subscribe
     the scheduler's virtual service rate).
+
+    ``trace`` is a :class:`repro.obs.Tracer`; the default
+    :data:`repro.obs.NULL_TRACER` records nothing and costs nothing
+    (``benchmarks/bench_obs_overhead.py`` holds that line).  With a
+    :class:`repro.obs.TraceRecorder` the run emits nested
+    session -> segment -> stage spans per session track, per-segment
+    busy windows per PE track (platform scheduler), per-packet link
+    spans for sessions with delivery pipes, and engine counter series —
+    all in virtual seconds, so traces are deterministic.
+
+    ``clock`` is the :class:`repro.obs.Clock` behind the report's
+    wall-clock ``elapsed_s`` (inject :class:`repro.obs.ManualClock` for
+    deterministic reports; everything else in the run is virtual time).
     """
 
     def __init__(
@@ -294,6 +318,8 @@ class StreamEngine:
         use_cache: bool = True,
         scheduler: Scheduler | str | None = None,
         admission: str = "off",
+        trace: Tracer | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if not sessions:
             raise ValueError("an engine needs at least one session")
@@ -307,6 +333,8 @@ class StreamEngine:
         self.sessions = list(sessions)
         self.scheduler = make_scheduler(scheduler)
         self.admission = admission
+        self.trace = trace if trace is not None else NULL_TRACER
+        self.clock = clock if clock is not None else WallClock()
         # A fresh cache has len() == 0 and would be falsy — test identity,
         # not truthiness, or a caller-supplied cache gets silently dropped.
         if not use_cache:
@@ -360,7 +388,10 @@ class StreamEngine:
             if self.admission == "strict" and not admission.admitted:
                 raise AdmissionError(admission)
 
-        started = time.perf_counter()
+        started = self.clock.now()
+        tracer = self.trace
+        if tracer.enabled:
+            self._bind_delivery_tracers(tracer)
         scheduler = self.scheduler
         clocks = [SessionClock(session=s) for s in self.sessions]
         scheduler.bind(clocks)
@@ -386,13 +417,22 @@ class StreamEngine:
             cost = scheduler.segment_cost(clock, result, from_cache)
             # The delivery stage is real work on the virtual clock too:
             # per-packet ipstack + interconnect costs from the pipe's model.
+            delivery_cost = 0.0
             if len(session.delivery_log) > deliveries_before:
-                cost += session.delivery_log[-1].virtual_cost_s
+                delivery_cost = session.delivery_log[-1].virtual_cost_s
+                cost += delivery_cost
             finish = now + cost
             session.record_timing(now, finish, from_cache=from_cache)
             scheduler.charge(clock, cost)
+            if tracer.enabled:
+                self._trace_segment(
+                    tracer, scheduler, session, result,
+                    now, finish, from_cache, delivery_cost,
+                )
             now = finish
-        elapsed = time.perf_counter() - started
+        if tracer.enabled:
+            self._trace_sessions(tracer)
+        elapsed = self.clock.now() - started
 
         totals: dict[str, float] = {}
         for session in self.sessions:
@@ -406,7 +446,7 @@ class StreamEngine:
             platform_name = scheduler.platform.name
         by_name = {c.name: c for c in clocks}
         delivery_summaries = [s.delivery_summary() for s in self.sessions]
-        return EngineReport(
+        report = EngineReport(
             sessions=[
                 SessionSummary(
                     name=s.name,
@@ -437,6 +477,207 @@ class StreamEngine:
             admission=admission,
             delivery=aggregate_delivery(delivery_summaries),
         )
+        self._fill_metrics(report)
+        return report
+
+    # -- observability -----------------------------------------------------
+
+    def _bind_delivery_tracers(self, tracer: Tracer) -> None:
+        """Give every pipe without its own tracer the engine's, so
+        ``StreamEngine(trace=...)`` alone yields per-packet net spans."""
+        for session in self.sessions:
+            pipe = session.delivery
+            if pipe is not None and not pipe.tracer.enabled:
+                pipe.tracer = tracer
+                if pipe.trace_track is None:
+                    pipe.trace_track = f"net/{session.name}"
+
+    def _trace_segment(
+        self,
+        tracer: Tracer,
+        scheduler: Scheduler,
+        session: MediaSession,
+        result,
+        start: float,
+        finish: float,
+        from_cache: bool,
+        delivery_cost: float,
+    ) -> None:
+        """Emit one segment's spans: the segment window on the session
+        track, proportional stage sub-spans (computed segments only — a
+        cache hit did no stage work), a delivery tail span, and per-PE
+        busy windows when the scheduler priced the segment on silicon."""
+        index = len(session.segments) - 1
+        track = session.name
+        timing = session.timings[-1]
+        tracer.span(
+            track,
+            f"segment[{index}]",
+            start,
+            finish,
+            cat="segment",
+            args={
+                "frames": result.frames,
+                "bits": result.bits,
+                "from_cache": from_cache,
+                "deadline_s": (
+                    None if math.isinf(timing.deadline) else timing.deadline
+                ),
+                "missed": timing.missed,
+            },
+        )
+        compute_end = finish - delivery_cost
+        if not from_cache and result.stage_ops:
+            # Stage boundaries from cumulative op shares: ``stage_ops``
+            # measures work, not time, so within the segment each stage
+            # gets its proportional slice of the computed window.
+            stages = sorted(result.stage_ops.items())
+            total = sum(ops for _, ops in stages)
+            if total > 0:
+                window = compute_end - start
+                cursor = start
+                ends = [
+                    start + window * (cum / total)
+                    for cum in _running_totals(ops for _, ops in stages)
+                ]
+                ends[-1] = compute_end  # exact, despite float accumulation
+                for (stage, ops), end in zip(stages, ends):
+                    tracer.span(
+                        track, stage, cursor, end,
+                        cat="stage", args={"ops": ops},
+                    )
+                    cursor = end
+        if delivery_cost > 0.0:
+            tracer.span(
+                track, "delivery", compute_end, finish,
+                cat="stage", args={"virtual_cost_s": delivery_cost},
+            )
+        pe_busy = getattr(scheduler, "last_segment_busy", None)
+        if pe_busy:
+            for pe in sorted(pe_busy):
+                tracer.span(
+                    f"pe{pe}",
+                    f"{session.name}[{index}]",
+                    start,
+                    start + pe_busy[pe],
+                    cat="pe",
+                    args={"kind": session.kind},
+                )
+        if self.cache is not None:
+            tracer.counter(
+                "engine", "cache_hits", finish, self.cache.stats.hits
+            )
+        tracer.counter(
+            "engine", "deadline_misses", finish,
+            sum(s.deadline_misses for s in self.sessions),
+        )
+
+    def _trace_sessions(self, tracer: Tracer) -> None:
+        """Emit each session's enclosing parent span (first segment start
+        to last segment finish on its own track)."""
+        for session in self.sessions:
+            if not session.timings:
+                continue
+            tracer.span(
+                session.name,
+                session.name,
+                session.timings[0].start,
+                session.timings[-1].finish,
+                cat="session",
+                args={
+                    "kind": session.kind,
+                    "segments": len(session.segments),
+                    "rate_hz": session.rate_hz,
+                },
+            )
+
+    def _fill_metrics(self, report: EngineReport) -> None:
+        """Populate the run's metric registry from the finished report.
+
+        One explicit registration per series — cache behaviour, the
+        delivery scorecard, deadline-slack distribution, per-PE busy
+        time, per-stage op totals — so ``EngineReport.metrics`` is the
+        queryable superset of what ``render()`` prints."""
+        m = report.metrics
+        m.counter("engine.steps", "segments executed").inc(report.steps)
+        m.counter("engine.frames", "frames produced").inc(report.total_frames)
+        m.counter("engine.bits", "coded bits produced").inc(report.total_bits)
+        m.gauge(
+            "engine.virtual_makespan_s", "virtual end-to-end time"
+        ).set(report.virtual_makespan_s)
+        m.gauge("engine.elapsed_s", "wall-clock run time").set(report.elapsed_s)
+        m.counter(
+            "engine.deadline_misses", "rated segments past deadline"
+        ).inc(report.total_deadline_misses)
+        m.counter("engine.deadlines", "rated segments").inc(
+            report.total_deadlines
+        )
+        cache = report.cache
+        m.counter("cache.hits", "segment cache hits").inc(cache.hits)
+        m.counter("cache.misses", "segment cache misses").inc(cache.misses)
+        m.counter("cache.evictions", "segment cache evictions").inc(
+            cache.evictions
+        )
+        m.gauge("cache.hit_rate", "hits / lookups").set(cache.hit_rate)
+        for cls in sorted(cache.ops_saved):
+            m.counter(
+                f"cache.ops_saved.{cls}", "ops skipped by cache hits"
+            ).inc(cache.ops_saved[cls])
+        for cls in sorted(report.stage_totals):
+            m.counter(f"stage_ops.{cls}", "measured ops by class").inc(
+                report.stage_totals[cls]
+            )
+        latency = m.histogram(
+            "session.latency_s", "per-segment completion latency"
+        )
+        slack = m.histogram(
+            "deadline.slack_s", "deadline minus finish (rated segments)"
+        )
+        busy = m.histogram(
+            "session.segment_cost_s", "per-segment virtual service time"
+        )
+        for session in self.sessions:
+            for timing in session.timings:
+                latency.observe(timing.latency)
+                busy.observe(timing.finish - timing.start)
+                if not math.isinf(timing.deadline):
+                    slack.observe(timing.deadline - timing.finish)
+        if report.delivery is not None:
+            d = report.delivery
+            for key in (
+                "packets_sent", "packets_lost", "packets_late",
+                "packets_duplicate", "bytes_on_wire", "concealed_frames",
+            ):
+                m.counter(f"delivery.{key}", "run-level transport total").inc(
+                    d[key]
+                )
+            m.counter(
+                "delivery.fec_recoveries", "packets rebuilt from parity"
+            ).inc(d["packets_recovered"])
+            m.gauge("delivery.loss_pct", "marginal packet loss").set(
+                d["loss_pct"]
+            )
+            m.gauge(
+                "delivery.virtual_cost_s", "virtual time spent delivering"
+            ).set(d["virtual_cost_s"])
+            if d["psnr_under_loss_db"] is not None:
+                m.gauge(
+                    "delivery.psnr_under_loss_db", "damage-weighted PSNR"
+                ).set(d["psnr_under_loss_db"])
+        for pe in sorted(report.pe_utilization):
+            m.gauge(f"pe.{pe}.utilization", "busy share of makespan").set(
+                report.pe_utilization[pe]
+            )
+
+
+def _running_totals(values) -> list[float]:
+    """Cumulative sums (no numpy import for a handful of stages)."""
+    totals: list[float] = []
+    acc = 0.0
+    for v in values:
+        acc += v
+        totals.append(acc)
+    return totals
 
 
 def measured_application(

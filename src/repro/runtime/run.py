@@ -33,6 +33,16 @@ stats (loss %, FEC recoveries, late packets, concealed frames, PSNR
 under loss).  On scenarios with built-in channels (the ``--list``
 entries named ``wireless_*``/``lossy_*``) these flags *override* the
 scenario's own defaults.
+
+Observability flags (:mod:`repro.obs`): ``--trace-out FILE`` records the
+run with a :class:`repro.obs.TraceRecorder` and writes a Chrome
+trace-event JSON timeline (open it in https://ui.perfetto.dev — one lane
+per session, per platform PE, per network link); ``--trace-jsonl FILE``
+writes the same events as flat JSONL; ``--metrics-json FILE`` dumps the
+run's metric registry; ``--quiet`` suppresses the human-readable report
+for scripted use (file outputs and ``--json`` still happen).  Trace
+timestamps are the engine's *virtual* seconds, so the same scenario and
+seeds produce byte-identical trace files.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from ..mapping import evaluate_mapping, run_mapper, sustainable_streams
 from ..mpsoc.presets import DEVICE_PRESETS
 from ..net.channel import CHANNEL_KINDS
 from ..net.delivery import attach_delivery
+from ..obs import TraceRecorder, write_chrome_trace, write_jsonl
 from .cache import SegmentCache
 from .engine import AdmissionError, StreamEngine, measured_application
 from .scenarios import REGISTRY, Scenario
@@ -114,12 +125,17 @@ def run_scenario(
     mtu: int = 256,
     interleave_depth: int = 1,
     net_seed: int = 0,
+    trace_out: str | None = None,
+    trace_jsonl: str | None = None,
+    metrics_json: str | None = None,
+    quiet: bool = False,
     out=None,
 ):
     """Build, run, and report one scenario; returns the engine report."""
     if out is None:
         out = sys.stdout  # resolved late so capture/redirection works
     scenario: Scenario = REGISTRY.get(name)
+    tracer = TraceRecorder() if (trace_out or trace_jsonl) else None
     sessions = scenario.sessions(**(overrides or {}))
     if channel is not None:
         attach_delivery(
@@ -156,11 +172,23 @@ def run_scenario(
         use_cache=use_cache,
         scheduler=make_scheduler(scheduler_name, platform=platform),
         admission=admission,
+        trace=tracer,
     )
     report = engine.run()
     map_data = None
     if do_map and scenario.device:
         map_data = _map_measured_sessions(scenario, sessions)
+
+    if tracer is not None:
+        metadata = {"scenario": scenario.name, "scheduler": report.scheduler}
+        if trace_out:
+            write_chrome_trace(trace_out, tracer, metadata)
+        if trace_jsonl:
+            write_jsonl(trace_jsonl, tracer)
+    if metrics_json:
+        with open(metrics_json, "w") as fh:
+            json.dump(report.metrics.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
     if json_out:
         payload = report.to_dict()
@@ -187,6 +215,8 @@ def run_scenario(
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
         return report
 
+    if quiet:  # files and the returned report carry everything
+        return report
     print(f"scenario: {scenario.name} — {scenario.description}", file=out)
     print(report.render(), file=out)
     if map_data is not None:
@@ -339,6 +369,34 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also map the device's task graphs onto its SoC preset",
     )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        default=None,
+        metavar="FILE",
+        help="record the run and write a Chrome trace-event JSON "
+        "timeline (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        dest="trace_jsonl",
+        default=None,
+        metavar="FILE",
+        help="record the run and write a flat JSONL event log",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        dest="metrics_json",
+        default=None,
+        metavar="FILE",
+        help="dump the run's metric registry as JSON",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable report (file outputs and "
+        "--json still happen)",
+    )
     args = parser.parse_args(argv)
 
     if args.channel is None and (
@@ -371,6 +429,10 @@ def main(argv: list[str] | None = None) -> int:
             mtu=args.mtu,
             interleave_depth=args.interleave_depth,
             net_seed=args.net_seed,
+            trace_out=args.trace_out,
+            trace_jsonl=args.trace_jsonl,
+            metrics_json=args.metrics_json,
+            quiet=args.quiet,
         )
     except AdmissionError as exc:
         print(f"admission rejected:\n{exc}", file=sys.stderr)

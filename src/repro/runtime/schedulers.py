@@ -208,6 +208,10 @@ class PlatformMapped(EDF):
         self.platform = platform
         self.algorithm = algorithm
         self.pe_busy: dict[int, float] = {pe: 0.0 for pe in platform.pe_ids()}
+        #: Per-PE busy seconds of the most recently priced segment
+        #: (empty for cache hits, which never touch the PEs) — the
+        #: engine's tracer turns this into per-PE trace spans.
+        self.last_segment_busy: dict[int, float] = {}
         self._memo: dict[tuple, SegmentCostTrace] = {}
 
     def bind(self, clocks: list[SessionClock]) -> None:
@@ -233,6 +237,7 @@ class PlatformMapped(EDF):
     def segment_cost(
         self, clock: SessionClock, result: SegmentResult, from_cache: bool
     ) -> float:
+        self.last_segment_busy = {}
         if not result.stage_ops:
             return 0.0
         trace = self._mapped_cost(clock.session.kind, result.stage_ops)
@@ -240,6 +245,7 @@ class PlatformMapped(EDF):
             return trace.latency_s * self.cache_hit_factor
         for pe, busy in trace.busy_time.items():
             self.pe_busy[pe] = self.pe_busy.get(pe, 0.0) + busy
+        self.last_segment_busy = dict(trace.busy_time)
         return trace.latency_s
 
     def estimate_cost_s(self, session: MediaSession) -> float | None:

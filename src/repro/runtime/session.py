@@ -352,6 +352,7 @@ class MediaSession:
             "packets_sent": sent,
             "packets_lost": lost,
             "packets_late": sum(d.packets_late for d in log),
+            "packets_duplicate": sum(d.packets_duplicate for d in log),
             "packets_recovered": sum(d.packets_recovered for d in log),
             "loss_pct": 100.0 * lost / sent if sent else 0.0,
             "bytes_on_wire": sum(d.bytes_on_wire for d in log),

@@ -310,7 +310,25 @@ class TestDeterminism:
         )
         assert any("wall clock" in f.message for f in findings)
 
-    def test_engine_measured_block_exempt(self, tmp_path):
+    def test_wall_clock_boundary_exempt(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "src/repro/obs/clock.py": (
+                    "import time\n"
+                    "class WallClock:\n"
+                    "    def now(self):\n"
+                    "        return time.perf_counter()\n"
+                )
+            },
+            self.CHECKERS,
+        )
+        assert findings == []
+
+    def test_engine_run_no_longer_exempt(self, tmp_path):
+        # The exemption moved to the injectable clock boundary: the
+        # engine's run loop takes a Clock now, so a raw read there is a
+        # regression the rule must catch.
         findings = lint_tree(
             tmp_path,
             {
@@ -318,22 +336,21 @@ class TestDeterminism:
                     "import time\n"
                     "class StreamEngine:\n"
                     "    def run(self):\n"
-                    "        t0 = time.perf_counter()\n"
-                    "        return time.perf_counter() - t0\n"
+                    "        return time.perf_counter()\n"
                 )
             },
             self.CHECKERS,
         )
-        assert findings == []
+        assert any("wall clock" in f.message for f in findings)
 
-    def test_wall_clock_elsewhere_in_engine_still_flagged(self, tmp_path):
+    def test_wall_clock_elsewhere_in_clock_module_still_flagged(self, tmp_path):
         findings = lint_tree(
             tmp_path,
             {
-                "src/repro/runtime/engine.py": (
+                "src/repro/obs/clock.py": (
                     "import time\n"
-                    "class StreamEngine:\n"
-                    "    def step(self):\n"
+                    "class ManualClock:\n"
+                    "    def now(self):\n"
                     "        return time.time()\n"
                 )
             },
